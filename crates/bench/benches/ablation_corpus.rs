@@ -1,0 +1,61 @@
+//! Ablation: coverage-guided versus random corpus.
+//!
+//! Coverage guidance should reach more kernel blocks per program — the
+//! generator's whole point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksa_syzgen::{generate, GenConfig, ProgramGenerator, Sandbox};
+
+fn bench_corpus_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_corpus");
+    group.sample_size(10);
+    group.bench_function("coverage_guided", |b| {
+        b.iter(|| {
+            generate(GenConfig {
+                seed: 11,
+                max_programs: 30,
+                stall_limit: 200,
+                mutate_pct: 70,
+                minimize: true,
+            })
+        })
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            let mut gen = ProgramGenerator::new(11);
+            let mut sandbox = Sandbox::new(11);
+            let mut cover = ksa_kernel::coverage::CoverageSet::new();
+            for _ in 0..30 {
+                let p = gen.random_program();
+                cover.merge(&sandbox.run_fresh(&p));
+            }
+            cover.len()
+        })
+    });
+    group.finish();
+
+    // Coverage-per-program comparison, reported once.
+    let guided = generate(GenConfig {
+        seed: 11,
+        max_programs: 30,
+        stall_limit: 200,
+        mutate_pct: 70,
+        minimize: true,
+    });
+    let mut gen = ProgramGenerator::new(11);
+    let mut sandbox = Sandbox::new(11);
+    let mut random_cover = ksa_kernel::coverage::CoverageSet::new();
+    for _ in 0..guided.corpus.len() {
+        let p = gen.random_program();
+        random_cover.merge(&sandbox.run_fresh(&p));
+    }
+    eprintln!(
+        "blocks with {} programs: coverage-guided={} random={}",
+        guided.corpus.len(),
+        guided.stats.blocks,
+        random_cover.len()
+    );
+}
+
+criterion_group!(benches, bench_corpus_ablation);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation: the virtualization overhead model on/off.
+//!
+//! Separates the isolation *benefit* (separate kernel instances) from
+//! the virtualization *cost* (exits, nested paging) by running the same
+//! per-core VM sweep with (a) the KVM overhead profile and (b) a "free
+//! hypervisor" whose profile is zeroed after environment construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksa_core::experiments::{default_corpus, Scale};
+use ksa_envsim::{EnvKind, EnvSpec, Machine};
+use ksa_kernel::instance::VirtProfile;
+use ksa_varbench::{run_hooked, RunConfig, RunResult};
+
+fn measure(free_hypervisor: bool, corpus: &ksa_kernel::prog::Corpus) -> RunResult {
+    let machine = Machine {
+        cores: 8,
+        mem_mib: 4096,
+    };
+    run_hooked(
+        &RunConfig {
+            env: EnvSpec::new(machine, EnvKind::Vm(8)),
+            iterations: 6,
+            sync: true,
+            seed: 9,
+        },
+        corpus,
+        |engine| {
+            if free_hypervisor {
+                for inst in &mut engine.world_mut().instances {
+                    inst.virt = VirtProfile::native();
+                }
+            }
+        },
+    )
+}
+
+fn bench_virt_ablation(c: &mut Criterion) {
+    let corpus = default_corpus(Scale::Tiny).corpus;
+    let mut group = c.benchmark_group("ablation_virt");
+    group.sample_size(10);
+    group.bench_function("kvm_profile", |b| {
+        b.iter(|| measure(false, &corpus))
+    });
+    group.bench_function("free_hypervisor", |b| {
+        b.iter(|| measure(true, &corpus))
+    });
+    group.finish();
+
+    // Shape report: the isolation benefit survives, the bounded cost
+    // disappears.
+    let mut kvm = measure(false, &corpus);
+    let mut free = measure(true, &corpus);
+    let med = |r: &mut RunResult| {
+        let mut v = r.per_site(None, |s| s.median());
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    eprintln!(
+        "median-of-site-medians: kvm={}ns free-hypervisor={}ns (the gap is the bounded virtualization cost)",
+        med(&mut kvm),
+        med(&mut free)
+    );
+}
+
+criterion_group!(benches, bench_virt_ablation);
+criterion_main!(benches);

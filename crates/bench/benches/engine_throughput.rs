@@ -1,0 +1,69 @@
+//! Engine microbenchmarks: event-loop throughput on contended and
+//! uncontended configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksa_envsim::{EnvKind, EnvSpec, Machine};
+use ksa_kernel::prog::Corpus;
+use ksa_kernel::{Arg, Call, Program, SysNo};
+use ksa_varbench::{run, RunConfig};
+
+fn mixed_corpus() -> Corpus {
+    Corpus {
+        programs: vec![
+            Program {
+                calls: vec![
+                    Call::new(SysNo::Open, vec![Arg::Const(1), Arg::Const(1)]),
+                    Call::new(SysNo::Write, vec![Arg::Ref(0), Arg::Const(16_000)]),
+                    Call::new(SysNo::Fsync, vec![Arg::Ref(0)]),
+                ],
+            },
+            Program {
+                calls: vec![
+                    Call::new(SysNo::Mmap, vec![Arg::Const(64), Arg::Const(1)]),
+                    Call::new(SysNo::Munmap, vec![Arg::Ref(0)]),
+                ],
+            },
+            Program {
+                calls: vec![
+                    Call::new(SysNo::Getpid, vec![]),
+                    Call::new(SysNo::SchedYield, vec![]),
+                    Call::new(SysNo::FutexWake, vec![Arg::Const(3), Arg::Const(1)]),
+                ],
+            },
+        ],
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let corpus = mixed_corpus();
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    for cores in [4usize, 16] {
+        for kind in [EnvKind::Native, EnvKind::Vm(cores)] {
+            let label = format!("{}c/{}", cores, kind.label());
+            group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+                b.iter(|| {
+                    run(
+                        &RunConfig {
+                            env: EnvSpec::new(
+                                Machine {
+                                    cores,
+                                    mem_mib: 1024 * cores as u64 / 4,
+                                },
+                                kind,
+                            ),
+                            iterations: 5,
+                            sync: true,
+                            seed: 1,
+                        },
+                        &corpus,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

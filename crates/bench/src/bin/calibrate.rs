@@ -1,0 +1,33 @@
+//! Calibration tool: measures per-app request service demand at low
+//! utilization to keep the target-utilization math honest. Dev tool.
+
+use ksa_core::experiments::{noise_corpus, Scale};
+use ksa_envsim::Machine;
+use ksa_tailbench::apps::suite;
+use ksa_tailbench::single_node::{run_single_node, SingleNodeConfig};
+
+fn main() {
+    let noise = noise_corpus(Scale::Tiny);
+    for app in suite() {
+        for virt in [false, true] {
+            let cfg = SingleNodeConfig {
+                machine: Machine { cores: 16, mem_mib: 16 * 1024 },
+                groups: 4,
+                virt,
+                noise: false,
+                requests: 400,
+                warmup: 50,
+                util_pct: 10, // low load: sojourn ~= service demand
+                seed: 5,
+            };
+            let res = run_single_node(&app, &cfg, &noise);
+            let mean = res.sojourns.mean().unwrap_or(0.0);
+            let expected = app.service_ns + app.jitter_ns / 2;
+            println!(
+                "{:<10} virt={} mean={:>10.0}ns expected_user={:>9}ns kernel_actual={:>9.0}ns (profile kernel_ns={})",
+                app.name, virt as u8, mean, expected,
+                mean - expected as f64, app.kernel_ns
+            );
+        }
+    }
+}

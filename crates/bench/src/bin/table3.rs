@@ -1,0 +1,13 @@
+//! Regenerates Table 3: worst-case syscall runtimes in Docker as the
+//! container count grows.
+
+use ksa_bench::Cli;
+use ksa_core::experiments::{default_corpus, table3};
+
+fn main() {
+    let cli = Cli::parse();
+    let corpus = default_corpus(cli.scale);
+    let table = table3(&corpus.corpus, cli.scale, cli.seed);
+    println!("{}", table.render());
+    cli.write_csv("table3", &table.to_csv());
+}

@@ -1,0 +1,75 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--tiny` / `--quick` / `--full` — experiment scale (default quick),
+//! * `--seed <n>` — trial seed (default 42),
+//! * `--csv <dir>` — also write CSV artifacts into `dir`.
+
+use ksa_core::experiments::Scale;
+use std::path::PathBuf;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Trial seed.
+    pub seed: u64,
+    /// CSV output directory.
+    pub csv: Option<PathBuf>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`; exits with usage on errors.
+    pub fn parse() -> Self {
+        let mut scale = Scale::Quick;
+        let mut seed = 42;
+        let mut csv = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--tiny" => scale = Scale::Tiny,
+                "--quick" => scale = Scale::Quick,
+                "--full" => scale = Scale::Full,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a number"));
+                }
+                "--csv" => {
+                    csv = Some(PathBuf::from(
+                        args.next().unwrap_or_else(|| usage("--csv needs a dir")),
+                    ));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument: {other}")),
+            }
+        }
+        Cli { scale, seed, csv }
+    }
+
+    /// Writes `content` as `<name>.csv` when `--csv` was given.
+    pub fn write_csv(&self, name: &str, content: &str) {
+        if let Some(dir) = &self.csv {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, content).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--tiny|--quick|--full] [--seed N] [--csv DIR]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Formats a nanosecond value for table cells.
+pub fn cell_ns(ns: u64) -> String {
+    ksa_stats::fmt_ns(ns)
+}

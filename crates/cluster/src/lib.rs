@@ -1,0 +1,264 @@
+//! # ksa-cluster — BSP-style multi-node deployments (Figure 4)
+//!
+//! The paper's final experiment runs each tailbench application on 64
+//! Chameleon nodes: every node serves a fixed number of *local* requests
+//! per iteration, a global MPI barrier separates iterations, and the run
+//! is 50 iterations long. No inter-node traffic sits on the critical path
+//! — which means node simulations are independent and the barrier
+//! semantics reduce to taking, per iteration, the **max** over nodes'
+//! durations. Straggler amplification (the paper's point) falls out: a
+//! heavy per-node tail makes `max` over 64 nodes land in the tail almost
+//! every iteration.
+//!
+//! Node simulations run in parallel OS threads; with identical seeds the
+//! whole experiment is deterministic.
+
+use ksa_desim::Ns;
+use ksa_kernel::prog::Corpus;
+use ksa_tailbench::apps::AppProfile;
+use ksa_tailbench::single_node::{run_node_batched, SingleNodeConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one cluster run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of nodes (the paper uses 64).
+    pub nodes: usize,
+    /// Iterations with a barrier between each (the paper uses 50).
+    pub iterations: u64,
+    /// Requests each node serves per iteration.
+    pub requests_per_iter: u64,
+    /// Per-node configuration (machine, virt/container split, noise).
+    pub node: SingleNodeConfig,
+    /// Per-iteration barrier cost added after the max (network
+    /// allreduce latency).
+    pub barrier_ns: Ns,
+    /// Worker threads used to simulate nodes.
+    pub threads: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's configuration: 64 nodes, 50 iterations, one NUMA
+    /// socket per app (we model the socket as a 24-core machine split in
+    /// two: the app's half and the noise corpus's half).
+    pub fn paper(virt: bool, noise: bool, seed: u64) -> Self {
+        Self {
+            nodes: 64,
+            iterations: 50,
+            requests_per_iter: 200,
+            node: SingleNodeConfig {
+                machine: ksa_envsim::Machine {
+                    cores: 24,
+                    mem_mib: 64 * 1024,
+                },
+                groups: 2,
+                virt,
+                noise,
+                requests: 0, // unused in batched mode
+                warmup: 0,
+                // BSP batches are throughput-oriented: clients push the
+                // servers near capacity, so service-time inflation from
+                // kernel interference directly becomes drain time.
+                util_pct: 92,
+                seed,
+            },
+            barrier_ns: 40_000, // ~40µs allreduce on a cluster fabric
+            threads: 4,
+        }
+    }
+
+    /// Scaled-down configuration for tests.
+    pub fn quick(virt: bool, noise: bool, seed: u64) -> Self {
+        Self {
+            nodes: 8,
+            iterations: 5,
+            requests_per_iter: 40,
+            node: SingleNodeConfig {
+                machine: ksa_envsim::Machine {
+                    cores: 8,
+                    mem_mib: 8 * 1024,
+                },
+                groups: 2,
+                virt,
+                noise,
+                requests: 0,
+                warmup: 0,
+                util_pct: 92,
+                seed,
+            },
+            barrier_ns: 40_000,
+            threads: 2,
+        }
+    }
+}
+
+/// Result of one cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterResult {
+    /// Application name.
+    pub app: String,
+    /// Per-iteration durations (max over nodes, plus barrier cost).
+    pub iteration_ns: Vec<Ns>,
+    /// Total runtime: sum over iterations.
+    pub total_ns: Ns,
+    /// Mean over nodes of per-node total busy time (what the runtime
+    /// would be without stragglers — the BSP efficiency baseline).
+    pub mean_node_ns: Ns,
+}
+
+impl ClusterResult {
+    /// Straggler amplification: total runtime over the no-straggler
+    /// baseline. 1.0 = perfectly balanced.
+    pub fn straggler_factor(&self) -> f64 {
+        if self.mean_node_ns == 0 {
+            return 1.0;
+        }
+        self.total_ns as f64 / self.mean_node_ns as f64
+    }
+}
+
+/// Runs `app` across the cluster and combines iteration times with
+/// barrier (max) semantics.
+pub fn run_cluster(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus) -> ClusterResult {
+    // Each node simulation yields `iterations` durations.
+    let per_node: Vec<Vec<Ns>> = run_nodes(app, cfg, noise_corpus);
+
+    let mut iteration_ns = Vec::with_capacity(cfg.iterations as usize);
+    for it in 0..cfg.iterations as usize {
+        let max = per_node
+            .iter()
+            .map(|n| n.get(it).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        iteration_ns.push(max + cfg.barrier_ns);
+    }
+    let total_ns = iteration_ns.iter().sum();
+    let mean_node_ns = {
+        let sums: Vec<Ns> = per_node.iter().map(|n| n.iter().sum()).collect();
+        let total: u128 = sums.iter().map(|&s| s as u128).sum();
+        (total / sums.len().max(1) as u128) as Ns + cfg.barrier_ns * cfg.iterations
+    };
+    ClusterResult {
+        app: app.name.to_string(),
+        iteration_ns,
+        total_ns,
+        mean_node_ns,
+    }
+}
+
+/// Simulates every node (in parallel threads), returning per-node
+/// iteration durations.
+fn run_nodes(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus) -> Vec<Vec<Ns>> {
+    let mut out: Vec<Option<Vec<Ns>>> = Vec::new();
+    out.resize_with(cfg.nodes, || None);
+    let threads = cfg.threads.max(1);
+    crossbeam::thread::scope(|s| {
+        let chunks: Vec<Vec<usize>> = (0..threads)
+            .map(|t| (0..cfg.nodes).filter(|n| n % threads == t).collect())
+            .collect();
+        let mut handles = Vec::new();
+        for chunk in chunks {
+            let handle = s.spawn({
+                let chunk2 = chunk.clone();
+                move |_| {
+                    chunk2
+                        .iter()
+                        .map(|&node| {
+                            let mut node_cfg = cfg.node;
+                            node_cfg.seed = cfg
+                                .node
+                                .seed
+                                .wrapping_mul(0x9e3779b97f4a7c15)
+                                .wrapping_add(node as u64);
+                            let res = run_node_batched(
+                                app,
+                                &node_cfg,
+                                noise_corpus,
+                                cfg.iterations,
+                                cfg.requests_per_iter,
+                            );
+                            (node, res.batch_durations)
+                        })
+                        .collect::<Vec<_>>()
+                }
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            for (node, durs) in h.join().expect("node simulation panicked") {
+                out[node] = Some(durs);
+            }
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter().map(|o| o.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksa_kernel::{Arg, Call, Program, SysNo};
+    use ksa_tailbench::apps::{cluster_suite, suite};
+
+    fn corpus() -> Corpus {
+        // Shootdown/scheduler-heavy noise: the strongest cross-core
+        // coupling mechanisms, so the quick-scale test sees the effect.
+        Corpus {
+            programs: vec![Program {
+                calls: vec![
+                    Call::new(SysNo::Mmap, vec![Arg::Const(128), Arg::Const(1)]),
+                    Call::new(SysNo::Munmap, vec![Arg::Ref(0)]),
+                    Call::new(SysNo::Mmap, vec![Arg::Const(200), Arg::Const(1)]),
+                    Call::new(SysNo::Munmap, vec![Arg::Ref(2)]),
+                    Call::new(SysNo::Clone, vec![Arg::Const(0)]),
+                    Call::new(SysNo::Wait4, vec![Arg::Ref(4)]),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn cluster_run_produces_all_iterations() {
+        let app = &suite()[1]; // masstree
+        let cfg = ClusterConfig::quick(false, false, 3);
+        let res = run_cluster(app, &cfg, &corpus());
+        assert_eq!(res.iteration_ns.len(), cfg.iterations as usize);
+        assert_eq!(res.total_ns, res.iteration_ns.iter().sum::<u64>());
+        assert!(res.total_ns > 0);
+    }
+
+    #[test]
+    fn straggler_factor_at_least_one() {
+        let app = &suite()[1];
+        let cfg = ClusterConfig::quick(false, true, 5);
+        let res = run_cluster(app, &cfg, &corpus());
+        assert!(
+            res.straggler_factor() >= 0.99,
+            "max-combining cannot beat the mean: {}",
+            res.straggler_factor()
+        );
+    }
+
+    #[test]
+    fn noise_slows_shared_kernel_more_at_scale() {
+        let app = cluster_suite()
+            .into_iter()
+            .find(|a| a.name == "xapian")
+            .unwrap();
+        let quiet = run_cluster(&app, &ClusterConfig::quick(false, false, 7), &corpus());
+        let noisy = run_cluster(&app, &ClusterConfig::quick(false, true, 7), &corpus());
+        assert!(
+            noisy.total_ns > quiet.total_ns,
+            "syscall noise must slow the shared-kernel cluster"
+        );
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let app = &suite()[6];
+        let cfg = ClusterConfig::quick(true, false, 11);
+        let a = run_cluster(app, &cfg, &corpus());
+        let b = run_cluster(app, &cfg, &corpus());
+        assert_eq!(a.iteration_ns, b.iteration_ns);
+    }
+}

@@ -1,0 +1,126 @@
+//! Surface-area ↔ variability analysis.
+
+use ksa_kernel::Category;
+use ksa_stats::spearman;
+
+use crate::experiments::Fig2Result;
+
+/// How one category's tail responds to surface area across a VM sweep.
+#[derive(Debug, Clone)]
+pub struct CategoryTrend {
+    /// The category.
+    pub category: Category,
+    /// Spearman correlation between VM count (smaller surface, left to
+    /// right) and the median of per-site p99s. Strongly negative =
+    /// shrinking the surface reliably shrinks the tail.
+    pub median_corr: Option<f64>,
+    /// Spearman correlation between VM count and the violin maxima
+    /// (extreme outliers).
+    pub max_corr: Option<f64>,
+    /// Ratio of the 1-VM violin max to the largest-VM-count violin max:
+    /// the extreme-outlier reduction factor.
+    pub outlier_reduction: f64,
+}
+
+/// Computes per-category trends from a Figure 2 result.
+pub fn surface_trends(fig2: &Fig2Result) -> Vec<CategoryTrend> {
+    let xs: Vec<f64> = fig2.vm_counts.iter().map(|&c| c as f64).collect();
+    fig2.categories
+        .iter()
+        .map(|cat| {
+            let meds: Vec<f64> = cat.violins.iter().map(|v| v.median as f64).collect();
+            let maxes: Vec<f64> = cat.violins.iter().map(|v| v.max as f64).collect();
+            let n = meds.len().min(xs.len());
+            let outlier_reduction = if n >= 2 && maxes[n - 1] > 0.0 {
+                maxes[0] / maxes[n - 1]
+            } else {
+                1.0
+            };
+            CategoryTrend {
+                category: cat.category,
+                median_corr: spearman(&xs[..n], &meds[..n]),
+                max_corr: spearman(&xs[..n], &maxes[..n]),
+                outlier_reduction,
+            }
+        })
+        .collect()
+}
+
+/// Renders trends as an aligned text table.
+pub fn render_trends(trends: &[CategoryTrend]) -> String {
+    let mut out = String::from(
+        "category                       corr(VMs, med-p99)  corr(VMs, max)  outlier-reduction\n",
+    );
+    for t in trends {
+        out.push_str(&format!(
+            "({}) {:<28} {:>15} {:>15} {:>14.2}x\n",
+            t.category.letter(),
+            t.category.name(),
+            fmt_corr(t.median_corr),
+            fmt_corr(t.max_corr),
+            t.outlier_reduction
+        ));
+    }
+    out
+}
+
+fn fmt_corr(c: Option<f64>) -> String {
+    match c {
+        Some(v) => format!("{v:+.2}"),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Fig2Category;
+    use ksa_stats::ViolinSummary;
+
+    fn violin(label: &str, values: &[u64]) -> ViolinSummary {
+        ViolinSummary::from_values(label, values, 8).unwrap()
+    }
+
+    #[test]
+    fn decreasing_tails_give_negative_correlation() {
+        let fig2 = Fig2Result {
+            vm_counts: vec![1, 2, 4, 8],
+            categories: vec![Fig2Category {
+                category: Category::Memory,
+                violins: vec![
+                    violin("1", &[1_000_000, 9_000_000, 80_000_000]),
+                    violin("2", &[900_000, 5_000_000, 30_000_000]),
+                    violin("4", &[800_000, 2_000_000, 9_000_000]),
+                    violin("8", &[200_000, 600_000, 1_000_000]),
+                ],
+            }],
+        };
+        let trends = surface_trends(&fig2);
+        assert_eq!(trends.len(), 1);
+        let t = &trends[0];
+        assert!(t.median_corr.unwrap() < -0.9);
+        assert!(t.max_corr.unwrap() < -0.9);
+        assert!(t.outlier_reduction > 10.0);
+        let rendered = render_trends(&trends);
+        assert!(rendered.contains("memory management"));
+    }
+
+    #[test]
+    fn flat_category_gives_weak_correlation() {
+        let fig2 = Fig2Result {
+            vm_counts: vec![1, 2, 4],
+            categories: vec![Fig2Category {
+                category: Category::FileIo,
+                violins: vec![
+                    violin("1", &[100, 200, 300]),
+                    violin("2", &[110, 190, 310]),
+                    violin("4", &[105, 205, 295]),
+                ],
+            }],
+        };
+        let t = &surface_trends(&fig2)[0];
+        assert!(t.outlier_reduction < 1.2);
+    }
+
+
+}

@@ -1,0 +1,544 @@
+//! One builder per table/figure in the paper's evaluation.
+//!
+//! Each function returns structured data; the `ksa-bench` binaries render
+//! it as text/CSV. All builders accept a [`Scale`] so integration tests
+//! can run the same code paths in seconds while the full runs regenerate
+//! the paper-scale artifacts.
+
+use ksa_envsim::{container_sweep, vm_sweep, EnvKind, EnvSpec, Machine, SweepRow};
+use ksa_kernel::prog::Corpus;
+use ksa_kernel::Category;
+use ksa_stats::{BucketTable, ViolinSummary};
+use ksa_syzgen::{generate, GenConfig, GeneratedCorpus};
+use ksa_tailbench::apps::{cluster_suite, suite};
+use ksa_tailbench::single_node::{run_single_node, SingleNodeConfig};
+use ksa_cluster::{run_cluster, ClusterConfig};
+use ksa_varbench::{run, RunConfig};
+use serde::{Deserialize, Serialize};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Seconds-scale: CI and doctests.
+    Tiny,
+    /// Under a minute: local smoke runs.
+    Quick,
+    /// The paper-shaped runs (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Corpus generation configuration.
+    pub fn corpus_cfg(self, seed: u64) -> GenConfig {
+        match self {
+            Scale::Tiny => GenConfig {
+                seed,
+                max_programs: 30,
+                stall_limit: 150,
+                mutate_pct: 70,
+                minimize: true,
+            },
+            Scale::Quick => GenConfig {
+                seed,
+                max_programs: 80,
+                stall_limit: 400,
+                mutate_pct: 70,
+                minimize: true,
+            },
+            Scale::Full => GenConfig {
+                seed,
+                max_programs: 240,
+                stall_limit: 1_500,
+                mutate_pct: 70,
+                minimize: true,
+            },
+        }
+    }
+
+    /// The machine for the syscall studies (Tables 2–3, Figure 2).
+    pub fn machine(self) -> Machine {
+        match self {
+            Scale::Tiny => Machine {
+                cores: 8,
+                mem_mib: 4 * 1024,
+            },
+            Scale::Quick => Machine {
+                cores: 16,
+                mem_mib: 8 * 1024,
+            },
+            Scale::Full => Machine::epyc_64(),
+        }
+    }
+
+    /// Corpus iterations for the syscall studies (the paper uses 100).
+    pub fn iterations(self) -> usize {
+        match self {
+            Scale::Tiny => 4,
+            Scale::Quick => 10,
+            Scale::Full => 25,
+        }
+    }
+
+    /// Requests for Figure 3 runs.
+    pub fn requests(self) -> u64 {
+        match self {
+            Scale::Tiny => 300,
+            Scale::Quick => 1_200,
+            Scale::Full => 3_000,
+        }
+    }
+
+    /// `(nodes, iterations, requests/iter)` for Figure 4.
+    pub fn cluster(self) -> (usize, u64, u64) {
+        match self {
+            Scale::Tiny => (6, 4, 30),
+            Scale::Quick => (12, 8, 40),
+            Scale::Full => (32, 25, 40),
+        }
+    }
+}
+
+/// Generates the default coverage-guided corpus at a scale.
+pub fn default_corpus(scale: Scale) -> GeneratedCorpus {
+    generate(scale.corpus_cfg(0x5eed))
+}
+
+/// A noise corpus for the tailbench experiments: generated from a pool
+/// of the kernel-coupling-heavy calls (shootdowns, tasklist writers,
+/// metadata/journal traffic, cred/audit updates) — the paper's noise
+/// deliberately stresses the shared kernel, not the disk.
+pub fn noise_corpus(scale: Scale) -> Corpus {
+    use ksa_kernel::SysNo;
+    use ksa_syzgen::ProgramGenerator;
+    let pool = [
+        SysNo::Mmap,
+        SysNo::Munmap,
+        SysNo::Mprotect,
+        SysNo::Madvise,
+        SysNo::Mremap,
+        SysNo::Brk,
+        SysNo::Clone,
+        SysNo::Wait4,
+        SysNo::Kill,
+        SysNo::SchedYield,
+        SysNo::SchedSetaffinity,
+        SysNo::Open,
+        SysNo::Unlink,
+        SysNo::Rename,
+        SysNo::Mkdir,
+        SysNo::Chmod,
+        SysNo::Setuid,
+        SysNo::Capset,
+        SysNo::Setgroups,
+        SysNo::FutexWait,
+        SysNo::FutexWake,
+        SysNo::Msgsnd,
+        SysNo::Msgrcv,
+        SysNo::Write,
+    ];
+    let n = match scale {
+        Scale::Tiny => 12,
+        Scale::Quick => 18,
+        Scale::Full => 28,
+    };
+    let mut gen = ProgramGenerator::new(0x4015e);
+    Corpus {
+        programs: (0..n).map(|_| gen.random_program_in(&pool)).collect(),
+    }
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// Table 1: the VM configuration ladder.
+pub fn table1(scale: Scale) -> Vec<SweepRow> {
+    vm_sweep(scale.machine())
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// Table 2's three sub-tables: per-site median / p99 / max bucket
+/// percentages for native Linux, per-core KVM VMs and per-core Docker
+/// containers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// Median breakdown.
+    pub median: BucketTable,
+    /// 99th-percentile breakdown.
+    pub p99: BucketTable,
+    /// Worst-case breakdown.
+    pub max: BucketTable,
+}
+
+/// Runs Table 2: the corpus on all cores in the three headline
+/// environments.
+pub fn table2(corpus: &Corpus, scale: Scale, seed: u64) -> Table2Result {
+    let machine = scale.machine();
+    let kinds = [
+        EnvKind::Native,
+        EnvKind::Vm(machine.cores),
+        EnvKind::Container(machine.cores),
+    ];
+    let mut median = BucketTable::new("Table 2a: median system call runtimes (cumulative %)");
+    let mut p99 = BucketTable::new("Table 2b: 99th percentile system call runtimes (cumulative %)");
+    let mut max = BucketTable::new("Table 2c: worst-case system call runtimes (cumulative %)");
+    for kind in kinds {
+        let mut res = run(
+            &RunConfig {
+                env: EnvSpec::new(machine, kind),
+                iterations: scale.iterations(),
+                sync: true,
+                seed,
+            },
+            corpus,
+        );
+        let meds = res.per_site(None, |s| s.median());
+        let p99s = res.per_site(None, |s| s.p99());
+        let maxes = res.per_site(None, |s| s.max());
+        median.push_values(kind.label(), &meds);
+        p99.push_values(kind.label(), &p99s);
+        max.push_values(kind.label(), &maxes);
+    }
+    Table2Result { median, p99, max }
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+/// One subfigure of Figure 2: a category plus one violin per VM count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Category {
+    /// The syscall category.
+    pub category: Category,
+    /// One violin per VM configuration, in sweep order.
+    pub violins: Vec<ViolinSummary>,
+}
+
+/// Figure 2: distributions of per-site p99s by category across the VM
+/// sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// VM counts, left to right.
+    pub vm_counts: Vec<usize>,
+    /// The six subfigures.
+    pub categories: Vec<Fig2Category>,
+}
+
+/// Runs Figure 2. Sites are filtered to those with native medians of at
+/// least 10µs, as in the paper (shorter ones are mostly the tiny mmaps
+/// feeding other calls and show no trend).
+pub fn fig2(corpus: &Corpus, scale: Scale, seed: u64) -> Fig2Result {
+    let machine = scale.machine();
+    // Native run decides the filter.
+    let mut native = run(
+        &RunConfig {
+            env: EnvSpec::new(machine, EnvKind::Native),
+            iterations: scale.iterations(),
+            sync: true,
+            seed,
+        },
+        corpus,
+    );
+    let keep: Vec<bool> = native
+        .sites
+        .iter_mut()
+        .map(|s| s.samples.median().unwrap_or(0) >= 10_000)
+        .collect();
+
+    let sweep = vm_sweep(machine);
+    let mut per_config = Vec::new();
+    for row in &sweep {
+        let res = run(
+            &RunConfig {
+                env: EnvSpec::new(machine, EnvKind::Vm(row.count)),
+                iterations: scale.iterations(),
+                sync: true,
+                seed,
+            },
+            corpus,
+        );
+        per_config.push(res);
+    }
+
+    let mut categories = Vec::new();
+    for cat in Category::ALL {
+        let mut violins = Vec::new();
+        for (row, res) in sweep.iter().zip(per_config.iter_mut()) {
+            let p99s: Vec<u64> = res
+                .sites
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, s)| keep[*i] && s.in_category(cat))
+                .filter_map(|(_, s)| s.samples.p99())
+                .collect();
+            if let Some(v) =
+                ViolinSummary::from_values(format!("{} VMs", row.count), &p99s, 64)
+            {
+                violins.push(v);
+            }
+        }
+        categories.push(Fig2Category {
+            category: cat,
+            violins,
+        });
+    }
+    Fig2Result {
+        vm_counts: sweep.iter().map(|r| r.count).collect(),
+        categories,
+    }
+}
+
+// ---------------------------------------------------------------- Table 3
+
+/// Table 3: worst-case bucket percentages in Docker as the container
+/// count grows.
+pub fn table3(corpus: &Corpus, scale: Scale, seed: u64) -> BucketTable {
+    let machine = scale.machine();
+    let mut table =
+        BucketTable::new("Table 3: worst-case (max) syscall runtimes in Docker (cumulative %)");
+    for row in container_sweep(machine) {
+        let mut res = run(
+            &RunConfig {
+                env: EnvSpec::new(machine, EnvKind::Container(row.count)),
+                iterations: scale.iterations(),
+                sync: true,
+                seed,
+            },
+            corpus,
+        );
+        let maxes = res.per_site(None, |s| s.max());
+        table.push_values(format!("{} ctnrs", row.count), &maxes);
+    }
+    table
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+/// One Figure 3 application row: p99 latencies in the four
+/// configurations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Application name.
+    pub app: String,
+    /// KVM, isolated.
+    pub kvm_isolated: u64,
+    /// Docker, isolated.
+    pub docker_isolated: u64,
+    /// KVM with the 48-core syscall noise.
+    pub kvm_noise: u64,
+    /// Docker with the noise.
+    pub docker_noise: u64,
+}
+
+impl Fig3Row {
+    /// Percent p99 increase from isolated to contended, KVM.
+    pub fn kvm_increase_pct(&self) -> f64 {
+        pct_increase(self.kvm_isolated, self.kvm_noise)
+    }
+    /// Percent p99 increase from isolated to contended, Docker.
+    pub fn docker_increase_pct(&self) -> f64 {
+        pct_increase(self.docker_isolated, self.docker_noise)
+    }
+}
+
+fn pct_increase(base: u64, now: u64) -> f64 {
+    if base == 0 {
+        0.0
+    } else {
+        100.0 * (now as f64 - base as f64) / base as f64
+    }
+}
+
+/// p99 averaged over repetition seeds (the paper runs each client twice
+/// and keeps the warmed run; we average to stabilize the tail estimate).
+fn mean_p99(
+    app: &ksa_tailbench::apps::AppProfile,
+    cfg: &SingleNodeConfig,
+    noise: &Corpus,
+    reps: u64,
+) -> u64 {
+    let total: u64 = (0..reps)
+        .map(|r| {
+            let mut c = *cfg;
+            c.seed = cfg.seed.wrapping_add(r * 0x1234_5678);
+            run_single_node(app, &c, noise).p99
+        })
+        .sum();
+    total / reps
+}
+
+/// Runs Figure 3 over the full suite.
+pub fn fig3(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig3Row> {
+    let (machine, groups) = match scale {
+        Scale::Tiny => (
+            Machine {
+                cores: 8,
+                mem_mib: 8 * 1024,
+            },
+            4,
+        ),
+        Scale::Quick => (
+            Machine {
+                cores: 16,
+                mem_mib: 16 * 1024,
+            },
+            4,
+        ),
+        Scale::Full => (
+            Machine {
+                cores: 64,
+                mem_mib: 64 * 1024,
+            },
+            4,
+        ),
+    };
+    let mk_cfg = |virt: bool, with_noise: bool| SingleNodeConfig {
+        machine,
+        groups,
+        virt,
+        noise: with_noise,
+        requests: scale.requests(),
+        warmup: (scale.requests() / 10) as usize,
+        util_pct: 75,
+        seed,
+    };
+    let reps = match scale {
+        Scale::Tiny => 1,
+        Scale::Quick => 2,
+        Scale::Full => 3,
+    };
+    suite()
+        .iter()
+        .map(|app| Fig3Row {
+            app: app.name.to_string(),
+            kvm_isolated: mean_p99(app, &mk_cfg(true, false), noise, reps),
+            docker_isolated: mean_p99(app, &mk_cfg(false, false), noise, reps),
+            kvm_noise: mean_p99(app, &mk_cfg(true, true), noise, reps),
+            docker_noise: mean_p99(app, &mk_cfg(false, true), noise, reps),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+/// One Figure 4 application row: total 64-node runtimes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Application name.
+    pub app: String,
+    /// KVM, isolated.
+    pub kvm_isolated: u64,
+    /// Docker, isolated.
+    pub docker_isolated: u64,
+    /// KVM, multi-tenant.
+    pub kvm_noise: u64,
+    /// Docker, multi-tenant.
+    pub docker_noise: u64,
+}
+
+impl Fig4Row {
+    /// Relative runtime loss isolated → multi-tenant, KVM (percent).
+    pub fn kvm_loss_pct(&self) -> f64 {
+        pct_increase(self.kvm_isolated, self.kvm_noise)
+    }
+    /// Relative runtime loss isolated → multi-tenant, Docker (percent).
+    pub fn docker_loss_pct(&self) -> f64 {
+        pct_increase(self.docker_isolated, self.docker_noise)
+    }
+}
+
+/// Runs Figure 4 over the cluster suite (no shore/specjbb, as in the
+/// paper).
+pub fn fig4(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig4Row> {
+    let (nodes, iterations, per_iter) = scale.cluster();
+    let node_machine = match scale {
+        Scale::Tiny => Machine {
+            cores: 8,
+            mem_mib: 8 * 1024,
+        },
+        Scale::Quick => Machine {
+            cores: 12,
+            mem_mib: 16 * 1024,
+        },
+        Scale::Full => Machine {
+            cores: 24,
+            mem_mib: 64 * 1024,
+        },
+    };
+    let mk_cfg = |virt: bool, with_noise: bool| ClusterConfig {
+        nodes,
+        iterations,
+        requests_per_iter: per_iter,
+        node: SingleNodeConfig {
+            machine: node_machine,
+            groups: 2,
+            virt,
+            noise: with_noise,
+            requests: 0,
+            warmup: 0,
+            util_pct: 92,
+            seed,
+        },
+        barrier_ns: 40_000,
+        threads: 4,
+    };
+    cluster_suite()
+        .iter()
+        .map(|app| Fig4Row {
+            app: app.name.to_string(),
+            kvm_isolated: run_cluster(app, &mk_cfg(true, false), noise).total_ns,
+            docker_isolated: run_cluster(app, &mk_cfg(false, false), noise).total_ns,
+            kvm_noise: run_cluster(app, &mk_cfg(true, true), noise).total_ns,
+            docker_noise: run_cluster(app, &mk_cfg(false, true), noise).total_ns,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_cover_the_ladder() {
+        let rows = table1(Scale::Full);
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[6].count, 64);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Tiny.iterations() < Scale::Full.iterations());
+        assert!(Scale::Tiny.requests() < Scale::Full.requests());
+        assert!(Scale::Tiny.machine().cores < Scale::Full.machine().cores);
+        let (n_t, ..) = Scale::Tiny.cluster();
+        let (n_f, ..) = Scale::Full.cluster();
+        assert!(n_t < n_f);
+    }
+
+    #[test]
+    fn default_corpus_is_nonempty_and_deterministic() {
+        let a = default_corpus(Scale::Tiny);
+        let b = default_corpus(Scale::Tiny);
+        assert!(!a.corpus.is_empty());
+        assert_eq!(a.corpus.programs, b.corpus.programs);
+        let n = noise_corpus(Scale::Tiny);
+        assert!(!n.is_empty() && n.len() <= a.corpus.len());
+    }
+
+    #[test]
+    fn table2_tiny_has_three_rows_each() {
+        let corpus = default_corpus(Scale::Tiny);
+        let t2 = table2(&corpus.corpus, Scale::Tiny, 1);
+        assert_eq!(t2.median.rows.len(), 3);
+        assert_eq!(t2.p99.rows.len(), 3);
+        assert_eq!(t2.max.rows.len(), 3);
+        // Paper shape: fewer KVM medians below 1µs than native.
+        let native = &t2.median.rows[0];
+        let kvm = &t2.median.rows[1];
+        assert!(
+            kvm.pct_below(0) <= native.pct_below(0),
+            "KVM must not beat native below 1us: {} vs {}",
+            kvm.pct_below(0),
+            native.pct_below(0)
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulated CPU cores.
+
+use crate::time::{Ns, MS, US};
+
+/// Identifier of a simulated hardware thread within one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    /// Index into the engine's core table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static configuration of one core.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreConfig {
+    /// Period of the local timer interrupt (Linux `CONFIG_HZ=1000` ⇒ 1 ms).
+    pub tick_period: Ns,
+    /// CPU time consumed by each timer interrupt. Virtualized cores pay a
+    /// higher cost here (timer exits), configured by the environment model.
+    pub tick_cost: Ns,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            tick_period: MS,
+            tick_cost: 2 * US,
+        }
+    }
+}
+
+/// Dynamic state of one core during a run.
+#[derive(Debug)]
+pub struct CoreState {
+    /// Static configuration.
+    pub cfg: CoreConfig,
+    /// Virtual time at which the core finishes its currently charged work.
+    /// Compute requests issued before this time queue behind it.
+    pub free_at: Ns,
+    /// Nesting depth of interrupt-disabled (spinlock) sections. While
+    /// nonzero, IPIs to this core are deferred.
+    pub irq_depth: u32,
+    /// IPI acknowledgements deferred until interrupts are re-enabled.
+    /// Each entry is `(ipi_token, handler_ns)`.
+    pub deferred_acks: Vec<(u64, Ns)>,
+    /// Total CPU time stolen from this core by interrupt handlers — kept
+    /// for diagnostics ("OS noise" accounting).
+    pub stolen: Ns,
+}
+
+impl CoreState {
+    /// Creates a fresh core.
+    pub fn new(cfg: CoreConfig) -> Self {
+        Self {
+            cfg,
+            free_at: 0,
+            irq_depth: 0,
+            deferred_acks: Vec::new(),
+            stolen: 0,
+        }
+    }
+
+    /// Charges `work` ns of compute starting no earlier than `now`; returns
+    /// the completion time. Adds timer-tick overhead proportional to the
+    /// wall time spent computing.
+    pub fn charge_compute(&mut self, now: Ns, work: Ns) -> Ns {
+        let start = self.free_at.max(now);
+        let ticks = if self.cfg.tick_period == 0 {
+            0
+        } else {
+            work / self.cfg.tick_period
+        };
+        let end = start + work + ticks * self.cfg.tick_cost;
+        self.free_at = end;
+        end
+    }
+
+    /// Steals `ns` of CPU from whatever this core runs next (interrupt
+    /// handler cost injection). Returns the time at which the stolen work
+    /// completes: back-to-back interrupts to one core serialize, which is
+    /// what turns concurrent TLB-shootdown broadcasts into storms.
+    pub fn steal(&mut self, now: Ns, ns: Ns) -> Ns {
+        let start = self.free_at.max(now);
+        self.free_at = start + ns;
+        self.stolen += ns;
+        self.free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_serializes_on_core() {
+        let mut c = CoreState::new(CoreConfig {
+            tick_period: MS,
+            tick_cost: 0,
+        });
+        let e1 = c.charge_compute(0, 100);
+        assert_eq!(e1, 100);
+        // Second request at t=50 queues behind the first.
+        let e2 = c.charge_compute(50, 100);
+        assert_eq!(e2, 200);
+        // Request after the core went idle starts immediately.
+        let e3 = c.charge_compute(500, 10);
+        assert_eq!(e3, 510);
+    }
+
+    #[test]
+    fn tick_overhead_scales_with_work() {
+        let mut c = CoreState::new(CoreConfig {
+            tick_period: MS,
+            tick_cost: 10 * US,
+        });
+        // 5 ms of work crosses 5 tick boundaries -> +50us.
+        let end = c.charge_compute(0, 5 * MS);
+        assert_eq!(end, 5 * MS + 50 * US);
+    }
+
+    #[test]
+    fn steal_pushes_free_at_and_accounts() {
+        let mut c = CoreState::new(CoreConfig::default());
+        c.steal(100, 40);
+        assert_eq!(c.free_at, 140);
+        assert_eq!(c.stolen, 40);
+        let end = c.charge_compute(100, 10);
+        assert_eq!(end, 150, "compute queues behind stolen time");
+    }
+
+    #[test]
+    fn zero_tick_period_disables_tick_cost() {
+        let mut c = CoreState::new(CoreConfig {
+            tick_period: 0,
+            tick_cost: 10,
+        });
+        assert_eq!(c.charge_compute(0, 1000), 1000);
+    }
+}

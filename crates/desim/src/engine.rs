@@ -1,0 +1,1146 @@
+//! The event engine: virtual clock, event heap and effect dispatch.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cpu::{CoreConfig, CoreId, CoreState};
+use crate::iodev::{DevId, DeviceModel, DeviceState};
+use crate::lock::{LockId, LockKind, LockMode, LockState};
+use crate::process::{Effect, Pid, Process, WakeReason};
+use crate::time::{Ns, US};
+
+/// Identifier of a wait queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueId(pub u32);
+
+/// Identifier of a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BarrierId(pub u32);
+
+/// Identifier of an RCU domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RcuId(pub u32);
+
+/// Engine-wide latency parameters for the synchronization primitives.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineParams {
+    /// One-way IPI delivery latency.
+    pub ipi_latency: Ns,
+    /// Cache-line handoff cost when a spinlock passes between cores.
+    pub spin_handoff: Ns,
+    /// Scheduler wake-up latency added when a sleeping lock or wait queue
+    /// wakes a process.
+    pub sched_wakeup: Ns,
+    /// Cost charged when a barrier releases.
+    pub barrier_release: Ns,
+    /// Fixed component of an RCU grace period.
+    pub rcu_base: Ns,
+    /// Per-core component of an RCU grace period (each core in the domain
+    /// must pass a quiescent state).
+    pub rcu_per_core: Ns,
+    /// Uniform jitter added to each grace period.
+    pub rcu_jitter: Ns,
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        Self {
+            ipi_latency: 1_500,
+            spin_handoff: 150,
+            sched_wakeup: 2_500,
+            barrier_release: 300,
+            rcu_base: 8 * US,
+            rcu_per_core: 4 * US,
+            rcu_jitter: 30 * US,
+        }
+    }
+}
+
+/// One recorded measurement: processes call [`SimCtx::record`] and the
+/// harness interprets `key` (e.g. as a call-site index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Which process recorded the sample.
+    pub pid: Pid,
+    /// Caller-defined key (measurement site).
+    pub key: u64,
+    /// Virtual time of the record.
+    pub t: Ns,
+    /// The measured value (usually a latency in ns).
+    pub value: u64,
+}
+
+/// Error returned when the simulation cannot make progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Live processes remain but no events are pending: a lost wake-up or
+    /// lock cycle in the process implementations. Carries diagnostics.
+    Stalled {
+        /// Virtual time at the stall.
+        clock: Ns,
+        /// `(pid, label, blocked_on)` for every live, blocked process.
+        blocked: Vec<(Pid, String, String)>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled { clock, blocked } => {
+                writeln!(f, "simulation stalled at t={clock}ns; blocked processes:")?;
+                for (pid, label, on) in blocked {
+                    writeln!(f, "  pid {} ({label}) blocked on {on}", pid.0)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a completed run.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Final virtual clock value.
+    pub clock: Ns,
+    /// All samples recorded during the run, in record order.
+    pub records: Vec<Record>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Wake(Pid, WakeReason),
+    IpiAck(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    t: Ns,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct QueueState {
+    waiting: std::collections::VecDeque<Pid>,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    size: u32,
+    waiting: Vec<Pid>,
+}
+
+#[derive(Debug)]
+struct RcuDomain {
+    n_cores: u32,
+}
+
+#[derive(Debug)]
+struct IpiPending {
+    sender: Pid,
+    remaining: u32,
+}
+
+/// Mutable engine state shared with processes through [`SimCtx`].
+///
+/// Everything except the process table and the world lives here so that a
+/// resumed process can release locks, signal queues and record samples
+/// while the engine still holds its own `Box`.
+pub struct EngineState {
+    clock: Ns,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    cores: Vec<CoreState>,
+    locks: Vec<LockState>,
+    queues: Vec<QueueState>,
+    barriers: Vec<BarrierState>,
+    rcu: Vec<RcuDomain>,
+    devices: Vec<DeviceState>,
+    ipis: HashMap<u64, IpiPending>,
+    next_ipi: u64,
+    records: Vec<Record>,
+    params: EngineParams,
+    rng: StdRng,
+    proc_core: Vec<CoreId>,
+    proc_daemon: Vec<bool>,
+    live_users: usize,
+}
+
+impl EngineState {
+    fn schedule(&mut self, t: Ns, kind: EventKind) {
+        debug_assert!(t >= self.clock, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { t, seq, kind }));
+    }
+
+    fn wake_at(&mut self, t: Ns, pid: Pid, reason: WakeReason) {
+        self.schedule(t, EventKind::Wake(pid, reason));
+    }
+
+    /// Grants released-lock waiters: bookkeeping plus wake events.
+    fn grant(&mut self, lock: LockId, granted: Vec<(Pid, LockMode)>) {
+        let kind = self.locks[lock.index()].kind;
+        let delay = match kind {
+            LockKind::Spin => self.params.spin_handoff,
+            LockKind::Mutex | LockKind::RwLock => {
+                self.params.spin_handoff + self.params.sched_wakeup
+            }
+        };
+        for (pid, _mode) in granted {
+            if kind == LockKind::Spin {
+                let core = self.proc_core[pid.index()];
+                self.cores[core.index()].irq_depth += 1;
+            }
+            let t = self.clock + delay;
+            self.wake_at(t, pid, WakeReason::LockGranted(lock));
+        }
+    }
+
+    /// Releases `lock` on behalf of `pid`, waking any granted waiters and
+    /// flushing IPI acknowledgements deferred by a spin section.
+    fn do_release(&mut self, pid: Pid, lock: LockId) {
+        let kind = self.locks[lock.index()].kind;
+        if kind == LockKind::Spin {
+            let core = self.proc_core[pid.index()];
+            let cs = &mut self.cores[core.index()];
+            assert!(cs.irq_depth > 0, "spin unlock without irq section");
+            cs.irq_depth -= 1;
+            if cs.irq_depth == 0 && !cs.deferred_acks.is_empty() {
+                let acks = std::mem::take(&mut cs.deferred_acks);
+                let now = self.clock;
+                for (token, handler_ns) in acks {
+                    let done = self.cores[core.index()].steal(now, handler_ns);
+                    let t = done + self.params.ipi_latency;
+                    self.schedule(t, EventKind::IpiAck(token));
+                }
+            }
+        }
+        let granted = self.locks[lock.index()].release(pid);
+        self.grant(lock, granted);
+    }
+}
+
+/// Context handed to a process during `resume`: the shared world plus the
+/// engine services that never block.
+pub struct SimCtx<'a, W> {
+    /// The engine's world: shared mutable state visible to all processes.
+    pub world: &'a mut W,
+    st: &'a mut EngineState,
+    pid: Pid,
+}
+
+impl<'a, W> SimCtx<'a, W> {
+    /// Current virtual time.
+    pub fn now(&self) -> Ns {
+        self.st.clock
+    }
+
+    /// The resumed process's id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The core this process is bound to.
+    pub fn core(&self) -> CoreId {
+        self.st.proc_core[self.pid.index()]
+    }
+
+    /// The engine's deterministic RNG (shared; use for device-jitter-like
+    /// decisions — workload RNGs should live inside the process).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.st.rng
+    }
+
+    /// Releases a lock this process holds (or drops one reader reference).
+    /// Never blocks; granted waiters are woken via events.
+    pub fn release(&mut self, lock: LockId) {
+        self.st.do_release(self.pid, lock);
+    }
+
+    /// Wakes up to `n` processes sleeping on `queue`; returns how many were
+    /// woken. A signal with no sleepers is lost (condition-variable
+    /// semantics) — guard with world state.
+    pub fn signal(&mut self, queue: QueueId, n: usize) -> usize {
+        let mut woken = 0;
+        let t = self.st.clock + self.st.params.sched_wakeup;
+        while woken < n {
+            let Some(pid) = self.st.queues[queue.0 as usize].waiting.pop_front() else {
+                break;
+            };
+            self.st.wake_at(t, pid, WakeReason::Signaled(queue));
+            woken += 1;
+        }
+        woken
+    }
+
+    /// Records a measurement sample.
+    pub fn record(&mut self, key: u64, value: u64) {
+        let rec = Record {
+            pid: self.pid,
+            key,
+            t: self.st.clock,
+            value,
+        };
+        self.st.records.push(rec);
+    }
+
+    /// Number of processes currently sleeping on `queue`.
+    pub fn queue_len(&self, queue: QueueId) -> usize {
+        self.st.queues[queue.0 as usize].waiting.len()
+    }
+}
+
+struct ProcSlot<W> {
+    proc: Option<Box<dyn Process<W>>>,
+    done: bool,
+    blocked_on: &'static str,
+}
+
+/// The discrete-event engine. See the crate docs for the model.
+pub struct Engine<W> {
+    st: EngineState,
+    procs: Vec<ProcSlot<W>>,
+    world: W,
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine around `world`, seeded for determinism.
+    pub fn new(world: W, params: EngineParams, seed: u64) -> Self {
+        Self {
+            st: EngineState {
+                clock: 0,
+                seq: 0,
+                events: BinaryHeap::new(),
+                cores: Vec::new(),
+                locks: Vec::new(),
+                queues: Vec::new(),
+                barriers: Vec::new(),
+                rcu: Vec::new(),
+                devices: Vec::new(),
+                ipis: HashMap::new(),
+                next_ipi: 0,
+                records: Vec::new(),
+                params,
+                rng: StdRng::seed_from_u64(seed),
+                proc_core: Vec::new(),
+                proc_daemon: Vec::new(),
+                live_users: 0,
+            },
+            procs: Vec::new(),
+            world,
+        }
+    }
+
+    /// Registers a core; returns its id.
+    pub fn add_core(&mut self, cfg: CoreConfig) -> CoreId {
+        let id = CoreId(self.st.cores.len() as u32);
+        self.st.cores.push(CoreState::new(cfg));
+        id
+    }
+
+    /// Registers a lock; returns its id.
+    pub fn add_lock(&mut self, kind: LockKind, label: &'static str) -> LockId {
+        let id = LockId(self.st.locks.len() as u32);
+        self.st.locks.push(LockState::new(kind, label));
+        id
+    }
+
+    /// Registers a wait queue; returns its id.
+    pub fn add_queue(&mut self) -> QueueId {
+        let id = QueueId(self.st.queues.len() as u32);
+        self.st.queues.push(QueueState {
+            waiting: Default::default(),
+        });
+        id
+    }
+
+    /// Registers a barrier over `size` participants; returns its id.
+    pub fn add_barrier(&mut self, size: u32) -> BarrierId {
+        assert!(size > 0, "barrier size must be positive");
+        let id = BarrierId(self.st.barriers.len() as u32);
+        self.st.barriers.push(BarrierState {
+            size,
+            waiting: Vec::new(),
+        });
+        id
+    }
+
+    /// Registers an RCU domain spanning `n_cores` cores; returns its id.
+    pub fn add_rcu_domain(&mut self, n_cores: u32) -> RcuId {
+        let id = RcuId(self.st.rcu.len() as u32);
+        self.st.rcu.push(RcuDomain { n_cores });
+        id
+    }
+
+    /// Registers a block device; returns its id.
+    pub fn add_device(&mut self, model: DeviceModel) -> DevId {
+        let id = DevId(self.st.devices.len() as u32);
+        self.st.devices.push(DeviceState::new(model));
+        id
+    }
+
+    /// Spawns a process bound to `core`, first resumed at `start_at`.
+    pub fn spawn(&mut self, core: CoreId, proc: Box<dyn Process<W>>, start_at: Ns) -> Pid {
+        assert!(core.index() < self.st.cores.len(), "unknown core");
+        let pid = Pid(self.procs.len() as u32);
+        let daemon = proc.is_daemon();
+        self.procs.push(ProcSlot {
+            proc: Some(proc),
+            done: false,
+            blocked_on: "start",
+        });
+        self.st.proc_core.push(core);
+        self.st.proc_daemon.push(daemon);
+        if !daemon {
+            self.st.live_users += 1;
+        }
+        self.st.wake_at(start_at, pid, WakeReason::Start);
+        pid
+    }
+
+    /// Shared world accessor.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable world accessor (between runs / before start).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the engine and returns the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Ns {
+        self.st.clock
+    }
+
+    /// Total CPU time stolen from `core` by interrupt handlers.
+    pub fn stolen_time(&self, core: CoreId) -> Ns {
+        self.st.cores[core.index()].stolen
+    }
+
+    /// `(acquisitions, contended)` counters for a lock.
+    pub fn lock_stats(&self, lock: LockId) -> (u64, u64) {
+        let l = &self.st.locks[lock.index()];
+        (l.acquisitions, l.contended)
+    }
+
+    /// Iterates `(label, acquisitions, contended)` over every registered
+    /// lock — the raw material for contention attribution.
+    pub fn all_lock_stats(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.st
+            .locks
+            .iter()
+            .map(|l| (l.label, l.acquisitions, l.contended))
+    }
+
+    /// Runs to completion: until every non-daemon process is done.
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
+        self.run_until(Ns::MAX)
+    }
+
+    /// Runs until every non-daemon process is done or the clock passes
+    /// `deadline`, whichever comes first.
+    pub fn run_until(&mut self, deadline: Ns) -> Result<SimResult, SimError> {
+        while self.st.live_users > 0 {
+            let Some(Reverse(ev)) = self.st.events.pop() else {
+                return Err(self.stall_error());
+            };
+            if ev.t > deadline {
+                // Put it back so a later run_until can continue.
+                self.st.events.push(Reverse(ev));
+                break;
+            }
+            self.st.clock = ev.t;
+            match ev.kind {
+                EventKind::Wake(pid, reason) => self.run_process(pid, reason),
+                EventKind::IpiAck(token) => {
+                    let done = {
+                        let p = self
+                            .st
+                            .ipis
+                            .get_mut(&token)
+                            .expect("ack for unknown IPI token");
+                        p.remaining -= 1;
+                        p.remaining == 0
+                    };
+                    if done {
+                        let sender = self.st.ipis.remove(&token).unwrap().sender;
+                        self.run_process(sender, WakeReason::IpiDone);
+                    }
+                }
+            }
+        }
+        Ok(SimResult {
+            clock: self.st.clock,
+            records: std::mem::take(&mut self.st.records),
+        })
+    }
+
+    fn stall_error(&self) -> SimError {
+        let blocked = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.done)
+            .map(|(i, s)| {
+                let label = s
+                    .proc
+                    .as_ref()
+                    .map(|p| p.label().to_string())
+                    .unwrap_or_default();
+                (Pid(i as u32), label, s.blocked_on.to_string())
+            })
+            .collect();
+        SimError::Stalled {
+            clock: self.st.clock,
+            blocked,
+        }
+    }
+
+    fn run_process(&mut self, pid: Pid, mut wake: WakeReason) {
+        if self.procs[pid.index()].done {
+            return;
+        }
+        let mut proc = self.procs[pid.index()]
+            .proc
+            .take()
+            .expect("process resumed re-entrantly");
+        let core = self.st.proc_core[pid.index()];
+        loop {
+            let effect = {
+                let mut ctx = SimCtx {
+                    world: &mut self.world,
+                    st: &mut self.st,
+                    pid,
+                };
+                proc.resume(&mut ctx, wake)
+            };
+            let st = &mut self.st;
+            let now = st.clock;
+            match effect {
+                Effect::Delay(n) => {
+                    let end = st.cores[core.index()].charge_compute(now, n);
+                    st.wake_at(end, pid, WakeReason::Timer);
+                    self.procs[pid.index()].blocked_on = "delay";
+                    break;
+                }
+                Effect::Sleep(n) => {
+                    st.wake_at(now + n, pid, WakeReason::Timer);
+                    self.procs[pid.index()].blocked_on = "sleep";
+                    break;
+                }
+                Effect::Acquire(lock, mode) => {
+                    if st.locks[lock.index()].try_acquire(pid, mode) {
+                        if st.locks[lock.index()].kind == LockKind::Spin {
+                            st.cores[core.index()].irq_depth += 1;
+                        }
+                        wake = WakeReason::LockGranted(lock);
+                        continue;
+                    }
+                    st.locks[lock.index()].enqueue(pid, mode);
+                    self.procs[pid.index()].blocked_on = st.locks[lock.index()].label;
+                    break;
+                }
+                Effect::Ipi {
+                    targets,
+                    handler_ns,
+                } => {
+                    if targets.is_empty() {
+                        wake = WakeReason::IpiDone;
+                        continue;
+                    }
+                    let token = st.next_ipi;
+                    st.next_ipi += 1;
+                    st.ipis.insert(
+                        token,
+                        IpiPending {
+                            sender: pid,
+                            remaining: targets.len() as u32,
+                        },
+                    );
+                    for target in targets {
+                        debug_assert_ne!(target, core, "IPI to own core");
+                        let tc = &mut st.cores[target.index()];
+                        if tc.irq_depth > 0 {
+                            tc.deferred_acks.push((token, handler_ns));
+                        } else {
+                            let done = tc.steal(now, handler_ns);
+                            let t = done + st.params.ipi_latency;
+                            st.schedule(t, EventKind::IpiAck(token));
+                        }
+                    }
+                    self.procs[pid.index()].blocked_on = "ipi";
+                    break;
+                }
+                Effect::Io { dev, bytes } => {
+                    let jitter_max = st.devices[dev.index()].model.jitter;
+                    let jitter = if jitter_max == 0 {
+                        0
+                    } else {
+                        st.rng.gen_range(0..jitter_max)
+                    };
+                    let done = st.devices[dev.index()].submit(now, bytes, jitter);
+                    st.wake_at(done, pid, WakeReason::IoDone);
+                    self.procs[pid.index()].blocked_on = "io";
+                    break;
+                }
+                Effect::Barrier(b) => {
+                    let full = {
+                        let bs = &mut st.barriers[b.0 as usize];
+                        bs.waiting.push(pid);
+                        bs.waiting.len() as u32 == bs.size
+                    };
+                    if full {
+                        let release = now + st.params.barrier_release;
+                        let waiters =
+                            std::mem::take(&mut st.barriers[b.0 as usize].waiting);
+                        for w in waiters {
+                            st.wake_at(release, w, WakeReason::BarrierReleased);
+                        }
+                    }
+                    self.procs[pid.index()].blocked_on = "barrier";
+                    break;
+                }
+                Effect::Wait(q) => {
+                    st.queues[q.0 as usize].waiting.push_back(pid);
+                    self.procs[pid.index()].blocked_on = "queue";
+                    break;
+                }
+                Effect::RcuSync(r) => {
+                    let dom = &st.rcu[r.0 as usize];
+                    let gp = st.params.rcu_base
+                        + st.params.rcu_per_core * dom.n_cores as Ns;
+                    let jitter = if st.params.rcu_jitter == 0 {
+                        0
+                    } else {
+                        st.rng.gen_range(0..st.params.rcu_jitter)
+                    };
+                    st.wake_at(now + gp + jitter, pid, WakeReason::RcuDone);
+                    self.procs[pid.index()].blocked_on = "rcu";
+                    break;
+                }
+                Effect::Done => {
+                    self.procs[pid.index()].done = true;
+                    if !st.proc_daemon[pid.index()] {
+                        st.live_users -= 1;
+                    }
+                    break;
+                }
+            }
+        }
+        self.procs[pid.index()].proc = Some(proc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A process that runs a scripted list of effects.
+    struct Scripted {
+        effects: Vec<Effect>,
+        at: usize,
+        wakes: Vec<WakeReason>,
+        releases: Vec<(usize, LockId)>, // release lock before issuing effect #i
+        finish_time: std::rc::Rc<std::cell::Cell<Ns>>,
+    }
+
+    impl Scripted {
+        fn new(effects: Vec<Effect>) -> Self {
+            Self {
+                effects,
+                at: 0,
+                wakes: Vec::new(),
+                releases: Vec::new(),
+                finish_time: Default::default(),
+            }
+        }
+
+        fn with_release(mut self, before: usize, lock: LockId) -> Self {
+            self.releases.push((before, lock));
+            self
+        }
+
+        fn with_finish_probe(mut self, probe: std::rc::Rc<std::cell::Cell<Ns>>) -> Self {
+            self.finish_time = probe;
+            self
+        }
+    }
+
+    impl Process<()> for Scripted {
+        fn resume(&mut self, ctx: &mut SimCtx<'_, ()>, wake: WakeReason) -> Effect {
+            self.wakes.push(wake);
+            for &(before, lock) in &self.releases {
+                if before == self.at {
+                    ctx.release(lock);
+                }
+            }
+            if self.at >= self.effects.len() {
+                self.finish_time.set(ctx.now());
+                return Effect::Done;
+            }
+            let e = self.effects[self.at].clone();
+            self.at += 1;
+            e
+        }
+    }
+
+    fn engine() -> Engine<()> {
+        Engine::new((), EngineParams::default(), 42)
+    }
+
+    #[test]
+    fn delay_advances_clock() {
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let probe = std::rc::Rc::new(std::cell::Cell::new(0));
+        eng.spawn(
+            c,
+            Box::new(
+                Scripted::new(vec![Effect::Delay(100), Effect::Delay(50)])
+                    .with_finish_probe(probe.clone()),
+            ),
+            0,
+        );
+        let res = eng.run().unwrap();
+        assert_eq!(res.clock, 150);
+        assert_eq!(probe.get(), 150);
+    }
+
+    #[test]
+    fn two_processes_on_one_core_serialize() {
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let p1 = std::rc::Rc::new(std::cell::Cell::new(0));
+        let p2 = std::rc::Rc::new(std::cell::Cell::new(0));
+        eng.spawn(
+            c,
+            Box::new(Scripted::new(vec![Effect::Delay(100)]).with_finish_probe(p1.clone())),
+            0,
+        );
+        eng.spawn(
+            c,
+            Box::new(Scripted::new(vec![Effect::Delay(100)]).with_finish_probe(p2.clone())),
+            0,
+        );
+        eng.run().unwrap();
+        assert_eq!(p1.get(), 100);
+        assert_eq!(p2.get(), 200, "second process queues on the core");
+    }
+
+    #[test]
+    fn sleep_does_not_occupy_core() {
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let p1 = std::rc::Rc::new(std::cell::Cell::new(0));
+        let p2 = std::rc::Rc::new(std::cell::Cell::new(0));
+        eng.spawn(
+            c,
+            Box::new(Scripted::new(vec![Effect::Sleep(100)]).with_finish_probe(p1.clone())),
+            0,
+        );
+        eng.spawn(
+            c,
+            Box::new(Scripted::new(vec![Effect::Delay(100)]).with_finish_probe(p2.clone())),
+            0,
+        );
+        eng.run().unwrap();
+        assert_eq!(p1.get(), 100);
+        assert_eq!(p2.get(), 100, "sleeping process leaves the core free");
+    }
+
+    #[test]
+    fn lock_contention_queues_fifo() {
+        let mut eng = engine();
+        let c0 = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let c1 = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let l = eng.add_lock(LockKind::Spin, "test");
+        let p1 = std::rc::Rc::new(std::cell::Cell::new(0));
+        let p2 = std::rc::Rc::new(std::cell::Cell::new(0));
+        // Holder: acquire, hold for 1000ns, release, done.
+        eng.spawn(
+            c0,
+            Box::new(
+                Scripted::new(vec![
+                    Effect::Acquire(l, LockMode::Exclusive),
+                    Effect::Delay(1000),
+                ])
+                .with_release(2, l)
+                .with_finish_probe(p1.clone()),
+            ),
+            0,
+        );
+        // Waiter arrives at t=10.
+        eng.spawn(
+            c1,
+            Box::new(
+                Scripted::new(vec![
+                    Effect::Acquire(l, LockMode::Exclusive),
+                    Effect::Delay(10),
+                ])
+                .with_release(2, l)
+                .with_finish_probe(p2.clone()),
+            ),
+            10,
+        );
+        eng.run().unwrap();
+        assert_eq!(p1.get(), 1000);
+        // Waiter granted at 1000 + spin_handoff, then 10ns work.
+        let expected = 1000 + EngineParams::default().spin_handoff + 10;
+        assert_eq!(p2.get(), expected);
+        let (acq, cont) = eng.lock_stats(l);
+        assert_eq!(acq, 2);
+        assert_eq!(cont, 1);
+    }
+
+    #[test]
+    fn ipi_defers_while_spinlock_held() {
+        let params = EngineParams::default();
+        let mut eng = engine();
+        let c0 = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let c1 = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let l = eng.add_lock(LockKind::Spin, "irqsection");
+        // Target holds a spinlock (irqs off) from t=0 to t=5000.
+        eng.spawn(
+            c1,
+            Box::new(
+                Scripted::new(vec![
+                    Effect::Acquire(l, LockMode::Exclusive),
+                    Effect::Delay(5000),
+                ])
+                .with_release(2, l),
+            ),
+            0,
+        );
+        // Sender broadcasts at t=100 with a 200ns handler.
+        let probe = std::rc::Rc::new(std::cell::Cell::new(0));
+        eng.spawn(
+            c0,
+            Box::new(
+                Scripted::new(vec![Effect::Ipi {
+                    targets: vec![c1],
+                    handler_ns: 200,
+                }])
+                .with_finish_probe(probe.clone()),
+            ),
+            100,
+        );
+        eng.run().unwrap();
+        // Ack can only happen after the spin section ends at t=5000.
+        let expected_min = 5000 + params.ipi_latency + 200;
+        assert!(
+            probe.get() >= expected_min,
+            "ipi completed at {} < {}",
+            probe.get(),
+            expected_min
+        );
+    }
+
+    #[test]
+    fn ipi_with_no_targets_completes_immediately() {
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig::default());
+        let probe = std::rc::Rc::new(std::cell::Cell::new(99));
+        eng.spawn(
+            c,
+            Box::new(
+                Scripted::new(vec![Effect::Ipi {
+                    targets: vec![],
+                    handler_ns: 500,
+                }])
+                .with_finish_probe(probe.clone()),
+            ),
+            0,
+        );
+        eng.run().unwrap();
+        assert_eq!(probe.get(), 0);
+    }
+
+    #[test]
+    fn barrier_releases_all_participants_together() {
+        let mut eng = engine();
+        let mut probes = Vec::new();
+        for i in 0..4u64 {
+            let c = eng.add_core(CoreConfig {
+                tick_period: 0,
+                tick_cost: 0,
+            });
+            let p = std::rc::Rc::new(std::cell::Cell::new(0));
+            probes.push(p.clone());
+            let b = BarrierId(0);
+            // Register barrier lazily below; spawn with staggered arrival.
+            eng.spawn(
+                c,
+                Box::new(
+                    Scripted::new(vec![Effect::Delay(i * 100), Effect::Barrier(b)])
+                        .with_finish_probe(p),
+                ),
+                0,
+            );
+        }
+        eng.add_barrier(4);
+        eng.run().unwrap();
+        let expected = 300 + EngineParams::default().barrier_release;
+        for p in probes {
+            assert_eq!(p.get(), expected);
+        }
+    }
+
+    #[test]
+    fn wait_and_signal_roundtrip() {
+        struct Waiter {
+            q: QueueId,
+            started: bool,
+            probe: std::rc::Rc<std::cell::Cell<Ns>>,
+        }
+        impl Process<()> for Waiter {
+            fn resume(&mut self, ctx: &mut SimCtx<'_, ()>, _wake: WakeReason) -> Effect {
+                if !self.started {
+                    self.started = true;
+                    Effect::Wait(self.q)
+                } else {
+                    self.probe.set(ctx.now());
+                    Effect::Done
+                }
+            }
+        }
+        struct Signaler {
+            q: QueueId,
+            step: u32,
+        }
+        impl Process<()> for Signaler {
+            fn resume(&mut self, ctx: &mut SimCtx<'_, ()>, _wake: WakeReason) -> Effect {
+                self.step += 1;
+                match self.step {
+                    1 => Effect::Sleep(1000),
+                    2 => {
+                        assert_eq!(ctx.signal(self.q, 4), 1, "one waiter present");
+                        Effect::Done
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig::default());
+        let q = eng.add_queue();
+        let probe = std::rc::Rc::new(std::cell::Cell::new(0));
+        eng.spawn(
+            c,
+            Box::new(Waiter {
+                q,
+                started: false,
+                probe: probe.clone(),
+            }),
+            0,
+        );
+        eng.spawn(c, Box::new(Signaler { q, step: 0 }), 0);
+        eng.run().unwrap();
+        assert_eq!(probe.get(), 1000 + EngineParams::default().sched_wakeup);
+    }
+
+    #[test]
+    fn stall_is_reported_with_diagnostics() {
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig::default());
+        let q = eng.add_queue();
+        eng.spawn(c, Box::new(Scripted::new(vec![Effect::Wait(q)])), 0);
+        let err = eng.run().unwrap_err();
+        match err {
+            SimError::Stalled { blocked, .. } => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].2, "queue");
+            }
+        }
+    }
+
+    #[test]
+    fn rcu_sync_scales_with_domain_size() {
+        let mut eng = Engine::new(
+            (),
+            EngineParams {
+                rcu_jitter: 0,
+                ..EngineParams::default()
+            },
+            1,
+        );
+        let c = eng.add_core(CoreConfig::default());
+        let small = eng.add_rcu_domain(1);
+        let large = eng.add_rcu_domain(64);
+        let p_small = std::rc::Rc::new(std::cell::Cell::new(0));
+        let p_large = std::rc::Rc::new(std::cell::Cell::new(0));
+        eng.spawn(
+            c,
+            Box::new(Scripted::new(vec![Effect::RcuSync(small)]).with_finish_probe(p_small.clone())),
+            0,
+        );
+        eng.spawn(
+            c,
+            Box::new(Scripted::new(vec![Effect::RcuSync(large)]).with_finish_probe(p_large.clone())),
+            0,
+        );
+        eng.run().unwrap();
+        assert!(p_large.get() > p_small.get());
+        let params = EngineParams::default();
+        assert_eq!(p_small.get(), params.rcu_base + params.rcu_per_core);
+        assert_eq!(p_large.get(), params.rcu_base + 64 * params.rcu_per_core);
+    }
+
+    #[test]
+    fn io_requests_queue_on_device() {
+        let mut eng = engine();
+        let c0 = eng.add_core(CoreConfig::default());
+        let c1 = eng.add_core(CoreConfig::default());
+        let dev = eng.add_device(DeviceModel {
+            base: 1000,
+            fs_per_byte: 0,
+            jitter: 0,
+            channels: 1,
+        });
+        let p1 = std::rc::Rc::new(std::cell::Cell::new(0));
+        let p2 = std::rc::Rc::new(std::cell::Cell::new(0));
+        eng.spawn(
+            c0,
+            Box::new(
+                Scripted::new(vec![Effect::Io { dev, bytes: 0 }]).with_finish_probe(p1.clone()),
+            ),
+            0,
+        );
+        eng.spawn(
+            c1,
+            Box::new(
+                Scripted::new(vec![Effect::Io { dev, bytes: 0 }]).with_finish_probe(p2.clone()),
+            ),
+            0,
+        );
+        eng.run().unwrap();
+        assert_eq!(p1.get(), 1000);
+        assert_eq!(p2.get(), 2000);
+    }
+
+    #[test]
+    fn records_are_collected_in_order() {
+        struct Recorder;
+        impl Process<()> for Recorder {
+            fn resume(&mut self, ctx: &mut SimCtx<'_, ()>, _w: WakeReason) -> Effect {
+                ctx.record(7, 111);
+                ctx.record(8, 222);
+                Effect::Done
+            }
+        }
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig::default());
+        eng.spawn(c, Box::new(Recorder), 5);
+        let res = eng.run().unwrap();
+        assert_eq!(res.records.len(), 2);
+        assert_eq!(res.records[0].key, 7);
+        assert_eq!(res.records[0].value, 111);
+        assert_eq!(res.records[0].t, 5);
+        assert_eq!(res.records[1].key, 8);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        fn run_once(seed: u64) -> Ns {
+            let mut eng = Engine::new((), EngineParams::default(), seed);
+            let c = eng.add_core(CoreConfig::default());
+            let dev = eng.add_device(DeviceModel::nvme_ssd());
+            let mut script = Vec::new();
+            for _ in 0..20 {
+                script.push(Effect::Io { dev, bytes: 4096 });
+                script.push(Effect::Delay(500));
+            }
+            eng.spawn(c, Box::new(Scripted::new(script)), 0);
+            eng.run().unwrap().clock
+        }
+        assert_eq!(run_once(7), run_once(7));
+        assert_ne!(run_once(7), run_once(8), "different seeds draw different jitter");
+    }
+
+    #[test]
+    fn daemon_does_not_keep_engine_alive() {
+        struct Daemon;
+        impl Process<()> for Daemon {
+            fn resume(&mut self, _ctx: &mut SimCtx<'_, ()>, _w: WakeReason) -> Effect {
+                Effect::Sleep(1000)
+            }
+            fn is_daemon(&self) -> bool {
+                true
+            }
+        }
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig::default());
+        eng.spawn(c, Box::new(Daemon), 0);
+        eng.spawn(c, Box::new(Scripted::new(vec![Effect::Delay(10_000)])), 0);
+        let res = eng.run().unwrap();
+        // Engine stops when the user process finishes, not at the daemon's
+        // endless sleeps.
+        assert!(res.clock >= 10_000 && res.clock < 20_000, "clock={}", res.clock);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_resumes() {
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        eng.spawn(
+            c,
+            Box::new(Scripted::new(vec![
+                Effect::Delay(1000),
+                Effect::Delay(1000),
+                Effect::Delay(1000),
+            ])),
+            0,
+        );
+        eng.run_until(1500).unwrap();
+        assert!(eng.now() <= 1500);
+        let res = eng.run().unwrap();
+        assert_eq!(res.clock, 3000);
+    }
+}

@@ -1,0 +1,22 @@
+//! Virtual time units.
+
+/// Virtual time in nanoseconds. The whole workspace shares this unit.
+pub type Ns = u64;
+
+/// Nanoseconds per microsecond.
+pub const US: Ns = 1_000;
+/// Nanoseconds per millisecond.
+pub const MS: Ns = 1_000_000;
+/// Nanoseconds per second.
+pub const SEC: Ns = 1_000_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_compose() {
+        assert_eq!(MS, 1000 * US);
+        assert_eq!(SEC, 1000 * MS);
+    }
+}

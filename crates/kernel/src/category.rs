@@ -1,0 +1,75 @@
+//! System-call categories (Section 5 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Broad purpose of a system call. The paper assigns each call one or more
+/// categories; Figure 2 is organized by these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// (a) Process management and scheduling.
+    ProcessSched,
+    /// (b) Memory management.
+    Memory,
+    /// (c) File I/O (data path).
+    FileIo,
+    /// (d) Filesystem management (metadata path).
+    Filesystem,
+    /// (e) Inter-process communication.
+    Ipc,
+    /// (f) Permission / capabilities management.
+    Permissions,
+}
+
+impl Category {
+    /// All categories, in the paper's subfigure order.
+    pub const ALL: [Category; 6] = [
+        Category::ProcessSched,
+        Category::Memory,
+        Category::FileIo,
+        Category::Filesystem,
+        Category::Ipc,
+        Category::Permissions,
+    ];
+
+    /// Subfigure letter in Figure 2.
+    pub fn letter(self) -> char {
+        match self {
+            Category::ProcessSched => 'a',
+            Category::Memory => 'b',
+            Category::FileIo => 'c',
+            Category::Filesystem => 'd',
+            Category::Ipc => 'e',
+            Category::Permissions => 'f',
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::ProcessSched => "process mgmt/scheduling",
+            Category::Memory => "memory management",
+            Category::FileIo => "file I/O",
+            Category::Filesystem => "filesystem management",
+            Category::Ipc => "inter-process communication",
+            Category::Permissions => "permissions/capabilities",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_categories_with_unique_letters() {
+        let letters: std::collections::HashSet<char> =
+            Category::ALL.iter().map(|c| c.letter()).collect();
+        assert_eq!(letters.len(), 6);
+    }
+}

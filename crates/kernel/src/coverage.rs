@@ -1,0 +1,221 @@
+//! Basic-block coverage instrumentation.
+//!
+//! Handlers tag every distinct code path with a static string (e.g.
+//! `"mmap.anon"` or `"write.throttled"`). Strings are interned once into
+//! dense [`BlockId`]s through a global registry, and each execution records
+//! the blocks it traversed into a [`CoverageSet`]. The coverage-guided
+//! generator keeps a program only if it reaches blocks no earlier program
+//! reached — the same feedback signal Syzkaller extracts from KCOV.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Dense id of one instrumented kernel code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+struct Registry {
+    by_name: HashMap<&'static str, BlockId>,
+    names: Vec<&'static str>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| {
+        Mutex::new(Registry {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// Interns a block name; the same name always maps to the same id within
+/// a process.
+pub fn block(name: &'static str) -> BlockId {
+    let mut reg = registry().lock().unwrap();
+    if let Some(&id) = reg.by_name.get(name) {
+        return id;
+    }
+    let id = BlockId(reg.names.len() as u32);
+    reg.names.push(name);
+    reg.by_name.insert(name, id);
+    id
+}
+
+/// Reverse lookup for diagnostics.
+pub fn block_name(id: BlockId) -> &'static str {
+    registry().lock().unwrap().names[id.0 as usize]
+}
+
+/// Interns a parameterized block, e.g. `("io.read.size", 3)` →
+/// `io.read.size#3`. Handlers use this for argument-dependent paths
+/// (size classes, depth classes), giving the generator a finer coverage
+/// signal — the analogue of distinct basic blocks inside `switch`es and
+/// size-dependent loops. Names are leaked once per distinct pair.
+pub fn block_bucketed(name: &'static str, bucket: u32) -> BlockId {
+    let mut reg = registry().lock().unwrap();
+    let key = format!("{name}#{bucket}");
+    if let Some(&id) = reg.by_name.get(key.as_str()) {
+        return id;
+    }
+    let leaked: &'static str = Box::leak(key.into_boxed_str());
+    let id = BlockId(reg.names.len() as u32);
+    reg.names.push(leaked);
+    reg.by_name.insert(leaked, id);
+    id
+}
+
+/// Number of distinct blocks interned so far.
+pub fn block_universe() -> usize {
+    registry().lock().unwrap().names.len()
+}
+
+/// A set of covered blocks, implemented as a growable bitmap.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageSet {
+    bits: Vec<u64>,
+    count: usize,
+}
+
+impl CoverageSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a block; returns `true` when it was new.
+    pub fn insert(&mut self, id: BlockId) -> bool {
+        let (word, bit) = (id.0 as usize / 64, id.0 as usize % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask != 0 {
+            return false;
+        }
+        self.bits[word] |= mask;
+        self.count += 1;
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: BlockId) -> bool {
+        let (word, bit) = (id.0 as usize / 64, id.0 as usize % 64);
+        self.bits.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of covered blocks.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Counts blocks in `other` not present in `self`.
+    pub fn new_blocks(&self, other: &CoverageSet) -> usize {
+        let mut n = 0;
+        for (i, &w) in other.bits.iter().enumerate() {
+            let mine = self.bits.get(i).copied().unwrap_or(0);
+            n += (w & !mine).count_ones() as usize;
+        }
+        n
+    }
+
+    /// Merges `other` into `self`; returns how many blocks were new.
+    pub fn merge(&mut self, other: &CoverageSet) -> usize {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        let mut added = 0;
+        for (i, &w) in other.bits.iter().enumerate() {
+            let newbits = w & !self.bits[i];
+            added += newbits.count_ones() as usize;
+            self.bits[i] |= w;
+        }
+        self.count += added;
+        added
+    }
+
+    /// Iterates over covered block ids.
+    pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(i, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| BlockId((i * 64 + b) as u32))
+        })
+    }
+
+    /// Removes all blocks.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = block("cov.test.alpha");
+        let b = block("cov.test.beta");
+        assert_ne!(a, b);
+        assert_eq!(block("cov.test.alpha"), a);
+        assert_eq!(block_name(a), "cov.test.alpha");
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = CoverageSet::new();
+        let a = block("cov.test.i1");
+        assert!(!s.contains(a));
+        assert!(s.insert(a));
+        assert!(!s.insert(a), "second insert is not new");
+        assert!(s.contains(a));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn merge_counts_new_blocks() {
+        let a = block("cov.test.m1");
+        let b = block("cov.test.m2");
+        let c = block("cov.test.m3");
+        let mut base = CoverageSet::new();
+        base.insert(a);
+        let mut other = CoverageSet::new();
+        other.insert(a);
+        other.insert(b);
+        other.insert(c);
+        assert_eq!(base.new_blocks(&other), 2);
+        assert_eq!(base.merge(&other), 2);
+        assert_eq!(base.len(), 3);
+        assert_eq!(base.new_blocks(&other), 0);
+    }
+
+    #[test]
+    fn iter_roundtrips() {
+        let ids = [block("cov.test.r1"), block("cov.test.r2"), block("cov.test.r3")];
+        let mut s = CoverageSet::new();
+        for &i in &ids {
+            s.insert(i);
+        }
+        let got: Vec<BlockId> = s.iter().collect();
+        assert_eq!(got.len(), 3);
+        for &i in &ids {
+            assert!(got.contains(&i));
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = CoverageSet::new();
+        s.insert(block("cov.test.c1"));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

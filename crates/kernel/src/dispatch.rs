@@ -1,0 +1,400 @@
+//! Syscall dispatch: compiles one call into micro-ops.
+//!
+//! [`dispatch`] wraps the subsystem handlers with the costs every call
+//! pays (syscall entry/exit) and the per-tenancy extras (container
+//! namespace hops, cgroup accounting), then routes by syscall number.
+//!
+//! Handlers receive an [`HCtx`]: the instance, the calling slot, an RNG, a
+//! coverage sink and the op sequence under construction, plus helper
+//! methods for the recurring kernel patterns (page allocation with
+//! per-CPU magazines and direct reclaim, slab allocation, path walks).
+
+use ksa_desim::{LockId, LockMode, Ns};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::category::Category;
+use crate::coverage::{block, CoverageSet};
+use crate::instance::KernelInstance;
+use crate::ops::{KOp, OpSeq};
+use crate::state::NAMES_PER_SLOT;
+use crate::subsystems;
+use crate::syscalls::SysNo;
+
+/// Handler context: everything a syscall handler needs while compiling a
+/// call into micro-ops.
+pub struct HCtx<'a> {
+    /// The kernel instance serving the call.
+    pub k: &'a mut KernelInstance,
+    /// Slot (per-core app process) issuing the call.
+    pub slot: usize,
+    /// Workload RNG (deterministic, owned by the executor).
+    pub rng: &'a mut SmallRng,
+    /// Coverage sink for this execution.
+    pub cover: &'a mut CoverageSet,
+    /// The op sequence under construction.
+    pub seq: OpSeq,
+}
+
+impl<'a> HCtx<'a> {
+    /// Records coverage of a named kernel path.
+    pub fn cover(&mut self, name: &'static str) {
+        let id = block(name);
+        self.cover.insert(id);
+        self.k.coverage.insert(id);
+    }
+
+    /// Records coverage of a parameterized path (size/depth classes —
+    /// the analogue of basic blocks inside size-dependent code).
+    pub fn cover_bucket(&mut self, name: &'static str, bucket: u32) {
+        let id = crate::coverage::block_bucketed(name, bucket);
+        self.cover.insert(id);
+        self.k.coverage.insert(id);
+    }
+
+    /// Log2 size class helper for bucketed coverage.
+    pub fn size_class(v: u64) -> u32 {
+        64 - v.max(1).leading_zeros()
+    }
+
+    /// Plain kernel CPU work.
+    pub fn cpu(&mut self, ns: Ns) {
+        self.seq.cpu(ns);
+    }
+
+    /// Memory-touching CPU work (EPT-sensitive under virtualization).
+    pub fn mem(&mut self, ns: Ns) {
+        self.seq.mem(ns);
+    }
+
+    /// Pushes a raw op.
+    pub fn push(&mut self, op: KOp) {
+        self.seq.push(op);
+    }
+
+    /// Exclusive lock acquire.
+    pub fn lock(&mut self, l: LockId) {
+        self.seq.push(KOp::Lock(l, LockMode::Exclusive));
+    }
+
+    /// Shared (reader) lock acquire.
+    pub fn rlock(&mut self, l: LockId) {
+        self.seq.push(KOp::Lock(l, LockMode::Shared));
+    }
+
+    /// Lock release.
+    pub fn unlock(&mut self, l: LockId) {
+        self.seq.push(KOp::Unlock(l));
+    }
+
+    /// Cost-model accessor (copy, so no borrow conflicts).
+    pub fn cost(&self) -> crate::params::CostModel {
+        self.k.cost
+    }
+
+    /// Allocates `pages` pages: per-CPU magazine fast path, zone-locked
+    /// refill, and direct reclaim when the instance is under memory
+    /// pressure (the paper's surface-scaled allocation stall).
+    pub fn alloc_pages(&mut self, pages: u64) {
+        let cost = self.cost();
+        let slot = self.slot;
+        if pages == 0 {
+            return;
+        }
+        // Fast path: per-CPU page lists.
+        let pcp = self.k.state.slots[slot].pcp_pages;
+        if pages <= pcp {
+            self.cover("mm.alloc.pcp");
+            self.k.state.slots[slot].pcp_pages -= pages;
+            self.cpu(40 * pages.min(16));
+        } else {
+            // Refill from the buddy allocator under the zone lock.
+            self.cover("mm.alloc.zone_refill");
+            let zone = self.k.locks.zone;
+            let batch = pages + 128;
+            self.lock(zone);
+            self.cpu(cost.zone_refill + 25 * pages);
+            self.unlock(zone);
+            self.k.state.slots[slot].pcp_pages = 128;
+            let mm = &mut self.k.state.mm;
+            mm.free_pages = mm.free_pages.saturating_sub(batch);
+        }
+        // Direct reclaim when free memory dips under the watermark.
+        let low = self.k.state.mm.low_watermark(cost.min_free_pct);
+        if self.k.state.mm.free_pages < low {
+            self.cover("mm.alloc.direct_reclaim");
+            let scan = (self.k.state.mm.lru_pages / 8).clamp(32, 16_384);
+            let lru = self.k.locks.lru;
+            self.lock(lru);
+            self.cpu(cost.lru_scan_per_page * scan);
+            self.unlock(lru);
+            let mm = &mut self.k.state.mm;
+            mm.free_pages += scan / 2;
+            mm.lru_pages = mm.lru_pages.saturating_sub(scan / 2);
+        }
+    }
+
+    /// Returns `pages` pages to the allocator (per-CPU list; spills to the
+    /// zone under its lock).
+    pub fn free_pages(&mut self, pages: u64) {
+        let slot = self.slot;
+        self.k.state.slots[slot].pcp_pages += pages;
+        if self.k.state.slots[slot].pcp_pages > 512 {
+            self.cover("mm.free.zone_spill");
+            let spill = self.k.state.slots[slot].pcp_pages - 128;
+            let zone = self.k.locks.zone;
+            let cost = self.cost();
+            self.lock(zone);
+            self.cpu(cost.zone_refill / 2 + 10 * spill.min(256));
+            self.unlock(zone);
+            self.k.state.slots[slot].pcp_pages = 128;
+            self.k.state.mm.free_pages += spill;
+        } else {
+            self.cpu(20 * pages.min(16));
+        }
+    }
+
+    /// Allocates `objs` slab objects (dentries, inodes, cred structs):
+    /// per-CPU magazine fast path, depot-locked refill.
+    pub fn slab_alloc(&mut self, objs: u64) {
+        let cost = self.cost();
+        let slot = self.slot;
+        let have = self.k.state.slots[slot].slab_objs;
+        if objs <= have {
+            self.cover("mm.slab.fast");
+            self.k.state.slots[slot].slab_objs -= objs;
+            self.cpu(cost.slab_fast * objs.min(8));
+        } else {
+            self.cover("mm.slab.depot");
+            let depot = self.k.locks.slab_depot;
+            self.lock(depot);
+            self.cpu(cost.slab_refill);
+            self.unlock(depot);
+            self.k.state.slots[slot].slab_objs = 256;
+        }
+    }
+
+    /// Walks a path of `depth` components. `cached` says whether the
+    /// terminal dentry is resident: the RCU fast path costs per-component
+    /// work plus hash-chain pressure from the *shared* dcache; a cold
+    /// terminal pays the dcache-locked insert and an inode read.
+    pub fn path_walk(&mut self, depth: u32, cached: bool) {
+        let cost = self.cost();
+        let depth = depth + self.k.tenancy.ns_depth;
+        let chain = cost.dentry_chain_per_1k * (self.k.state.fs.dentries / 1000);
+        self.cover("fs.path_walk");
+        self.cpu((cost.dentry_hop + chain) * depth as Ns);
+        if !cached {
+            self.cover("fs.path_walk.cold");
+            self.slab_alloc(2); // dentry + inode
+            let dcache = self.k.locks.dcache;
+            self.lock(dcache);
+            self.cpu(cost.dentry_insert);
+            self.unlock(dcache);
+            let sb = self.k.locks.inode_sb;
+            self.lock(sb);
+            self.cpu(cost.inode_read_cpu);
+            self.unlock(sb);
+            self.push(KOp::Io {
+                bytes: 4096,
+                write: false,
+            });
+            self.k.state.fs.dentries += 1;
+        }
+    }
+
+    /// cgroup charge bookkeeping for memory/I/O in containerized
+    /// instances: every `cgroup_flush_every` charges, per-CPU stat deltas
+    /// flush into the shared hierarchy under the cgroup lock, with cost
+    /// proportional to the number of containers (Table 3's mechanism).
+    pub fn cgroup_charge(&mut self) {
+        if self.k.tenancy.containers == 0 {
+            return;
+        }
+        self.cover("cgroup.charge");
+        self.cpu(60);
+        self.k.state.tenancy.charges_since_flush += 1;
+        if self.k.state.tenancy.charges_since_flush >= self.k.tenancy.cgroup_flush_every {
+            self.cover("cgroup.stat_flush");
+            self.k.state.tenancy.charges_since_flush = 0;
+            let lock = self.k.locks.cgroup;
+            let work = 400 + 90 * self.k.tenancy.containers as Ns;
+            self.lock(lock);
+            self.cpu(work);
+            self.unlock(lock);
+        }
+    }
+
+    /// Resolves an argument to one of this slot's open fds (Syzkaller-
+    /// style: arguments are coerced into mostly-valid resources).
+    /// Returns `None` when the slot has no usable descriptor.
+    pub fn pick_fd(&self, raw: u64) -> Option<usize> {
+        let fds = &self.k.state.slots[self.slot].fds;
+        if fds.is_empty() {
+            return None;
+        }
+        let start = (raw as usize) % fds.len();
+        (0..fds.len())
+            .map(|i| (start + i) % fds.len())
+            .find(|&i| !matches!(fds[i].kind, crate::state::FdKind::Closed))
+    }
+
+    /// Resolves an argument to one of this slot's mapped VMAs.
+    pub fn pick_vma(&self, raw: u64) -> Option<usize> {
+        let vmas = &self.k.state.slots[self.slot].vmas;
+        if vmas.is_empty() {
+            return None;
+        }
+        let start = (raw as usize) % vmas.len();
+        (0..vmas.len())
+            .map(|i| (start + i) % vmas.len())
+            .find(|&i| vmas[i].mapped)
+    }
+
+    /// Maps a path selector into this slot's name table index.
+    pub fn name_index(&self, raw: u64) -> usize {
+        raw as usize % NAMES_PER_SLOT
+    }
+
+    /// Uniform random in `[lo, hi)` from the workload RNG.
+    pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            lo
+        } else {
+            self.rng.gen_range(lo..hi)
+        }
+    }
+}
+
+/// Compiles `call` (with pre-resolved `args`) into an op sequence on
+/// instance `k`, slot `slot`. Coverage goes to `cover` and cumulatively
+/// to the instance.
+pub fn dispatch(
+    k: &mut KernelInstance,
+    slot: usize,
+    no: SysNo,
+    args: &[u64],
+    rng: &mut SmallRng,
+    cover: &mut CoverageSet,
+) -> OpSeq {
+    let mut h = HCtx {
+        k,
+        slot,
+        rng,
+        cover,
+        seq: OpSeq::new(),
+    };
+    let a = |i: usize| args.get(i).copied().unwrap_or(0);
+
+    h.k.syscalls += 1;
+    h.cpu(h.cost().syscall_entry);
+    // Bounded guest-side overhead every virtualized syscall pays.
+    let virt_overhead = h.k.virt.syscall_overhead;
+    if virt_overhead > 0 {
+        h.cpu(virt_overhead);
+    }
+
+    // Container tenancy: cgroup accounting on resource-consuming classes.
+    let cats = no.categories();
+    if cats.contains(&Category::Memory) || cats.contains(&Category::FileIo) {
+        h.cgroup_charge();
+    }
+
+    match no {
+        // (a) process management / scheduling
+        SysNo::Getpid => subsystems::sched::sys_getpid(&mut h),
+        SysNo::SchedYield => subsystems::sched::sys_sched_yield(&mut h),
+        SysNo::Clone => subsystems::sched::sys_clone(&mut h, a(0)),
+        SysNo::Wait4 => subsystems::sched::sys_wait4(&mut h, a(0)),
+        SysNo::Kill => subsystems::sched::sys_kill(&mut h, a(0), a(1)),
+        SysNo::SchedSetaffinity => subsystems::sched::sys_sched_setaffinity(&mut h, a(0)),
+        SysNo::SchedGetparam => subsystems::sched::sys_sched_getparam(&mut h),
+        SysNo::Setpriority => subsystems::sched::sys_setpriority(&mut h, a(0)),
+        SysNo::Nanosleep => subsystems::sched::sys_nanosleep(&mut h, a(0)),
+        SysNo::Getrusage => subsystems::sched::sys_getrusage(&mut h),
+
+        // (b) memory management
+        SysNo::Mmap => subsystems::mm::sys_mmap(&mut h, a(0), a(1)),
+        SysNo::Munmap => subsystems::mm::sys_munmap(&mut h, a(0)),
+        SysNo::Mprotect => subsystems::mm::sys_mprotect(&mut h, a(0)),
+        SysNo::Madvise => subsystems::mm::sys_madvise(&mut h, a(0), a(1)),
+        SysNo::Brk => subsystems::mm::sys_brk(&mut h, a(0)),
+        SysNo::Mremap => subsystems::mm::sys_mremap(&mut h, a(0), a(1)),
+        SysNo::Mlock => subsystems::mm::sys_mlock(&mut h, a(0)),
+        SysNo::Munlock => subsystems::mm::sys_munlock(&mut h, a(0)),
+        SysNo::Msync => subsystems::mm::sys_msync(&mut h, a(0)),
+        SysNo::Mincore => subsystems::mm::sys_mincore(&mut h, a(0)),
+
+        // (c) file I/O
+        SysNo::Read => subsystems::fileio::sys_read(&mut h, a(0), a(1), false),
+        SysNo::Write => subsystems::fileio::sys_write(&mut h, a(0), a(1), false),
+        SysNo::Pread => subsystems::fileio::sys_read(&mut h, a(0), a(1), true),
+        SysNo::Pwrite => subsystems::fileio::sys_write(&mut h, a(0), a(1), true),
+        SysNo::Lseek => subsystems::fileio::sys_lseek(&mut h, a(0), a(1)),
+        SysNo::Fsync => subsystems::fileio::sys_fsync(&mut h, a(0), false),
+        SysNo::Fdatasync => subsystems::fileio::sys_fsync(&mut h, a(0), true),
+        SysNo::Readv => subsystems::fileio::sys_readv(&mut h, a(0), a(1), a(2)),
+        SysNo::Writev => subsystems::fileio::sys_writev(&mut h, a(0), a(1), a(2)),
+        SysNo::Fallocate => subsystems::fileio::sys_fallocate(&mut h, a(0), a(1)),
+
+        // (d) filesystem management
+        SysNo::Open => subsystems::fs::sys_open(&mut h, a(0), a(1)),
+        SysNo::Close => subsystems::fs::sys_close(&mut h, a(0)),
+        SysNo::Stat => subsystems::fs::sys_stat(&mut h, a(0)),
+        SysNo::Fstat => subsystems::fs::sys_fstat(&mut h, a(0)),
+        SysNo::Access => subsystems::fs::sys_access(&mut h, a(0)),
+        SysNo::Getdents => subsystems::fs::sys_getdents(&mut h, a(0)),
+        SysNo::Mkdir => subsystems::fs::sys_mkdir(&mut h, a(0)),
+        SysNo::Rmdir => subsystems::fs::sys_rmdir(&mut h, a(0)),
+        SysNo::Unlink => subsystems::fs::sys_unlink(&mut h, a(0)),
+        SysNo::Rename => subsystems::fs::sys_rename(&mut h, a(0), a(1)),
+        SysNo::Symlink => subsystems::fs::sys_symlink(&mut h, a(0), a(1)),
+        SysNo::Readlink => subsystems::fs::sys_readlink(&mut h, a(0)),
+        SysNo::Truncate => subsystems::fs::sys_truncate(&mut h, a(0), a(1)),
+
+        // (e) IPC
+        SysNo::Pipe2 => subsystems::ipc::sys_pipe2(&mut h),
+        SysNo::FutexWait => subsystems::ipc::sys_futex_wait(&mut h, a(0), a(1)),
+        SysNo::FutexWake => subsystems::ipc::sys_futex_wake(&mut h, a(0), a(1)),
+        SysNo::Msgget => subsystems::ipc::sys_msgget(&mut h),
+        SysNo::Msgsnd => subsystems::ipc::sys_msgsnd(&mut h, a(0), a(1)),
+        SysNo::Msgrcv => subsystems::ipc::sys_msgrcv(&mut h, a(0), a(1)),
+        SysNo::Semget => subsystems::ipc::sys_semget(&mut h, a(0)),
+        SysNo::Semop => subsystems::ipc::sys_semop(&mut h, a(0), a(1)),
+        SysNo::Shmget => subsystems::ipc::sys_shmget(&mut h, a(0)),
+        SysNo::Shmat => subsystems::ipc::sys_shmat(&mut h, a(0)),
+        SysNo::Shmdt => subsystems::ipc::sys_shmdt(&mut h, a(0)),
+        SysNo::Eventfd => subsystems::ipc::sys_eventfd(&mut h),
+
+        // (f) permissions / capabilities
+        SysNo::Chmod => subsystems::perms::sys_chmod(&mut h, a(0), a(1)),
+        SysNo::Fchmod => subsystems::perms::sys_fchmod(&mut h, a(0), a(1)),
+        SysNo::Chown => subsystems::perms::sys_chown(&mut h, a(0), a(1)),
+        SysNo::Setuid => subsystems::perms::sys_setuid(&mut h, a(0)),
+        SysNo::Getuid => subsystems::perms::sys_getuid(&mut h),
+        SysNo::Capget => subsystems::perms::sys_capget(&mut h),
+        SysNo::Capset => subsystems::perms::sys_capset(&mut h, a(0)),
+        SysNo::Umask => subsystems::perms::sys_umask(&mut h, a(0)),
+        SysNo::Setgroups => subsystems::perms::sys_setgroups(&mut h, a(0)),
+        SysNo::Prctl => subsystems::perms::sys_prctl(&mut h, a(0)),
+    }
+
+    debug_assert!(
+        h.seq.locks_balanced(),
+        "{}: unbalanced locks in op sequence",
+        no.name()
+    );
+    h.seq
+}
+
+/// Convenience wrapper used by tests: dispatch with throwaway coverage.
+pub fn dispatch_simple(
+    k: &mut KernelInstance,
+    slot: usize,
+    no: SysNo,
+    args: &[u64],
+    rng: &mut SmallRng,
+) -> OpSeq {
+    let mut cover = CoverageSet::new();
+    dispatch(k, slot, no, args, rng, &mut cover)
+}

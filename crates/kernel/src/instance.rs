@@ -1,0 +1,320 @@
+//! Kernel instances: one per independent kernel in the environment.
+//!
+//! A bare-metal deployment is a single instance managing every core and
+//! all memory; a k-VM deployment is k instances each managing a slice.
+//! The instance's **surface area** — its core and page counts — scales
+//! everything the paper ties to variability: lock sharing degree, daemon
+//! work, shootdown fan-out, RCU grace periods and cache sizes.
+
+use ksa_desim::{CoreId, DevId, Engine, LockId, LockKind, Ns, RcuId};
+use serde::{Deserialize, Serialize};
+
+use crate::coverage::CoverageSet;
+use crate::params::CostModel;
+use crate::state::SubsysState;
+
+/// Number of futex hash buckets per instance (Linux scales this with CPU
+/// count; we keep it fixed so bucket collisions across cores are
+/// realistic for same-address futexes).
+pub const FUTEX_BUCKETS: usize = 16;
+
+/// Hardware-virtualization overhead profile. All costs are per event;
+/// bare metal uses [`VirtProfile::native`] (all zero, multipliers = 1).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VirtProfile {
+    /// True for a hardware VM.
+    pub enabled: bool,
+    /// VM exit: virtio doorbell kick on I/O submit.
+    pub exit_io_kick: Ns,
+    /// VM exit: completion interrupt injection.
+    pub exit_io_irq: Ns,
+    /// VM exit: APIC access (IPI send, timer programming).
+    pub exit_apic: Ns,
+    /// VM exit: MSR access.
+    pub exit_msr: Ns,
+    /// VM exit: halt / wakeup path.
+    pub exit_halt: Ns,
+    /// Multiplier (milli-units, 1000 = 1.0×) on all kernel CPU work:
+    /// nested-paging TLB pressure, guest/host cache sharing.
+    pub cpu_mult_milli: u64,
+    /// Multiplier (milli-units) on memory-touching work (EPT walks).
+    pub mem_mult_milli: u64,
+    /// Fixed per-syscall overhead inside a guest: nested-paging walks on
+    /// kernel entry, polluted TLB/caches from world switches. Bounded,
+    /// paid by every call.
+    pub syscall_overhead: Ns,
+}
+
+impl VirtProfile {
+    /// Bare metal: no exits, no multipliers.
+    pub fn native() -> Self {
+        Self {
+            enabled: false,
+            exit_io_kick: 0,
+            exit_io_irq: 0,
+            exit_apic: 0,
+            exit_msr: 0,
+            exit_halt: 0,
+            cpu_mult_milli: 1000,
+            mem_mult_milli: 1000,
+            syscall_overhead: 0,
+        }
+    }
+
+    /// KVM-class hardware virtualization (EPT, APICv absent — 2019-era
+    /// EPYC/Haswell hosts as in the paper).
+    pub fn kvm() -> Self {
+        Self {
+            enabled: true,
+            exit_io_kick: 3_000,
+            exit_io_irq: 2_500,
+            exit_apic: 1_600,
+            exit_msr: 1_200,
+            exit_halt: 2_000,
+            cpu_mult_milli: 1_150,
+            mem_mult_milli: 1_300,
+            syscall_overhead: 900,
+        }
+    }
+
+    /// Applies the plain-CPU multiplier.
+    pub fn scale_cpu(&self, ns: Ns) -> Ns {
+        ns * self.cpu_mult_milli / 1000
+    }
+
+    /// Applies the memory-touch multiplier.
+    pub fn scale_mem(&self, ns: Ns) -> Ns {
+        ns * self.mem_mult_milli / 1000
+    }
+}
+
+/// Container (namespace + cgroup) overhead profile for instances hosting
+/// Docker-style tenants. VMs and native get [`TenancyProfile::none`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TenancyProfile {
+    /// Number of containers sharing this kernel instance.
+    pub containers: u32,
+    /// Extra path components from mount-namespace indirection.
+    pub ns_depth: u32,
+    /// Every N cgroup charges, per-CPU stat caches flush to the shared
+    /// hierarchy (cost scales with container count).
+    pub cgroup_flush_every: u64,
+}
+
+impl TenancyProfile {
+    /// No containers: native process or VM guest.
+    pub fn none() -> Self {
+        Self {
+            containers: 0,
+            ns_depth: 0,
+            cgroup_flush_every: u64::MAX,
+        }
+    }
+
+    /// `n` Docker-style containers on this kernel.
+    pub fn containers(n: u32) -> Self {
+        Self {
+            containers: n,
+            ns_depth: 2,
+            cgroup_flush_every: 64,
+        }
+    }
+}
+
+/// All simulated locks of one instance.
+#[derive(Debug, Clone)]
+pub struct InstanceLocks {
+    /// Per-core runqueue spinlocks.
+    pub runqueue: Vec<LockId>,
+    /// Global tasklist rwlock (clone/exit write; wait/kill read).
+    pub tasklist: LockId,
+    /// Global PID-map spinlock.
+    pub pidmap: LockId,
+    /// Per-process (= per slot) mmap semaphore (rwsem).
+    pub mmap_sem: Vec<LockId>,
+    /// Per-process page-table spinlock.
+    pub page_table: Vec<LockId>,
+    /// Per-process fd-table spinlock.
+    pub fdtable: Vec<LockId>,
+    /// Buddy-allocator zone spinlock (global).
+    pub zone: LockId,
+    /// LRU list spinlock (global).
+    pub lru: LockId,
+    /// Slab depot spinlock (global).
+    pub slab_depot: LockId,
+    /// Dentry hash / LRU spinlock (global).
+    pub dcache: LockId,
+    /// Superblock inode-list spinlock (global).
+    pub inode_sb: LockId,
+    /// Filesystem-wide rename mutex.
+    pub rename: LockId,
+    /// Journal commit mutex (jbd2-style).
+    pub journal: LockId,
+    /// Futex hash-bucket spinlocks.
+    pub futex: Vec<LockId>,
+    /// SysV IPC ids rwlock.
+    pub ipc_ids: LockId,
+    /// Per-slot IPC object mutex (pipe/message-queue locks).
+    pub ipc_obj: Vec<LockId>,
+    /// Credential-update spinlock (global).
+    pub cred: LockId,
+    /// Audit-log spinlock (global).
+    pub audit: LockId,
+    /// cgroup stat-flush spinlock (global).
+    pub cgroup: LockId,
+}
+
+/// Static configuration for building an instance.
+#[derive(Debug, Clone)]
+pub struct InstanceConfig {
+    /// Cores this kernel manages.
+    pub cores: Vec<CoreId>,
+    /// Memory surface in MiB.
+    pub mem_mib: u64,
+    /// Virtualization profile.
+    pub virt: VirtProfile,
+    /// Container profile.
+    pub tenancy: TenancyProfile,
+    /// Base cost model.
+    pub cost: CostModel,
+    /// The backing block device. Instances on one machine share the
+    /// host's disk: a virtio front-end does not conjure new spindles.
+    pub disk: DevId,
+}
+
+/// One simulated kernel.
+#[derive(Debug)]
+pub struct KernelInstance {
+    /// Index within the world.
+    pub idx: usize,
+    /// Cores managed by this kernel.
+    pub cores: Vec<CoreId>,
+    /// Memory surface in pages (4 KiB).
+    pub mem_pages: u64,
+    /// Virtualization profile.
+    pub virt: VirtProfile,
+    /// Container profile.
+    pub tenancy: TenancyProfile,
+    /// Base cost model.
+    pub cost: CostModel,
+    /// Lock handles.
+    pub locks: InstanceLocks,
+    /// RCU domain spanning this instance's cores.
+    pub rcu: RcuId,
+    /// The instance's block device.
+    pub disk: DevId,
+    /// Logical subsystem state.
+    pub state: SubsysState,
+    /// Cumulative coverage observed on this instance.
+    pub coverage: CoverageSet,
+    /// Total syscalls dispatched (diagnostics).
+    pub syscalls: u64,
+}
+
+impl KernelInstance {
+    /// Builds an instance, allocating its locks/RCU/disk on `engine`.
+    pub fn build<W>(engine: &mut Engine<W>, idx: usize, cfg: InstanceConfig) -> Self {
+        let n = cfg.cores.len();
+        let mem_pages = cfg.mem_mib * 256; // 4 KiB pages
+        let locks = InstanceLocks {
+            runqueue: (0..n).map(|_| engine.add_lock(LockKind::Spin, "runqueue")).collect(),
+            tasklist: engine.add_lock(LockKind::RwLock, "tasklist"),
+            pidmap: engine.add_lock(LockKind::Spin, "pidmap"),
+            mmap_sem: (0..n).map(|_| engine.add_lock(LockKind::RwLock, "mmap_sem")).collect(),
+            page_table: (0..n).map(|_| engine.add_lock(LockKind::Spin, "page_table")).collect(),
+            fdtable: (0..n).map(|_| engine.add_lock(LockKind::Spin, "fdtable")).collect(),
+            zone: engine.add_lock(LockKind::Spin, "zone"),
+            lru: engine.add_lock(LockKind::Spin, "lru"),
+            slab_depot: engine.add_lock(LockKind::Spin, "slab_depot"),
+            dcache: engine.add_lock(LockKind::Spin, "dcache"),
+            inode_sb: engine.add_lock(LockKind::Spin, "inode_sb"),
+            rename: engine.add_lock(LockKind::Mutex, "rename"),
+            journal: engine.add_lock(LockKind::Mutex, "journal"),
+            futex: (0..FUTEX_BUCKETS).map(|_| engine.add_lock(LockKind::Spin, "futex_bucket")).collect(),
+            ipc_ids: engine.add_lock(LockKind::RwLock, "ipc_ids"),
+            ipc_obj: (0..n).map(|_| engine.add_lock(LockKind::Mutex, "ipc_obj")).collect(),
+            cred: engine.add_lock(LockKind::Spin, "cred"),
+            audit: engine.add_lock(LockKind::Spin, "audit"),
+            cgroup: engine.add_lock(LockKind::Spin, "cgroup"),
+        };
+        let rcu = engine.add_rcu_domain(n as u32);
+        KernelInstance {
+            idx,
+            mem_pages,
+            virt: cfg.virt,
+            tenancy: cfg.tenancy,
+            cost: cfg.cost,
+            locks,
+            rcu,
+            disk: cfg.disk,
+            state: SubsysState::init(n, mem_pages),
+            coverage: CoverageSet::new(),
+            syscalls: 0,
+            cores: cfg.cores,
+        }
+    }
+
+    /// Number of cores (the core dimension of the surface area).
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The slot index of a global core id, if this instance owns it.
+    pub fn slot_of(&self, core: CoreId) -> Option<usize> {
+        self.cores.iter().position(|&c| c == core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksa_desim::EngineParams;
+
+    #[test]
+    fn build_allocates_per_slot_locks() {
+        let mut eng: Engine<()> = Engine::new((), EngineParams::default(), 1);
+        let disk = eng.add_device(ksa_desim::DeviceModel::nvme_ssd());
+        let cores: Vec<CoreId> = (0..4).map(|_| eng.add_core(Default::default())).collect();
+        let inst = KernelInstance::build(
+            &mut eng,
+            0,
+            InstanceConfig {
+                cores: cores.clone(),
+                mem_mib: 512,
+                virt: VirtProfile::native(),
+                tenancy: TenancyProfile::none(),
+                cost: CostModel::default(),
+                disk,
+            },
+        );
+        assert_eq!(inst.n_cores(), 4);
+        assert_eq!(inst.locks.runqueue.len(), 4);
+        assert_eq!(inst.locks.mmap_sem.len(), 4);
+        assert_eq!(inst.mem_pages, 512 * 256);
+        assert_eq!(inst.state.slots.len(), 4);
+        assert_eq!(inst.slot_of(cores[2]), Some(2));
+        let other = CoreId(99);
+        assert_eq!(inst.slot_of(other), None);
+    }
+
+    #[test]
+    fn virt_profiles_scale() {
+        let native = VirtProfile::native();
+        let kvm = VirtProfile::kvm();
+        assert_eq!(native.scale_cpu(1000), 1000);
+        assert_eq!(native.scale_mem(1000), 1000);
+        assert!(kvm.scale_cpu(1000) > 1000);
+        assert!(kvm.scale_mem(1000) > kvm.scale_cpu(1000));
+        assert!(!native.enabled && kvm.enabled);
+    }
+
+    #[test]
+    fn tenancy_profiles() {
+        let none = TenancyProfile::none();
+        assert_eq!(none.containers, 0);
+        let d = TenancyProfile::containers(64);
+        assert_eq!(d.containers, 64);
+        assert!(d.ns_depth > 0);
+        assert!(d.cgroup_flush_every < u64::MAX);
+    }
+}

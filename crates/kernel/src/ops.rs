@@ -1,0 +1,209 @@
+//! Kernel micro-operations: the compiled form of a system call.
+//!
+//! A handler turns one call into an [`OpSeq`] — a flat sequence of
+//! micro-ops. The sequence is *replayed* on the event engine by
+//! [`crate::exec::OpRunner`], where lock queueing, IPI storms and device
+//! queueing actually play out in virtual time.
+
+use ksa_desim::{LockId, LockMode, Ns};
+
+/// One micro-operation of a system call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KOp {
+    /// Plain kernel CPU work on the calling core.
+    Cpu(Ns),
+    /// Userspace CPU work: guest user code runs at native speed, so this
+    /// is never scaled by the virtualization profile.
+    UserCpu(Ns),
+    /// CPU work that touches guest memory: under hardware virtualization
+    /// it is scaled by the nested-paging multiplier.
+    MemTouch(Ns),
+    /// Acquire a simulated lock (blocking, FIFO).
+    Lock(LockId, LockMode),
+    /// Release a simulated lock.
+    Unlock(LockId),
+    /// TLB shootdown covering `pages` pages: local flush plus an IPI
+    /// broadcast to every *other* core of the kernel instance. Under
+    /// virtualization the sender additionally pays one VM exit per target
+    /// (vCPU kick).
+    Tlb {
+        /// Pages being invalidated.
+        pages: u64,
+    },
+    /// Block-device I/O on the instance's disk.
+    Io {
+        /// Transfer size in bytes.
+        bytes: u64,
+        /// Whether this is a write (used for accounting only).
+        write: bool,
+    },
+    /// Wait for an RCU grace period on the instance's domain.
+    RcuSync,
+    /// Sleep off-CPU for a bounded duration (nanosleep, timeouts). Under
+    /// virtualization the wakeup path costs a halt exit.
+    SleepNs(Ns),
+    /// A virtualization-sensitive operation: costs a VM exit under
+    /// hardware virtualization and (nearly) nothing on bare metal.
+    VmExit(VmExitKind),
+    /// Yield-like no-op used as a preemption point marker.
+    Nop,
+}
+
+/// Why a VM exit happens; each kind has its own cost in the
+/// [`crate::instance::VirtProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmExitKind {
+    /// Virtio doorbell / queue kick when submitting I/O.
+    IoKick,
+    /// Completion interrupt injection for I/O.
+    IoIrq,
+    /// APIC access (sending an IPI, timer programming).
+    Apic,
+    /// MSR or control-register access (context switches, cr3 loads on
+    /// older hardware).
+    Msr,
+    /// Halt/idle exit (wakeup path of sleeping syscalls).
+    Halt,
+}
+
+/// A compiled system call: micro-ops plus its result value (fd, address,
+/// ipc id, ...), which later calls may consume as a resource.
+#[derive(Debug, Clone, Default)]
+pub struct OpSeq {
+    /// The micro-ops, executed in order.
+    pub ops: Vec<KOp>,
+    /// The syscall's return value (resource produced, or 0).
+    pub result: u64,
+}
+
+impl OpSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an op.
+    #[inline]
+    pub fn push(&mut self, op: KOp) {
+        self.ops.push(op);
+    }
+
+    /// Appends CPU work, merging with a trailing `Cpu` op to keep
+    /// sequences short.
+    #[inline]
+    pub fn cpu(&mut self, ns: Ns) {
+        if let Some(KOp::Cpu(prev)) = self.ops.last_mut() {
+            *prev += ns;
+        } else {
+            self.ops.push(KOp::Cpu(ns));
+        }
+    }
+
+    /// Appends memory-touching CPU work (merged like `cpu`).
+    #[inline]
+    pub fn mem(&mut self, ns: Ns) {
+        if let Some(KOp::MemTouch(prev)) = self.ops.last_mut() {
+            *prev += ns;
+        } else {
+            self.ops.push(KOp::MemTouch(ns));
+        }
+    }
+
+    /// Appends a lock/critical-section/unlock pattern built by `body`.
+    pub fn locked(&mut self, lock: LockId, mode: LockMode, body: impl FnOnce(&mut OpSeq)) {
+        self.push(KOp::Lock(lock, mode));
+        body(self);
+        self.push(KOp::Unlock(lock));
+    }
+
+    /// Total CPU nanoseconds in plain `Cpu`/`MemTouch` ops (a lower bound
+    /// on the call's service time, ignoring queueing).
+    pub fn cpu_ns(&self) -> Ns {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                KOp::Cpu(n) | KOp::UserCpu(n) | KOp::MemTouch(n) => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Checks that every `Lock` has a matching later `Unlock` and vice
+    /// versa (no leaked or double-released locks) and that lock sections
+    /// nest properly. Used by tests and debug assertions.
+    pub fn locks_balanced(&self) -> bool {
+        let mut stack: Vec<LockId> = Vec::new();
+        for op in &self.ops {
+            match op {
+                KOp::Lock(id, _) => stack.push(*id),
+                KOp::Unlock(id) => {
+                    if stack.pop() != Some(*id) {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lid(n: u32) -> LockId {
+        LockId(n)
+    }
+
+    #[test]
+    fn cpu_ops_merge() {
+        let mut s = OpSeq::new();
+        s.cpu(100);
+        s.cpu(50);
+        assert_eq!(s.ops, vec![KOp::Cpu(150)]);
+        s.push(KOp::Nop);
+        s.cpu(25);
+        assert_eq!(s.ops.len(), 3);
+        assert_eq!(s.cpu_ns(), 175);
+    }
+
+    #[test]
+    fn locked_builds_balanced_section() {
+        let mut s = OpSeq::new();
+        s.locked(lid(3), LockMode::Exclusive, |s| {
+            s.cpu(500);
+            s.locked(lid(4), LockMode::Exclusive, |s| s.cpu(100));
+        });
+        assert!(s.locks_balanced());
+        assert_eq!(s.cpu_ns(), 600);
+    }
+
+    #[test]
+    fn unbalanced_locks_detected() {
+        let mut s = OpSeq::new();
+        s.push(KOp::Lock(lid(1), LockMode::Exclusive));
+        assert!(!s.locks_balanced());
+
+        let mut s2 = OpSeq::new();
+        s2.push(KOp::Unlock(lid(1)));
+        assert!(!s2.locks_balanced());
+
+        // Improper nesting: lock A, lock B, unlock A, unlock B.
+        let mut s3 = OpSeq::new();
+        s3.push(KOp::Lock(lid(1), LockMode::Exclusive));
+        s3.push(KOp::Lock(lid(2), LockMode::Exclusive));
+        s3.push(KOp::Unlock(lid(1)));
+        s3.push(KOp::Unlock(lid(2)));
+        assert!(!s3.locks_balanced());
+    }
+
+    #[test]
+    fn mem_ops_merge_separately_from_cpu() {
+        let mut s = OpSeq::new();
+        s.cpu(10);
+        s.mem(20);
+        s.mem(30);
+        assert_eq!(s.ops, vec![KOp::Cpu(10), KOp::MemTouch(50)]);
+    }
+}

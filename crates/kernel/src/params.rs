@@ -1,0 +1,207 @@
+//! The cost model: base latencies for kernel micro-operations.
+//!
+//! All values are nanoseconds of CPU work on one core; queueing, convoys
+//! and interference come from the event engine, **not** from these
+//! constants. The magnitudes are calibrated to a ~2 GHz server core running
+//! a 4.x kernel (syscall entry ≈ 100 ns, dentry hop ≈ 100 ns, page-cache
+//! copy ≈ 0.1 ns/byte, TLB shootdown handler ≈ a few µs).
+
+use ksa_desim::{Ns, US};
+use serde::{Deserialize, Serialize};
+
+/// Base costs for the simulated kernel's micro-operations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Syscall entry + exit (mode switch, dispatch, return).
+    pub syscall_entry: Ns,
+    /// Userspace glue between consecutive calls in a program.
+    pub user_glue: Ns,
+
+    // --- memory management ---
+    /// Allocating/initializing one VMA record.
+    pub vma_alloc: Ns,
+    /// Page-table work per page (map or unmap).
+    pub pte_per_page: Ns,
+    /// Local TLB flush fixed cost.
+    pub tlb_local: Ns,
+    /// Remote TLB-shootdown handler cost on each target core (fixed part).
+    pub tlb_handler: Ns,
+    /// Remote shootdown handler per-page component.
+    pub tlb_handler_per_page: Ns,
+    /// Zeroing/touching one page (first-touch fault work).
+    pub page_touch: Ns,
+    /// One buddy-allocator refill of a per-CPU page list (zone lock held).
+    pub zone_refill: Ns,
+    /// Per-page cost of an LRU scan (direct reclaim / kswapd).
+    pub lru_scan_per_page: Ns,
+    /// Slab allocation from a per-CPU magazine (no lock).
+    pub slab_fast: Ns,
+    /// Slab depot refill (depot lock held).
+    pub slab_refill: Ns,
+
+    // --- VFS / filesystem ---
+    /// Path-walk cost per component on the RCU fast path.
+    pub dentry_hop: Ns,
+    /// Extra per-component cost per 1k dentries in the cache (hash-chain
+    /// pressure from a shared dcache).
+    pub dentry_chain_per_1k: Ns,
+    /// Allocating and inserting a dentry+inode on a cold lookup.
+    pub dentry_insert: Ns,
+    /// Reading an on-disk inode block (CPU part; the I/O is separate).
+    pub inode_read_cpu: Ns,
+    /// Journal: fixed cost of a transaction commit.
+    pub journal_commit_base: Ns,
+    /// Journal: per dirty metadata block commit cost.
+    pub journal_per_block: Ns,
+    /// Directory entry insert/remove (mkdir, unlink, rename).
+    pub dirent_update: Ns,
+
+    // --- file I/O ---
+    /// Page-cache lookup per page.
+    pub pagecache_lookup: Ns,
+    /// Copy cost per byte between user and kernel (≈ 10 GB/s).
+    pub copy_per_byte_milli: u64,
+    /// Writeback batch setup cost.
+    pub writeback_base: Ns,
+    /// Writeback per dirty page (CPU part).
+    pub writeback_per_page: Ns,
+
+    // --- scheduling / process management ---
+    /// Runqueue lock hold for enqueue/dequeue/yield.
+    pub rq_op: Ns,
+    /// Creating a task: dup task struct, cgroup attach, etc. (fixed part).
+    pub task_create_base: Ns,
+    /// Task creation per parent VMA (mm copy).
+    pub task_create_per_vma: Ns,
+    /// PID allocation under the global pidmap lock.
+    pub pid_alloc: Ns,
+    /// Reaping a child (wait4 with an exited child).
+    pub task_reap: Ns,
+    /// Signal delivery bookkeeping.
+    pub signal_send: Ns,
+    /// Load balancer: per-core scan cost each balancing pass.
+    pub lb_scan_per_core: Ns,
+
+    // --- IPC ---
+    /// Futex hash-bucket operation (lookup + queue check).
+    pub futex_op: Ns,
+    /// Pipe buffer management per operation.
+    pub pipe_op: Ns,
+    /// SysV object lookup in the shared ids table.
+    pub ipc_lookup: Ns,
+    /// SysV message copy fixed part.
+    pub ipc_msg_base: Ns,
+
+    // --- permissions / capabilities ---
+    /// Credential structure update (prepare_creds/commit_creds CPU).
+    pub cred_update: Ns,
+    /// Audit-record emission under the global audit lock.
+    pub audit_emit: Ns,
+    /// Capability set computation.
+    pub cap_compute: Ns,
+
+    // --- daemons ---
+    /// Journal flusher wake period.
+    pub flusher_period: Ns,
+    /// Load balancer period.
+    pub lb_period: Ns,
+    /// vmstat / per-CPU counter fold period.
+    pub vmstat_period: Ns,
+    /// vmstat fold cost per core in the instance.
+    pub vmstat_per_core: Ns,
+
+    // --- thresholds ---
+    /// Dirty-page ratio (percent of instance memory) that forces
+    /// foreground writeback throttling in the write path.
+    pub dirty_throttle_pct: u64,
+    /// Free-page ratio (percent) under which allocations enter direct
+    /// reclaim.
+    pub min_free_pct: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            syscall_entry: 100,
+            user_glue: 200,
+
+            vma_alloc: 350,
+            pte_per_page: 45,
+            tlb_local: 180,
+            tlb_handler: 2_500,
+            tlb_handler_per_page: 15,
+            page_touch: 250,
+            zone_refill: 900,
+            lru_scan_per_page: 60,
+            slab_fast: 90,
+            slab_refill: 600,
+
+            dentry_hop: 110,
+            dentry_chain_per_1k: 35,
+            dentry_insert: 500,
+            inode_read_cpu: 700,
+            journal_commit_base: 12 * US,
+            journal_per_block: 900,
+            dirent_update: 800,
+
+            pagecache_lookup: 160,
+            copy_per_byte_milli: 100, // 0.1 ns per byte
+            writeback_base: 8 * US,
+            writeback_per_page: 300,
+
+            rq_op: 280,
+            task_create_base: 18 * US,
+            task_create_per_vma: 400,
+            pid_alloc: 500,
+            task_reap: 2 * US,
+            signal_send: 900,
+            lb_scan_per_core: 700,
+
+            futex_op: 320,
+            pipe_op: 420,
+            ipc_lookup: 380,
+            ipc_msg_base: 700,
+
+            cred_update: 600,
+            audit_emit: 450,
+            cap_compute: 600,
+
+            flusher_period: 12_000_000, // 12 ms
+            lb_period: 4_000_000,       // 4 ms
+            vmstat_period: 10_000_000,  // 10 ms
+            vmstat_per_core: 900,
+
+            dirty_throttle_pct: 8,
+            min_free_pct: 10,
+        }
+    }
+}
+
+impl CostModel {
+    /// Copy cost for `bytes` bytes.
+    pub fn copy(&self, bytes: u64) -> Ns {
+        bytes.saturating_mul(self.copy_per_byte_milli) / 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_cost_scales_linearly() {
+        let cm = CostModel::default();
+        assert_eq!(cm.copy(0), 0);
+        assert_eq!(cm.copy(10_000), 1_000); // 10KB at 0.1ns/B = 1us
+        assert_eq!(cm.copy(20_000), 2 * cm.copy(10_000));
+    }
+
+    #[test]
+    fn defaults_are_plausible_magnitudes() {
+        let cm = CostModel::default();
+        assert!(cm.syscall_entry < US, "syscall entry must be sub-microsecond");
+        assert!(cm.tlb_handler > cm.tlb_local, "remote flush dwarfs local");
+        assert!(cm.journal_commit_base > cm.dentry_hop * 10);
+        assert!(cm.dirty_throttle_pct < 100 && cm.min_free_pct < 100);
+    }
+}

@@ -1,0 +1,261 @@
+//! Logical subsystem state: the counters and small tables handler costs
+//! are derived from.
+//!
+//! State here is *numerical*, not structural: a page cache is a per-file
+//! count of cached pages, the dentry cache is a count plus per-file flags,
+//! the journal is a dirty-block counter. This is the level of detail the
+//! cost model needs — hash-chain pressure, commit sizes, reclaim scan
+//! lengths — without simulating the actual data structures.
+
+/// A file descriptor entry in a slot's fd table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdKind {
+    /// Regular file backed by `FsState::files[idx]`.
+    File {
+        /// Index into the instance file table.
+        idx: usize,
+    },
+    /// One end of a pipe.
+    Pipe {
+        /// True for the read end.
+        read_end: bool,
+    },
+    /// An eventfd counter.
+    EventFd,
+    /// Closed / free slot.
+    Closed,
+}
+
+/// One open descriptor.
+#[derive(Debug, Clone, Copy)]
+pub struct Fd {
+    /// What the descriptor refers to.
+    pub kind: FdKind,
+    /// Sequential file offset in pages.
+    pub offset_pages: u64,
+}
+
+/// One virtual memory area of a slot.
+#[derive(Debug, Clone, Copy)]
+pub struct Vma {
+    /// Size in pages.
+    pub pages: u64,
+    /// Pages actually faulted in (freed back on unmap/zap).
+    pub populated: u64,
+    /// Still mapped (false after munmap).
+    pub mapped: bool,
+    /// mlock'ed.
+    pub locked: bool,
+    /// Index into the shm table when this is a shared-memory attach.
+    pub shm: Option<usize>,
+}
+
+/// Per-slot (per simulated application process) state. One slot per core
+/// of the instance.
+#[derive(Debug, Clone, Default)]
+pub struct SlotState {
+    /// Open descriptors; index = fd number.
+    pub fds: Vec<Fd>,
+    /// VMAs; index+1 = the "address" handle returned by mmap.
+    pub vmas: Vec<Vma>,
+    /// Heap size in pages (brk).
+    pub brk_pages: u64,
+    /// Effective uid.
+    pub uid: u64,
+    /// Current umask.
+    pub umask: u64,
+    /// Forked children that have not been reaped by wait4 yet.
+    pub children_pending: u32,
+    /// Per-CPU page-allocator magazine (free pages cached locally).
+    pub pcp_pages: u64,
+    /// Per-CPU slab magazine (free objects cached locally).
+    pub slab_objs: u64,
+    /// Name table: path selector → file index (this slot's private
+    /// namespace; entries materialize on first create).
+    pub names: Vec<Option<usize>>,
+}
+
+/// Number of distinct path names each slot's namespace can address.
+pub const NAMES_PER_SLOT: usize = 32;
+
+/// Metadata of one simulated file.
+#[derive(Debug, Clone, Copy)]
+pub struct FileMeta {
+    /// Size in pages.
+    pub size_pages: u64,
+    /// Pages present in the page cache (sequential-fill model: page `i`
+    /// is cached iff `i < cached_pages`).
+    pub cached_pages: u64,
+    /// Dirty data pages awaiting writeback.
+    pub dirty_pages: u64,
+    /// Path depth (directory components).
+    pub path_depth: u32,
+    /// Whether the dentry/inode are in the caches (cold first lookup
+    /// pays the miss path).
+    pub dentry_cached: bool,
+}
+
+/// Filesystem / VFS state.
+#[derive(Debug, Clone, Default)]
+pub struct FsState {
+    /// All files ever created in this instance.
+    pub files: Vec<FileMeta>,
+    /// Total dentries resident (drives hash-chain pressure).
+    pub dentries: u64,
+    /// Dirty journal metadata blocks awaiting commit.
+    pub journal_dirty: u64,
+    /// Monotone commit counter (diagnostics).
+    pub commits: u64,
+}
+
+/// Memory-management state.
+#[derive(Debug, Clone, Default)]
+pub struct MmState {
+    /// Total pages managed by this instance (its memory surface area).
+    pub total_pages: u64,
+    /// Free pages in the buddy allocator.
+    pub free_pages: u64,
+    /// File/anon pages on the LRU lists (reclaim scan length).
+    pub lru_pages: u64,
+    /// Dirty data pages (writeback backlog).
+    pub dirty_pages: u64,
+}
+
+impl MmState {
+    /// Pages under which allocations enter direct reclaim.
+    pub fn low_watermark(&self, min_free_pct: u64) -> u64 {
+        self.total_pages * min_free_pct / 100
+    }
+
+    /// Dirty-page count that triggers foreground write throttling.
+    pub fn dirty_threshold(&self, dirty_pct: u64) -> u64 {
+        self.total_pages * dirty_pct / 100
+    }
+}
+
+/// Scheduler state.
+#[derive(Debug, Clone, Default)]
+pub struct SchedState {
+    /// Runnable tasks per slot/core.
+    pub rq_len: Vec<u32>,
+    /// Total tasks in the instance.
+    pub nr_tasks: u64,
+}
+
+/// One SysV message queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MsgQueue {
+    /// Messages currently queued.
+    pub msgs: u64,
+    /// Bytes currently queued.
+    pub bytes: u64,
+}
+
+/// One SysV shared-memory segment.
+#[derive(Debug, Clone, Copy)]
+pub struct ShmSeg {
+    /// Size in pages.
+    pub pages: u64,
+    /// Number of active attaches.
+    pub attaches: u32,
+}
+
+/// IPC state (ids are instance-global, like the kernel's `ipc_ids`).
+#[derive(Debug, Clone, Default)]
+pub struct IpcState {
+    /// Message queues.
+    pub msgqs: Vec<MsgQueue>,
+    /// Semaphore sets (value = semaphore count in the set).
+    pub sems: Vec<u32>,
+    /// Shared-memory segments.
+    pub shms: Vec<ShmSeg>,
+    /// Pipes created (count; per-slot locks bound the contention).
+    pub pipes: u64,
+}
+
+/// Cross-cutting tenancy counters.
+#[derive(Debug, Clone, Default)]
+pub struct TenancyState {
+    /// cgroup charge operations since the last stat flush.
+    pub charges_since_flush: u64,
+}
+
+/// All logical state of a kernel instance.
+#[derive(Debug, Clone, Default)]
+pub struct SubsysState {
+    /// Memory management.
+    pub mm: MmState,
+    /// Filesystem / VFS.
+    pub fs: FsState,
+    /// Scheduler.
+    pub sched: SchedState,
+    /// IPC.
+    pub ipc: IpcState,
+    /// Tenancy counters.
+    pub tenancy: TenancyState,
+    /// Per-core-slot application process state.
+    pub slots: Vec<SlotState>,
+}
+
+impl SubsysState {
+    /// Initializes state for an instance with `n_slots` cores and
+    /// `total_pages` pages of memory.
+    pub fn init(n_slots: usize, total_pages: u64) -> Self {
+        let mut s = SubsysState {
+            mm: MmState {
+                total_pages,
+                // Boot-time kernel/static memory takes a slice.
+                free_pages: total_pages * 85 / 100,
+                lru_pages: total_pages / 50,
+                dirty_pages: 0,
+            },
+            ..Default::default()
+        };
+        s.sched.rq_len = vec![1; n_slots];
+        s.sched.nr_tasks = n_slots as u64 + 16; // app procs + kthreads
+        s.fs.dentries = 1_000 + 64 * n_slots as u64; // boot filesystem
+        for _ in 0..n_slots {
+            s.slots.push(SlotState {
+                fds: Vec::new(),
+                vmas: Vec::new(),
+                brk_pages: 16,
+                uid: 1000,
+                umask: 0o022,
+                children_pending: 0,
+                pcp_pages: 128,
+                slab_objs: 256,
+                names: vec![None; NAMES_PER_SLOT],
+            });
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_sizes_match() {
+        let s = SubsysState::init(4, 1_000_000);
+        assert_eq!(s.slots.len(), 4);
+        assert_eq!(s.sched.rq_len.len(), 4);
+        assert_eq!(s.mm.total_pages, 1_000_000);
+        assert!(s.mm.free_pages < s.mm.total_pages);
+        assert!(s.mm.free_pages > s.mm.total_pages / 2);
+    }
+
+    #[test]
+    fn watermarks_scale_with_memory() {
+        let small = MmState {
+            total_pages: 1000,
+            ..Default::default()
+        };
+        let big = MmState {
+            total_pages: 100_000,
+            ..Default::default()
+        };
+        assert!(big.low_watermark(10) > small.low_watermark(10));
+        assert_eq!(small.dirty_threshold(8), 80);
+    }
+}

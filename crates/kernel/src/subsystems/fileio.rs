@@ -1,0 +1,276 @@
+//! File I/O handlers (category c).
+//!
+//! The data path is mostly *private* — per-file page caches, per-slot fd
+//! tables — which is why the paper finds no clear surface-area trend for
+//! this category. The exceptions are the shared **journal** (fsync,
+//! metadata-heavy ops) and **foreground write throttling**: once the
+//! instance-wide dirty-page count crosses a threshold proportional to
+//! the instance's memory, writers synchronously flush — a stall whose
+//! size scales with the surface area.
+
+use ksa_desim::Ns;
+
+use crate::dispatch::HCtx;
+use crate::ops::{KOp, VmExitKind};
+use crate::state::FdKind;
+
+/// Maximum bytes per read/write the generator produces.
+pub const MAX_IO_BYTES: u64 = 65_536;
+
+fn io_bytes(raw: u64) -> u64 {
+    (raw % MAX_IO_BYTES).max(512)
+}
+
+/// Shared read path for read/pread.
+pub fn sys_read(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
+    let cost = h.cost();
+    let bytes = io_bytes(len);
+    let Some(fd) = h.pick_fd(fd_sel) else {
+        h.cover("io.read.ebadf");
+        h.cpu(120);
+        return;
+    };
+    match h.k.state.slots[h.slot].fds[fd].kind {
+        FdKind::Pipe { .. } => {
+            // Nonblocking pipe read; usually empty.
+            h.cover("io.read.pipe");
+            let obj = h.k.locks.ipc_obj[h.slot];
+            h.lock(obj);
+            h.cpu(cost.pipe_op);
+            h.unlock(obj);
+        }
+        FdKind::EventFd => {
+            h.cover("io.read.eventfd");
+            h.cpu(cost.pipe_op / 2);
+        }
+        FdKind::Closed => {
+            h.cover("io.read.ebadf");
+            h.cpu(120);
+        }
+        FdKind::File { idx } => {
+            h.cover_bucket("io.read.size", crate::dispatch::HCtx::size_class(bytes));
+            let pages = bytes.div_ceil(4096);
+            let offset = if positional {
+                fd_sel % 16
+            } else {
+                h.k.state.slots[h.slot].fds[fd].offset_pages
+            };
+            let file = &h.k.state.fs.files[idx];
+            let end = (offset + pages).min(file.size_pages.max(1));
+            let cached = file.cached_pages;
+            h.cpu(cost.pagecache_lookup * pages);
+            if end <= cached {
+                // Full page-cache hit: lookup + copy.
+                h.cover("io.read.hit");
+                h.mem(cost.copy(bytes));
+            } else {
+                // Miss: readahead from disk, insert into cache + LRU.
+                h.cover("io.read.miss");
+                let miss_pages = end.saturating_sub(cached.min(end)) + 8; // readahead
+                h.alloc_pages(miss_pages);
+                h.push(KOp::VmExit(VmExitKind::IoKick));
+                h.push(KOp::Io {
+                    bytes: miss_pages * 4096,
+                    write: false,
+                });
+                h.push(KOp::VmExit(VmExitKind::IoIrq));
+                h.mem(cost.copy(bytes));
+                let f = &mut h.k.state.fs.files[idx];
+                f.cached_pages = (f.cached_pages + miss_pages).min(f.size_pages);
+                h.k.state.mm.lru_pages += miss_pages;
+            }
+            if !positional {
+                let e = &mut h.k.state.slots[h.slot].fds[fd];
+                e.offset_pages = end % h.k.state.fs.files[idx].size_pages.max(1);
+            }
+            h.seq.result = bytes;
+        }
+    }
+}
+
+/// Shared write path for write/pwrite. Dirties pages; crossing the
+/// instance dirty threshold triggers foreground writeback under the
+/// journal lock (`balance_dirty_pages`).
+pub fn sys_write(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
+    let cost = h.cost();
+    let bytes = io_bytes(len);
+    let Some(fd) = h.pick_fd(fd_sel) else {
+        h.cover("io.write.ebadf");
+        h.cpu(120);
+        return;
+    };
+    match h.k.state.slots[h.slot].fds[fd].kind {
+        FdKind::Pipe { .. } => {
+            h.cover("io.write.pipe");
+            let obj = h.k.locks.ipc_obj[h.slot];
+            h.lock(obj);
+            h.cpu(cost.pipe_op);
+            h.mem(cost.copy(bytes.min(16 * 4096)));
+            h.unlock(obj);
+        }
+        FdKind::EventFd => {
+            h.cover("io.write.eventfd");
+            h.cpu(cost.pipe_op / 2);
+        }
+        FdKind::Closed => {
+            h.cover("io.write.ebadf");
+            h.cpu(120);
+        }
+        FdKind::File { idx } => {
+            h.cover("io.write.file");
+            h.cover_bucket("io.write.size", crate::dispatch::HCtx::size_class(bytes));
+            let pages = bytes.div_ceil(4096);
+            h.alloc_pages(pages);
+            h.mem(cost.copy(bytes));
+            {
+                let f = &mut h.k.state.fs.files[idx];
+                f.dirty_pages += pages;
+                f.cached_pages = (f.cached_pages + pages).min(f.size_pages + pages);
+                f.size_pages = f.size_pages.max(f.cached_pages);
+            }
+            h.k.state.mm.dirty_pages += pages;
+            // Appends dirty metadata (block allocation) every few pages.
+            h.k.state.fs.journal_dirty += pages / 4 + 1;
+            if !positional {
+                h.k.state.slots[h.slot].fds[fd].offset_pages += pages;
+            }
+
+            // Foreground throttling: the instance-wide dirty backlog is
+            // everyone's problem in a shared kernel.
+            let thresh = h.k.state.mm.dirty_threshold(cost.dirty_throttle_pct);
+            if h.k.state.mm.dirty_pages > thresh {
+                h.cover("io.write.throttled");
+                let flush = (h.k.state.mm.dirty_pages / 2).min(4096);
+                let journal = h.k.locks.journal;
+                h.lock(journal);
+                h.cpu(cost.writeback_base + cost.writeback_per_page * flush);
+                h.push(KOp::VmExit(VmExitKind::IoKick));
+                h.push(KOp::Io {
+                    bytes: flush * 4096,
+                    write: true,
+                });
+                h.push(KOp::VmExit(VmExitKind::IoIrq));
+                h.unlock(journal);
+                h.k.state.mm.dirty_pages -= flush;
+            }
+            h.seq.result = bytes;
+        }
+    }
+}
+
+/// lseek: fd-table fast path.
+pub fn sys_lseek(h: &mut HCtx, fd_sel: u64, off: u64) {
+    let Some(fd) = h.pick_fd(fd_sel) else {
+        h.cover("io.lseek.ebadf");
+        h.cpu(100);
+        return;
+    };
+    h.cover("io.lseek");
+    h.cpu(130);
+    if let FdKind::File { idx } = h.k.state.slots[h.slot].fds[fd].kind {
+        let size = h.k.state.fs.files[idx].size_pages.max(1);
+        h.k.state.slots[h.slot].fds[fd].offset_pages = off % size;
+    }
+}
+
+/// fsync / fdatasync: journal commit sized by the *shared* dirty
+/// metadata backlog, plus the file's own dirty data.
+pub fn sys_fsync(h: &mut HCtx, fd_sel: u64, data_only: bool) {
+    let cost = h.cost();
+    let Some(fd) = h.pick_fd(fd_sel) else {
+        h.cover("io.fsync.ebadf");
+        h.cpu(100);
+        return;
+    };
+    let FdKind::File { idx } = h.k.state.slots[h.slot].fds[fd].kind else {
+        h.cover("io.fsync.nonfile");
+        h.cpu(150);
+        return;
+    };
+    let file_dirty = h.k.state.fs.files[idx].dirty_pages;
+    if file_dirty == 0 && h.k.state.fs.journal_dirty == 0 {
+        h.cover("io.fsync.clean");
+        h.cpu(400);
+        return;
+    }
+    h.cover(if data_only {
+        "io.fdatasync"
+    } else {
+        "io.fsync.commit"
+    });
+    // Write back the file's data pages.
+    if file_dirty > 0 {
+        h.cpu(cost.writeback_base / 2 + cost.writeback_per_page * file_dirty.min(1024));
+        h.push(KOp::VmExit(VmExitKind::IoKick));
+        h.push(KOp::Io {
+            bytes: file_dirty.min(1024) * 4096,
+            write: true,
+        });
+        h.push(KOp::VmExit(VmExitKind::IoIrq));
+    }
+    // Metadata commit: serialize on the journal with everyone else's
+    // metadata. Group commit (jbd2): the first waiter commits the whole
+    // running transaction; callers arriving after it find a clean
+    // journal and skip the commit entirely.
+    if !data_only && h.k.state.fs.journal_dirty > 0 {
+        let journal = h.k.locks.journal;
+        let blocks = h.k.state.fs.journal_dirty.min(8_192);
+        h.lock(journal);
+        h.cpu(cost.journal_commit_base + cost.journal_per_block * blocks);
+        h.push(KOp::VmExit(VmExitKind::IoKick));
+        h.push(KOp::Io {
+            bytes: (blocks + 1) * 4096,
+            write: true,
+        });
+        h.push(KOp::VmExit(VmExitKind::IoIrq));
+        h.unlock(journal);
+        h.k.state.fs.journal_dirty = 0;
+        h.k.state.fs.commits += 1;
+    }
+    let delta = {
+        let f = &mut h.k.state.fs.files[idx];
+        let d = f.dirty_pages;
+        f.dirty_pages = 0;
+        d
+    };
+    h.k.state.mm.dirty_pages = h.k.state.mm.dirty_pages.saturating_sub(delta);
+}
+
+/// readv: scatter-gather read — per-segment setup plus the read path.
+pub fn sys_readv(h: &mut HCtx, fd_sel: u64, len: u64, segs: u64) {
+    let segs = (segs % 8).max(1);
+    h.cover("io.readv");
+    h.cpu(90 * segs as Ns);
+    sys_read(h, fd_sel, len, false);
+}
+
+/// writev: scatter-gather write.
+pub fn sys_writev(h: &mut HCtx, fd_sel: u64, len: u64, segs: u64) {
+    let segs = (segs % 8).max(1);
+    h.cover("io.writev");
+    h.cpu(90 * segs as Ns);
+    sys_write(h, fd_sel, len, false);
+}
+
+/// fallocate: block allocation under the journal.
+pub fn sys_fallocate(h: &mut HCtx, fd_sel: u64, len: u64) {
+    let cost = h.cost();
+    let Some(fd) = h.pick_fd(fd_sel) else {
+        h.cover("io.fallocate.ebadf");
+        h.cpu(100);
+        return;
+    };
+    let FdKind::File { idx } = h.k.state.slots[h.slot].fds[fd].kind else {
+        h.cover("io.fallocate.nonfile");
+        h.cpu(120);
+        return;
+    };
+    h.cover("io.fallocate");
+    let blocks = (len % 64).max(1);
+    let journal = h.k.locks.journal;
+    h.lock(journal);
+    h.cpu(cost.journal_per_block * blocks + 2_000);
+    h.unlock(journal);
+    h.k.state.fs.journal_dirty += blocks / 2 + 1;
+    h.k.state.fs.files[idx].size_pages += blocks;
+}

@@ -1,0 +1,271 @@
+//! Filesystem-management handlers (category d).
+//!
+//! Metadata operations share the **dcache** and **superblock inode**
+//! spinlocks, the filesystem-wide **rename mutex** and the **journal** —
+//! all instance-global. The paper finds this category (with process
+//! management) shows the greatest extreme-outlier reduction from smaller
+//! surface areas: fewer cores per kernel means fewer concurrent
+//! journal/dcache writers and smaller hash-chain pressure.
+
+use crate::dispatch::HCtx;
+use crate::state::{Fd, FdKind, FileMeta};
+
+/// Gets or creates the file behind a path selector in this slot's
+/// namespace; returns `(file index, created)`.
+fn lookup_or_create(h: &mut HCtx, sel: u64, create: bool) -> Option<(usize, bool)> {
+    let name = h.name_index(sel);
+    let depth = 2 + (sel % 4) as u32;
+    h.cover_bucket("fs.lookup.depth", depth);
+    if let Some(idx) = h.k.state.slots[h.slot].names[name] {
+        let cached = h.k.state.fs.files[idx].dentry_cached;
+        h.path_walk(depth, cached);
+        h.k.state.fs.files[idx].dentry_cached = true;
+        return Some((idx, false));
+    }
+    if !create {
+        h.cover("fs.lookup.enoent");
+        h.path_walk(depth, true); // parent components resolve, final misses
+        h.cpu(200);
+        return None;
+    }
+    // Create: parent walk, dentry insert, journal the new inode.
+    h.cover("fs.create");
+    h.path_walk(depth - 1, true);
+    h.slab_alloc(2);
+    let cost = h.cost();
+    let dcache = h.k.locks.dcache;
+    h.lock(dcache);
+    h.cpu(cost.dentry_insert);
+    h.unlock(dcache);
+    let sb = h.k.locks.inode_sb;
+    h.lock(sb);
+    h.cpu(400);
+    h.unlock(sb);
+    let journal = h.k.locks.journal;
+    h.lock(journal);
+    h.cpu(cost.dirent_update);
+    h.unlock(journal);
+    h.k.state.fs.journal_dirty += 2;
+    h.k.state.fs.dentries += 1;
+    let idx = h.k.state.fs.files.len();
+    h.k.state.fs.files.push(FileMeta {
+        size_pages: 4 + sel % 60,
+        cached_pages: 0,
+        dirty_pages: 0,
+        path_depth: depth,
+        dentry_cached: true,
+    });
+    h.k.state.slots[h.slot].names[name] = Some(idx);
+    Some((idx, true))
+}
+
+fn install_fd(h: &mut HCtx, kind: FdKind) -> u64 {
+    let cost = h.cost();
+    let fdt = h.k.locks.fdtable[h.slot];
+    h.lock(fdt);
+    h.cpu(cost.slab_fast + 150);
+    h.unlock(fdt);
+    let fds = &mut h.k.state.slots[h.slot].fds;
+    fds.push(Fd {
+        kind,
+        offset_pages: 0,
+    });
+    (fds.len() - 1) as u64
+}
+
+/// open(path, flags): bit 0 of flags = O_CREAT.
+pub fn sys_open(h: &mut HCtx, path_sel: u64, flags: u64) {
+    let create = flags & 1 != 0;
+    let Some((idx, created)) = lookup_or_create(h, path_sel, create) else {
+        return;
+    };
+    h.cover(if created { "fs.open.creat" } else { "fs.open.existing" });
+    h.seq.result = install_fd(h, FdKind::File { idx });
+}
+
+/// close(fd): fd-table update plus possible final-reference file release.
+pub fn sys_close(h: &mut HCtx, fd_sel: u64) {
+    let cost = h.cost();
+    let Some(fd) = h.pick_fd(fd_sel) else {
+        h.cover("fs.close.ebadf");
+        h.cpu(90);
+        return;
+    };
+    h.cover("fs.close");
+    let fdt = h.k.locks.fdtable[h.slot];
+    h.lock(fdt);
+    h.cpu(200);
+    h.unlock(fdt);
+    h.cpu(cost.slab_fast);
+    h.k.state.slots[h.slot].fds[fd].kind = FdKind::Closed;
+}
+
+/// stat(path): path walk + attribute copy.
+pub fn sys_stat(h: &mut HCtx, path_sel: u64) {
+    if let Some((_idx, _)) = lookup_or_create(h, path_sel, false) {
+        h.cover("fs.stat");
+        h.cpu(300);
+    }
+}
+
+/// fstat(fd): no walk, inode attribute copy.
+pub fn sys_fstat(h: &mut HCtx, fd_sel: u64) {
+    if h.pick_fd(fd_sel).is_none() {
+        h.cover("fs.fstat.ebadf");
+        h.cpu(90);
+        return;
+    }
+    h.cover("fs.fstat");
+    h.cpu(250);
+}
+
+/// access(path): walk + permission check against credentials.
+pub fn sys_access(h: &mut HCtx, path_sel: u64) {
+    if lookup_or_create(h, path_sel, false).is_some() {
+        h.cover("fs.access");
+        h.cpu(350);
+    }
+}
+
+/// getdents64: directory scan, cost per resident dentry of this slot.
+pub fn sys_getdents(h: &mut HCtx, _fd_sel: u64) {
+    h.cover("fs.getdents");
+    let cost = h.cost();
+    let entries = h.k.state.slots[h.slot]
+        .names
+        .iter()
+        .filter(|n| n.is_some())
+        .count() as u64
+        + 2;
+    h.cpu(180 * entries);
+    h.mem(cost.copy(64 * entries));
+}
+
+/// mkdir: create path (directory inode).
+pub fn sys_mkdir(h: &mut HCtx, path_sel: u64) {
+    h.cover("fs.mkdir");
+    let _ = lookup_or_create(h, path_sel | 0x8000_0000, true);
+}
+
+/// rmdir: remove a directory entry.
+pub fn sys_rmdir(h: &mut HCtx, path_sel: u64) {
+    unlink_common(h, path_sel | 0x8000_0000, "fs.rmdir");
+}
+
+/// unlink: remove a file entry.
+pub fn sys_unlink(h: &mut HCtx, path_sel: u64) {
+    unlink_common(h, path_sel, "fs.unlink");
+}
+
+fn unlink_common(h: &mut HCtx, path_sel: u64, blk: &'static str) {
+    let cost = h.cost();
+    let name = h.name_index(path_sel);
+    let Some(idx) = h.k.state.slots[h.slot].names[name] else {
+        h.cover("fs.unlink.enoent");
+        h.path_walk(2, true);
+        return;
+    };
+    h.cover(blk);
+    let cached = h.k.state.fs.files[idx].dentry_cached;
+    h.path_walk(2 + (path_sel % 4) as u32, cached);
+    let dcache = h.k.locks.dcache;
+    h.lock(dcache);
+    h.cpu(cost.dentry_insert / 2);
+    h.unlock(dcache);
+    let journal = h.k.locks.journal;
+    h.lock(journal);
+    h.cpu(cost.dirent_update);
+    h.unlock(journal);
+    h.k.state.fs.journal_dirty += 1;
+    h.k.state.fs.dentries = h.k.state.fs.dentries.saturating_sub(1);
+    h.k.state.slots[h.slot].names[name] = None;
+    // Invalidate cached pages of the victim under the LRU lock.
+    let pages = h.k.state.fs.files[idx].cached_pages;
+    if pages > 0 {
+        h.cover("fs.unlink.invalidate");
+        let lru = h.k.locks.lru;
+        h.lock(lru);
+        h.cpu(50 * pages.min(256));
+        h.unlock(lru);
+        h.k.state.fs.files[idx].cached_pages = 0;
+        h.k.state.mm.lru_pages = h.k.state.mm.lru_pages.saturating_sub(pages);
+    }
+}
+
+/// rename: the filesystem-wide rename mutex serializes all renames in
+/// the instance — the heaviest metadata convoy in this category.
+pub fn sys_rename(h: &mut HCtx, from_sel: u64, to_sel: u64) {
+    let cost = h.cost();
+    let from = h.name_index(from_sel);
+    let Some(idx) = h.k.state.slots[h.slot].names[from] else {
+        h.cover("fs.rename.enoent");
+        h.path_walk(2, true);
+        return;
+    };
+    h.cover("fs.rename");
+    let rename = h.k.locks.rename;
+    let dcache = h.k.locks.dcache;
+    let journal = h.k.locks.journal;
+    h.lock(rename);
+    h.path_walk(2 + (from_sel % 3) as u32, true);
+    h.path_walk(2 + (to_sel % 3) as u32, true);
+    h.lock(dcache);
+    h.cpu(cost.dentry_insert);
+    h.unlock(dcache);
+    h.lock(journal);
+    h.cpu(cost.dirent_update * 2);
+    h.unlock(journal);
+    h.unlock(rename);
+    h.k.state.fs.journal_dirty += 2;
+    let to = h.name_index(to_sel);
+    h.k.state.slots[h.slot].names[from] = None;
+    h.k.state.slots[h.slot].names[to] = Some(idx);
+}
+
+/// symlink: create a symlink inode.
+pub fn sys_symlink(h: &mut HCtx, _target_sel: u64, link_sel: u64) {
+    h.cover("fs.symlink");
+    let _ = lookup_or_create(h, link_sel ^ 0x55, true);
+}
+
+/// readlink: walk + copy the target.
+pub fn sys_readlink(h: &mut HCtx, path_sel: u64) {
+    if lookup_or_create(h, path_sel, false).is_some() {
+        h.cover("fs.readlink");
+        let cost = h.cost();
+        h.mem(cost.copy(64));
+        h.cpu(250);
+    }
+}
+
+/// truncate(path, pages): journal the size change and invalidate the
+/// tail of the page cache.
+pub fn sys_truncate(h: &mut HCtx, path_sel: u64, new_pages: u64) {
+    let cost = h.cost();
+    let Some((idx, _)) = lookup_or_create(h, path_sel, false) else {
+        return;
+    };
+    h.cover("fs.truncate");
+    let new_pages = new_pages % 64;
+    let journal = h.k.locks.journal;
+    h.lock(journal);
+    h.cpu(cost.dirent_update + cost.journal_per_block * 2);
+    h.unlock(journal);
+    h.k.state.fs.journal_dirty += 1;
+    let f = &mut h.k.state.fs.files[idx];
+    let dropped = f.cached_pages.saturating_sub(new_pages);
+    f.size_pages = new_pages.max(1);
+    f.cached_pages = f.cached_pages.min(new_pages);
+    let fdirty = f.dirty_pages;
+    f.dirty_pages = f.dirty_pages.min(new_pages);
+    let ddelta = fdirty - f.dirty_pages;
+    if dropped > 0 {
+        h.cover("fs.truncate.invalidate");
+        let lru = h.k.locks.lru;
+        h.lock(lru);
+        h.cpu(50 * dropped.min(256));
+        h.unlock(lru);
+        h.k.state.mm.lru_pages = h.k.state.mm.lru_pages.saturating_sub(dropped);
+    }
+    h.k.state.mm.dirty_pages = h.k.state.mm.dirty_pages.saturating_sub(ddelta);
+}

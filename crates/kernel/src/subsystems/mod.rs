@@ -1,0 +1,15 @@
+//! The six kernel subsystems, one module per paper category.
+//!
+//! Each handler compiles one system call into micro-ops via the
+//! [`crate::dispatch::HCtx`] helpers, mutating the instance's logical
+//! state as it goes (page-cache fills, dirty counters, fd tables). The
+//! *structure* of each handler — which locks it takes, when it IPIs, when
+//! it does I/O — mirrors the corresponding Linux path at the granularity
+//! relevant to cross-core interference.
+
+pub mod fileio;
+pub mod fs;
+pub mod ipc;
+pub mod mm;
+pub mod perms;
+pub mod sched;

@@ -1,0 +1,178 @@
+//! Latency bucket tables (Tables 2 and 3 of the paper).
+//!
+//! The paper discretizes per-system-call statistics into cumulative
+//! percentage columns: the share of all system calls whose median / 99th
+//! percentile / worst case falls **below** 1µs, 10µs, 100µs, 1ms and 10ms,
+//! plus the residual share above 10ms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MS, US};
+
+/// Bucket edges used throughout the paper, in nanoseconds:
+/// 1µs, 10µs, 100µs, 1ms, 10ms.
+pub const LATENCY_BUCKET_EDGES_NS: [u64; 5] = [US, 10 * US, 100 * US, MS, 10 * MS];
+
+/// Human-readable labels matching [`LATENCY_BUCKET_EDGES_NS`] plus the
+/// residual `>10ms` column.
+pub const LATENCY_BUCKET_LABELS: [&str; 6] = ["1us", "10us", "100us", "1ms", "10ms", ">10ms"];
+
+/// One row of a bucket table: cumulative percentages below each edge and
+/// the residual percentage above the last edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketRow {
+    /// Row label (e.g. `"Linux median"` or a container count).
+    pub label: String,
+    /// Cumulative percentage of values strictly below each bucket edge.
+    pub below: [f64; 5],
+    /// Percentage of values at or above the last edge (`>10ms` column).
+    pub above_last: f64,
+    /// Number of values the percentages are computed over.
+    pub count: usize,
+}
+
+impl BucketRow {
+    /// Computes a row from per-site statistics (one value per system call
+    /// site, e.g. its median or its max).
+    pub fn from_values(label: impl Into<String>, values: &[u64]) -> Self {
+        let count = values.len();
+        let mut below = [0.0; 5];
+        if count > 0 {
+            for (i, &edge) in LATENCY_BUCKET_EDGES_NS.iter().enumerate() {
+                let n = values.iter().filter(|&&v| v < edge).count();
+                below[i] = 100.0 * n as f64 / count as f64;
+            }
+        }
+        let above_last = if count == 0 { 0.0 } else { 100.0 - below[4] };
+        Self {
+            label: label.into(),
+            below,
+            above_last,
+            count,
+        }
+    }
+
+    /// Cumulative percentage below the i-th edge (0 ⇒ 1µs .. 4 ⇒ 10ms).
+    pub fn pct_below(&self, i: usize) -> f64 {
+        self.below[i]
+    }
+}
+
+/// A multi-row bucket table with shared column headers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BucketTable {
+    /// Title printed above the table.
+    pub title: String,
+    /// The rows, in presentation order.
+    pub rows: Vec<BucketRow>,
+}
+
+impl BucketTable {
+    /// Creates an empty table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row computed from raw per-site values.
+    pub fn push_values(&mut self, label: impl Into<String>, values: &[u64]) {
+        self.rows.push(BucketRow::from_values(label, values));
+    }
+
+    /// Renders the table as aligned text, matching the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&format!("{:<24}", "config"));
+        for l in LATENCY_BUCKET_LABELS {
+            out.push_str(&format!("{:>9}", l));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<24}", row.label));
+            for v in row.below {
+                out.push_str(&format!("{:>9.2}", v));
+            }
+            out.push_str(&format!("{:>9.2}", row.above_last));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("config,lt_1us,lt_10us,lt_100us,lt_1ms,lt_10ms,gt_10ms,count\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}\n",
+                row.label,
+                row.below[0],
+                row.below[1],
+                row.below[2],
+                row.below[3],
+                row.below[4],
+                row.above_last,
+                row.count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_values_yield_zero_row() {
+        let r = BucketRow::from_values("x", &[]);
+        assert_eq!(r.count, 0);
+        assert_eq!(r.below, [0.0; 5]);
+        assert_eq!(r.above_last, 0.0);
+    }
+
+    #[test]
+    fn percentages_are_cumulative_and_monotone() {
+        // 4 values: 500ns, 5us, 500us, 50ms
+        let r = BucketRow::from_values("x", &[500, 5 * US, 500 * US, 50 * MS]);
+        assert_eq!(r.below[0], 25.0); // < 1us
+        assert_eq!(r.below[1], 50.0); // < 10us
+        assert_eq!(r.below[2], 50.0); // < 100us
+        assert_eq!(r.below[3], 75.0); // < 1ms
+        assert_eq!(r.below[4], 75.0); // < 10ms
+        assert_eq!(r.above_last, 25.0);
+        for w in r.below.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn boundary_values_count_as_not_below() {
+        let r = BucketRow::from_values("x", &[US]);
+        assert_eq!(r.below[0], 0.0, "exactly 1us is not < 1us");
+        assert_eq!(r.below[1], 100.0);
+    }
+
+    #[test]
+    fn render_contains_all_labels() {
+        let mut t = BucketTable::new("Table X");
+        t.push_values("row-a", &[100, 2 * MS]);
+        let s = t.render();
+        for l in LATENCY_BUCKET_LABELS {
+            assert!(s.contains(l), "missing label {l} in output:\n{s}");
+        }
+        assert!(s.contains("row-a"));
+    }
+
+    #[test]
+    fn csv_row_count_matches() {
+        let mut t = BucketTable::new("t");
+        t.push_values("a", &[1]);
+        t.push_values("b", &[2]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

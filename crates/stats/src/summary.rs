@@ -1,0 +1,128 @@
+//! Full summary statistics for one measurement site.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantile::quantile_sorted;
+
+/// Summary of a latency distribution, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Minimum observed latency.
+    pub min: u64,
+    /// Median (50th percentile).
+    pub median: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile — the paper's primary tail metric.
+    pub p99: u64,
+    /// Maximum (worst case) latency.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+}
+
+impl SummaryStats {
+    /// Builds a summary from a **sorted** sample slice.
+    pub fn from_sorted(sorted: &[u64]) -> Option<Self> {
+        if sorted.is_empty() {
+            return None;
+        }
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let n = sorted.len();
+        let mean = sorted.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var = sorted
+                .iter()
+                .map(|&v| {
+                    let d = v as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / (n - 1) as f64;
+            var.sqrt()
+        };
+        Some(Self {
+            count: n,
+            min: sorted[0],
+            median: quantile_sorted(sorted, 0.5)?,
+            p95: quantile_sorted(sorted, 0.95)?,
+            p99: quantile_sorted(sorted, 0.99)?,
+            max: sorted[n - 1],
+            mean,
+            stddev,
+        })
+    }
+
+    /// Coefficient of variation (stddev / mean) — a scale-free variability
+    /// measure used when comparing subsystems at different base latencies.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+
+    /// Ratio of the 99th percentile to the median: the "tail blowup" factor.
+    pub fn tail_ratio(&self) -> f64 {
+        if self.median == 0 {
+            0.0
+        } else {
+            self.p99 as f64 / self.median as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sorted_rejects_empty() {
+        assert!(SummaryStats::from_sorted(&[]).is_none());
+    }
+
+    #[test]
+    fn basic_fields() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s = SummaryStats::from_sorted(&v).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.median, 51); // rank 49.5 -> 50.5 rounded
+        assert_eq!(s.p99, 99);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let s = SummaryStats::from_sorted(&[7, 7, 7, 7]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = SummaryStats::from_sorted(&[5]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 5);
+        assert_eq!(s.max, 5);
+    }
+
+    #[test]
+    fn tail_ratio_reflects_outliers() {
+        // 99 fast samples and one huge one.
+        let mut v: Vec<u64> = vec![100; 99];
+        v.push(1_000_000);
+        v.sort_unstable();
+        let s = SummaryStats::from_sorted(&v).unwrap();
+        assert!(s.tail_ratio() > 10.0, "tail ratio {}", s.tail_ratio());
+    }
+}

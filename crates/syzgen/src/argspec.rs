@@ -1,0 +1,171 @@
+//! Typed argument descriptions per system call.
+
+use ksa_kernel::SysNo;
+use serde::{Deserialize, Serialize};
+
+/// Resource kinds that calls can produce and consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// A file descriptor (open, pipe2, eventfd).
+    Fd,
+    /// A mapping handle (mmap, mremap, shmat).
+    Vma,
+    /// A SysV message-queue id.
+    MsgQ,
+    /// A SysV semaphore-set id.
+    Sem,
+    /// A SysV shared-memory id.
+    Shm,
+    /// A child process id (clone).
+    ChildPid,
+}
+
+/// What one argument position means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgSpec {
+    /// Any 64-bit value.
+    Any,
+    /// A value in `[lo, hi)`.
+    Range(u64, u64),
+    /// One of a fixed flag set.
+    Flags(&'static [u64]),
+    /// A buffer length up to `max` bytes.
+    Len(u64),
+    /// A page count up to `max`.
+    Pages(u64),
+    /// A path selector (the slot's private namespace).
+    Path,
+    /// A resource consumed from an earlier call.
+    Res(Resource),
+}
+
+/// The argument signature of a call.
+pub fn arg_spec(no: SysNo) -> &'static [ArgSpec] {
+    use ArgSpec::*;
+    use Resource::*;
+    match no {
+        SysNo::Getpid | SysNo::Getuid | SysNo::SchedGetparam | SysNo::Getrusage => &[],
+        SysNo::SchedYield => &[],
+        SysNo::Clone => &[Flags(&[0, 0x100, 0x8000])],
+        SysNo::Wait4 => &[Res(ChildPid)],
+        SysNo::Kill => &[Res(ChildPid), Range(0, 32)],
+        SysNo::SchedSetaffinity => &[Range(0, 64)],
+        SysNo::Setpriority => &[Range(0, 40)],
+        SysNo::Nanosleep => &[Range(0, 50_000)],
+
+        SysNo::Mmap => &[Pages(256), Flags(&[0, 1])],
+        SysNo::Munmap | SysNo::Mprotect | SysNo::Mlock | SysNo::Munlock | SysNo::Msync
+        | SysNo::Mincore => &[Res(Vma)],
+        SysNo::Madvise => &[Res(Vma), Range(0, 16)],
+        SysNo::Brk => &[Range(0, 128)],
+        SysNo::Mremap => &[Res(Vma), Pages(256)],
+
+        SysNo::Read | SysNo::Write => &[Res(Fd), Len(65_536)],
+        SysNo::Pread | SysNo::Pwrite => &[Res(Fd), Len(65_536)],
+        SysNo::Lseek => &[Res(Fd), Range(0, 256)],
+        SysNo::Fsync | SysNo::Fdatasync => &[Res(Fd)],
+        SysNo::Readv | SysNo::Writev => &[Res(Fd), Len(65_536), Range(1, 8)],
+        SysNo::Fallocate => &[Res(Fd), Pages(64)],
+
+        SysNo::Open => &[Path, Flags(&[0, 1])],
+        SysNo::Close | SysNo::Fstat => &[Res(Fd)],
+        SysNo::Stat | SysNo::Access | SysNo::Readlink => &[Path],
+        SysNo::Getdents => &[Res(Fd)],
+        SysNo::Mkdir | SysNo::Rmdir | SysNo::Unlink => &[Path],
+        SysNo::Rename | SysNo::Symlink => &[Path, Path],
+        SysNo::Truncate => &[Path, Pages(64)],
+
+        SysNo::Pipe2 => &[],
+        SysNo::FutexWait | SysNo::FutexWake => &[Range(0, 64), Range(0, 16)],
+        SysNo::Msgget => &[],
+        SysNo::Msgsnd | SysNo::Msgrcv => &[Res(MsgQ), Len(8_192)],
+        SysNo::Semget => &[Range(1, 16)],
+        SysNo::Semop => &[Res(Sem), Range(1, 8)],
+        SysNo::Shmget => &[Pages(128)],
+        SysNo::Shmat => &[Res(Shm)],
+        SysNo::Shmdt => &[Res(Vma)],
+        SysNo::Eventfd => &[],
+
+        SysNo::Chmod => &[Path, Range(0, 0o777)],
+        SysNo::Fchmod => &[Res(Fd), Range(0, 0o777)],
+        SysNo::Chown => &[Path, Range(0, 8)],
+        SysNo::Setuid => &[Range(0, 4)],
+        SysNo::Capget => &[],
+        SysNo::Capset => &[Any],
+        SysNo::Umask => &[Range(0, 0o777)],
+        SysNo::Setgroups => &[Range(1, 32)],
+        SysNo::Prctl => &[Range(0, 16)],
+    }
+}
+
+/// The resource a call produces, if any.
+pub fn produces(no: SysNo) -> Option<Resource> {
+    match no {
+        SysNo::Open | SysNo::Pipe2 | SysNo::Eventfd => Some(Resource::Fd),
+        SysNo::Mmap | SysNo::Mremap | SysNo::Shmat => Some(Resource::Vma),
+        SysNo::Msgget => Some(Resource::MsgQ),
+        SysNo::Semget => Some(Resource::Sem),
+        SysNo::Shmget => Some(Resource::Shm),
+        SysNo::Clone => Some(Resource::ChildPid),
+        _ => None,
+    }
+}
+
+/// Constructor calls for each resource (used when a consumer needs a
+/// resource no earlier call provides).
+pub fn constructor(res: Resource) -> SysNo {
+    match res {
+        Resource::Fd => SysNo::Open,
+        Resource::Vma => SysNo::Mmap,
+        Resource::MsgQ => SysNo::Msgget,
+        Resource::Sem => SysNo::Semget,
+        Resource::Shm => SysNo::Shmget,
+        Resource::ChildPid => SysNo::Clone,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_syscall_has_a_spec() {
+        for &no in &SysNo::ALL {
+            // Must not panic; specs may be empty (no args).
+            let spec = arg_spec(no);
+            assert!(spec.len() <= 4, "{}: too many args", no.name());
+        }
+    }
+
+    #[test]
+    fn producers_construct_their_own_resource() {
+        for res in [
+            Resource::Fd,
+            Resource::Vma,
+            Resource::MsgQ,
+            Resource::Sem,
+            Resource::Shm,
+            Resource::ChildPid,
+        ] {
+            let c = constructor(res);
+            assert_eq!(produces(c), Some(res), "constructor of {res:?}");
+        }
+    }
+
+    #[test]
+    fn consumers_reference_producible_resources() {
+        for &no in &SysNo::ALL {
+            for spec in arg_spec(no) {
+                if let ArgSpec::Res(r) = spec {
+                    // The constructor must not itself consume the same
+                    // resource (no infinite construction chains).
+                    let c = constructor(*r);
+                    let self_consuming = arg_spec(c)
+                        .iter()
+                        .any(|s| matches!(s, ArgSpec::Res(rr) if rr == r));
+                    assert!(!self_consuming, "constructor {} consumes {r:?}", c.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Application profiles (Table 4 of the paper).
+//!
+//! Each profile encodes the characteristics the paper's results hinge on:
+//!
+//! * `service_ns` / `jitter_ns` — the userspace compute per request
+//!   (scaled down ~50× from the real suite so simulations stay fast; all
+//!   comparisons are relative).
+//! * `mem_milli` — the fraction of compute that is memory-access bound,
+//!   and therefore inflated by nested paging in a VM. silo's documented
+//!   TLB/cache sensitivity lives here.
+//! * `calls` — the per-request system-call template executed through the
+//!   simulated kernel (socket I/O plus the app's own kernel footprint:
+//!   file reads for xapian/sphinx, write+fsync for shore, allocation
+//!   churn for moses/specjbb).
+
+use ksa_kernel::SysNo;
+use serde::Serialize;
+
+/// One per-request kernel call: the syscall plus two raw argument
+/// selectors (resolved against the worker's private resources).
+pub type TemplateCall = (SysNo, u64, u64);
+
+/// Profile of one tailbench application.
+#[derive(Debug, Clone, Serialize)]
+pub struct AppProfile {
+    /// Application name as in the paper.
+    pub name: &'static str,
+    /// Mean userspace service time per request (ns).
+    pub service_ns: u64,
+    /// Uniform jitter added to the service time (ns).
+    pub jitter_ns: u64,
+    /// Memory-bound fraction of the compute, in milli-units (0..=1000).
+    /// This part pays the EPT multiplier in a VM.
+    pub mem_milli: u64,
+    /// Kernel calls each request performs (beyond the implicit socket
+    /// read/write, which every app pays).
+    pub calls: &'static [TemplateCall],
+    /// Rough kernel time per request (template + socket), used to set
+    /// the arrival rate for a true target utilization.
+    pub kernel_ns: u64,
+    /// Whether the app needs a disk (shore): skipped in the cluster
+    /// experiment, as on the paper's diskless Chameleon nodes.
+    pub needs_disk: bool,
+    /// Whether the app is JVM-based (specjbb): skipped in the cluster
+    /// experiment (the paper hit Java runtime failures there).
+    pub jvm: bool,
+}
+
+impl AppProfile {
+    /// Arrival rate (requests/ns) that loads `workers` cores to
+    /// `util_pct`% given this profile's mean service demand.
+    pub fn arrival_rate(&self, workers: usize, util_pct: u64) -> f64 {
+        let per_req =
+            self.service_ns as f64 + self.jitter_ns as f64 / 2.0 + self.kernel_ns as f64;
+        (workers as f64 * util_pct as f64 / 100.0) / per_req
+    }
+}
+
+/// The eight tailbench applications (Table 4).
+pub fn suite() -> Vec<AppProfile> {
+    vec![
+        AppProfile {
+            // Search engine: index reads dominate — page-cache hits with
+            // occasional misses, plus mmap'd index segments.
+            name: "xapian",
+            service_ns: 350_000,
+            jitter_ns: 150_000,
+            mem_milli: 150,
+            calls: &[
+                (SysNo::Pread, 3, 24_000),
+                (SysNo::Pread, 9, 16_000),
+                (SysNo::Mmap, 16, 0),
+                (SysNo::Stat, 4, 0),
+            ],
+            kernel_ns: 15000,
+            needs_disk: false,
+            jvm: false,
+        },
+        AppProfile {
+            // In-memory key-value store: very short requests, almost no
+            // kernel time beyond the socket.
+            name: "masstree",
+            service_ns: 45_000,
+            jitter_ns: 20_000,
+            mem_milli: 200,
+            calls: &[(SysNo::FutexWake, 5, 1)],
+            kernel_ns: 5000,
+            needs_disk: false,
+            jvm: false,
+        },
+        AppProfile {
+            // Statistical machine translation: long requests, heavy
+            // allocation churn (phrase tables), moderate file access.
+            name: "moses",
+            service_ns: 1_800_000,
+            jitter_ns: 400_000,
+            mem_milli: 180,
+            calls: &[
+                (SysNo::Mmap, 48, 1),
+                (SysNo::Brk, 21, 0),
+                (SysNo::Madvise, 1, 0),
+                (SysNo::Pread, 6, 32_000),
+                (SysNo::Munmap, 1, 0),
+            ],
+            kernel_ns: 600000,
+            needs_disk: false,
+            jvm: false,
+        },
+        AppProfile {
+            // Speech recognition: longest requests; streams acoustic
+            // model data from files while computing.
+            name: "sphinx",
+            service_ns: 3_500_000,
+            jitter_ns: 1_200_000,
+            mem_milli: 120,
+            calls: &[
+                (SysNo::Pread, 9, 48_000),
+                (SysNo::Pread, 12, 48_000),
+                (SysNo::Mmap, 32, 1),
+                (SysNo::Nanosleep, 4_000, 0),
+                (SysNo::Munmap, 2, 0),
+            ],
+            kernel_ns: 830000,
+            needs_disk: false,
+            jvm: false,
+        },
+        AppProfile {
+            // Handwriting recognition: pure-CPU inference, tiny kernel
+            // footprint.
+            name: "img-dnn",
+            service_ns: 550_000,
+            jitter_ns: 180_000,
+            mem_milli: 100,
+            calls: &[(SysNo::Getpid, 0, 0)],
+            kernel_ns: 5000,
+            needs_disk: false,
+            jvm: false,
+        },
+        AppProfile {
+            // Java middleware: allocation-heavy with GC-style mprotect /
+            // madvise bursts.
+            name: "specjbb",
+            service_ns: 280_000,
+            jitter_ns: 140_000,
+            mem_milli: 180,
+            calls: &[
+                (SysNo::Mmap, 24, 1),
+                (SysNo::Mprotect, 1, 0),
+                (SysNo::Madvise, 2, 0),
+                (SysNo::FutexWake, 9, 2),
+            ],
+            kernel_ns: 95000,
+            needs_disk: false,
+            jvm: true,
+        },
+        AppProfile {
+            // In-memory OLTP: very short transactions, extremely
+            // cache/TLB-sensitive — the paper's one KVM loser at scale.
+            name: "silo",
+            service_ns: 28_000,
+            jitter_ns: 12_000,
+            mem_milli: 900,
+            calls: &[
+                (SysNo::FutexWake, 3, 1),
+                (SysNo::SchedYield, 0, 0),
+                (SysNo::SchedYield, 0, 0),
+            ],
+            kernel_ns: 5000,
+            needs_disk: false,
+            jvm: false,
+        },
+        AppProfile {
+            // Disk-based OLTP: every transaction logs and syncs — the
+            // virtio-heavy app that suffers most from KVM in isolation.
+            name: "shore",
+            service_ns: 250_000,
+            jitter_ns: 120_000,
+            mem_milli: 100,
+            calls: &[
+                (SysNo::Pwrite, 0, 32_000),
+                (SysNo::Fdatasync, 0, 0),
+                (SysNo::Pread, 6, 8_000),
+            ],
+            kernel_ns: 60000,
+            needs_disk: true,
+            jvm: false,
+        },
+    ]
+}
+
+/// The apps evaluated in the 64-node experiment (no shore — no SSDs on
+/// the cluster nodes; no specjbb — JVM failures, as in the paper).
+pub fn cluster_suite() -> Vec<AppProfile> {
+    suite().into_iter().filter(|a| !a.needs_disk && !a.jvm).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table4() {
+        let s = suite();
+        assert_eq!(s.len(), 8);
+        let names: Vec<&str> = s.iter().map(|a| a.name).collect();
+        for expect in [
+            "xapian", "masstree", "moses", "sphinx", "img-dnn", "specjbb", "silo", "shore",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn cluster_suite_drops_shore_and_specjbb() {
+        let s = cluster_suite();
+        assert_eq!(s.len(), 6);
+        assert!(s.iter().all(|a| a.name != "shore" && a.name != "specjbb"));
+    }
+
+    #[test]
+    fn arrival_rate_scales_with_workers_and_util() {
+        let app = &suite()[0];
+        let full = app.arrival_rate(16, 100);
+        let spare = app.arrival_rate(16, 75);
+        let small = app.arrival_rate(8, 75);
+        assert!(spare < full);
+        assert!((small * 2.0 - spare).abs() < 1e-12, "halving workers halves the rate");
+        assert!(small < spare);
+    }
+
+    #[test]
+    fn silo_is_most_memory_sensitive() {
+        let s = suite();
+        let silo = s.iter().find(|a| a.name == "silo").unwrap();
+        for a in &s {
+            assert!(silo.mem_milli >= a.mem_milli, "{} beats silo", a.name);
+        }
+    }
+}

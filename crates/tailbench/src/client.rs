@@ -1,0 +1,210 @@
+//! The open-loop client: Poisson arrivals at a target utilization.
+
+use ksa_desim::{Effect, Ns, Process, QueueId, SimCtx, WakeReason};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::world::{Request, TbWorld};
+
+/// Record keys `ITER_KEY_BASE + batch` hold per-batch durations in
+/// cluster mode.
+pub const ITER_KEY_BASE: u64 = 1_000_000;
+
+/// How the client drives load.
+#[derive(Debug, Clone, Copy)]
+pub enum ClientMode {
+    /// Figure 3: issue `total` requests open-loop, then wait for the last
+    /// completion.
+    OpenLoop {
+        /// Requests to issue.
+        total: u64,
+    },
+    /// Figure 4: `batches` rounds of `per_batch` requests; each round
+    /// waits for all completions (the node-local part of a BSP step) and
+    /// records its duration.
+    Batched {
+        /// Number of rounds (the paper uses 50).
+        batches: u64,
+        /// Requests per round.
+        per_batch: u64,
+    },
+}
+
+enum State {
+    Issuing,
+    Draining,
+}
+
+/// The request generator for one application.
+pub struct Client {
+    app_id: usize,
+    queue: QueueId,
+    done_q: QueueId,
+    /// Arrivals per nanosecond.
+    rate: f64,
+    mode: ClientMode,
+    rng: SmallRng,
+    state: State,
+    issued_in_round: u64,
+    batch: u64,
+    batch_start: Ns,
+}
+
+impl Client {
+    /// Creates a client issuing at `rate` requests/ns.
+    pub fn new(
+        app_id: usize,
+        queue: QueueId,
+        done_q: QueueId,
+        rate: f64,
+        mode: ClientMode,
+        seed: u64,
+    ) -> Self {
+        assert!(rate > 0.0);
+        Self {
+            app_id,
+            queue,
+            done_q,
+            rate,
+            mode,
+            rng: SmallRng::seed_from_u64(seed),
+            state: State::Issuing,
+            issued_in_round: 0,
+            batch: 0,
+            batch_start: 0,
+        }
+    }
+
+    fn interarrival(&mut self) -> Ns {
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        ((-u.ln()) / self.rate).max(1.0) as Ns
+    }
+
+    fn round_total(&self) -> u64 {
+        match self.mode {
+            ClientMode::OpenLoop { total } => total,
+            ClientMode::Batched { per_batch, .. } => per_batch,
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut SimCtx<'_, TbWorld>) {
+        let req = Request {
+            arrival: ctx.now(),
+            batch: self.batch,
+        };
+        ctx.world.queues[self.app_id].pending.push_back(req);
+        ctx.signal(self.queue, 1);
+        self.issued_in_round += 1;
+    }
+
+    fn start_drain(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> Effect {
+        self.state = State::Draining;
+        let q = &mut ctx.world.queues[self.app_id];
+        let target = q.completed + q.pending.len() as u64 + self.in_flight_estimate();
+        // Target = everything issued this run so far: completed plus
+        // everything still pending or in service. Since only this client
+        // issues, issued totals are exact.
+        let issued_total = self.batch * self.round_total() + self.issued_in_round;
+        let _ = target;
+        if q.completed >= issued_total {
+            // Everything already done.
+            return self.round_done(ctx);
+        }
+        q.batch_target = issued_total;
+        Effect::Wait(self.done_q)
+    }
+
+    fn in_flight_estimate(&self) -> u64 {
+        0
+    }
+
+    fn round_done(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> Effect {
+        ctx.world.queues[self.app_id].batch_target = u64::MAX;
+        match self.mode {
+            ClientMode::OpenLoop { .. } => Effect::Done,
+            ClientMode::Batched { batches, .. } => {
+                let dur = ctx.now() - self.batch_start;
+                ctx.record(ITER_KEY_BASE + self.batch, dur);
+                self.batch += 1;
+                self.issued_in_round = 0;
+                if self.batch >= batches {
+                    return Effect::Done;
+                }
+                self.state = State::Issuing;
+                self.batch_start = ctx.now();
+                self.issue_batch(ctx)
+            }
+        }
+    }
+}
+
+impl Client {
+    /// Dumps the whole round at once (BSP batch mode: iterations are
+    /// work-bound, so the client hands the server its full quantum and
+    /// waits for the drain).
+    fn issue_batch(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> Effect {
+        let total = self.round_total();
+        while self.issued_in_round < total {
+            self.issue(ctx);
+        }
+        ctx.signal(self.queue, total as usize);
+        self.start_drain(ctx)
+    }
+}
+
+impl Process<TbWorld> for Client {
+    fn resume(&mut self, ctx: &mut SimCtx<'_, TbWorld>, wake: WakeReason) -> Effect {
+        match self.state {
+            State::Issuing => {
+                if matches!(wake, WakeReason::Start) {
+                    self.batch_start = ctx.now();
+                }
+                if matches!(self.mode, ClientMode::Batched { .. }) {
+                    return self.issue_batch(ctx);
+                }
+                if self.issued_in_round < self.round_total() {
+                    self.issue(ctx);
+                    if self.issued_in_round < self.round_total() {
+                        return Effect::Sleep(self.interarrival());
+                    }
+                }
+                self.start_drain(ctx)
+            }
+            State::Draining => self.round_done(ctx),
+        }
+    }
+
+    fn label(&self) -> &str {
+        "tailbench_client"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interarrival_matches_rate_on_average() {
+        let mut c = Client::new(
+            0,
+            QueueId(0),
+            QueueId(1),
+            1.0 / 10_000.0, // one request per 10us
+            ClientMode::OpenLoop { total: 1 },
+            7,
+        );
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| c.interarrival()).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(
+            (mean - 10_000.0).abs() < 500.0,
+            "mean interarrival {mean} != ~10000"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let _ = Client::new(0, QueueId(0), QueueId(1), 0.0, ClientMode::OpenLoop { total: 1 }, 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Server workers: pull requests, execute their kernel template plus the
+//! service compute, record sojourn times.
+
+use ksa_desim::{CoreId, Effect, Process, QueueId, SimCtx, WakeReason};
+use ksa_kernel::coverage::CoverageSet;
+use ksa_kernel::dispatch::dispatch;
+use ksa_kernel::exec::OpRunner;
+use ksa_kernel::ops::OpSeq;
+use ksa_kernel::SysNo;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::apps::AppProfile;
+use crate::world::TbWorld;
+
+/// Record key under which sojourn (request latency) samples are logged.
+pub const SOJOURN_KEY: u64 = 0;
+
+enum State {
+    Setup,
+    Idle,
+    Running,
+}
+
+/// One server worker pinned to a core of the application's kernel
+/// instance.
+pub struct ServerWorker {
+    app: AppProfile,
+    app_id: usize,
+    queue: QueueId,
+    done_q: QueueId,
+    core: CoreId,
+    instance: usize,
+    slot: usize,
+    rng: SmallRng,
+    cover: CoverageSet,
+    state: State,
+    runner: Option<OpRunner>,
+    arrival: u64,
+}
+
+impl ServerWorker {
+    /// Creates a worker.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        app: AppProfile,
+        app_id: usize,
+        queue: QueueId,
+        done_q: QueueId,
+        core: CoreId,
+        instance: usize,
+        slot: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            app,
+            app_id,
+            queue,
+            done_q,
+            core,
+            instance,
+            slot,
+            rng: SmallRng::seed_from_u64(seed),
+            cover: CoverageSet::new(),
+            state: State::Setup,
+            runner: None,
+            arrival: 0,
+        }
+    }
+
+    /// Builds the warm-up sequence: open a data file, prime its cache,
+    /// create the loopback socket (a pipe pair).
+    fn build_setup(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> OpRunner {
+        let inst = &mut ctx.world.kernel.instances[self.instance];
+        let mut seq = OpSeq::new();
+        for (no, a0, a1) in [
+            (SysNo::Open, self.slot as u64, 1),
+            (SysNo::Pipe2, 0, 0),
+            (SysNo::Pwrite, 0, 32_000),
+            (SysNo::Pwrite, 0, 32_000),
+            (SysNo::Pread, 0, 32_000),
+        ] {
+            let sub = dispatch(inst, self.slot, no, &[a0, a1], &mut self.rng, &mut self.cover);
+            seq.ops.extend(sub.ops);
+        }
+        OpRunner::new(&seq, inst, self.core)
+    }
+
+    /// Builds one request's full execution: socket receive, the app's
+    /// kernel-call template, the (virtualization-sensitive) service
+    /// compute, socket reply.
+    fn build_request(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> OpRunner {
+        let inst = &mut ctx.world.kernel.instances[self.instance];
+        let mut seq = OpSeq::new();
+
+        // Loopback socket receive (read on the pipe).
+        let sub = dispatch(inst, self.slot, SysNo::Read, &[1, 768], &mut self.rng, &mut self.cover);
+        seq.ops.extend(sub.ops);
+
+        // The app's kernel footprint.
+        for &(no, a0, a1) in self.app.calls {
+            let sub = dispatch(inst, self.slot, no, &[a0, a1], &mut self.rng, &mut self.cover);
+            seq.ops.extend(sub.ops);
+        }
+
+        // Userspace service compute, split into the memory-bound part
+        // (pays nested paging in VMs) and the rest.
+        let total = self.app.service_ns
+            + if self.app.jitter_ns > 0 {
+                self.rng.gen_range(0..self.app.jitter_ns)
+            } else {
+                0
+            };
+        let mem = total * self.app.mem_milli / 1000;
+        seq.mem(mem);
+        seq.push(ksa_kernel::ops::KOp::UserCpu(total - mem));
+
+        // Reply.
+        let sub = dispatch(inst, self.slot, SysNo::Write, &[1, 256], &mut self.rng, &mut self.cover);
+        seq.ops.extend(sub.ops);
+
+        debug_assert!(seq.locks_balanced());
+        OpRunner::new(&seq, inst, self.core)
+    }
+
+    /// Finishes the in-flight request and looks for the next one.
+    fn complete_and_next(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> Effect {
+        let sojourn = ctx.now() - self.arrival;
+        ctx.record(SOJOURN_KEY, sojourn);
+        let q = &mut ctx.world.queues[self.app_id];
+        q.completed += 1;
+        if q.completed == q.batch_target {
+            ctx.signal(self.done_q, 1);
+        }
+        self.next(ctx)
+    }
+
+    /// Pops a request or sleeps on the queue.
+    fn next(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> Effect {
+        match ctx.world.queues[self.app_id].pending.pop_front() {
+            Some(req) => {
+                self.arrival = req.arrival;
+                self.runner = Some(self.build_request(ctx));
+                self.state = State::Running;
+                self.step(ctx)
+            }
+            None => {
+                self.state = State::Idle;
+                Effect::Wait(self.queue)
+            }
+        }
+    }
+
+    fn step(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> Effect {
+        if let Some(runner) = &mut self.runner {
+            if let Some(e) = runner.step(ctx) {
+                return e;
+            }
+        }
+        self.runner = None;
+        self.complete_and_next(ctx)
+    }
+}
+
+impl Process<TbWorld> for ServerWorker {
+    fn resume(&mut self, ctx: &mut SimCtx<'_, TbWorld>, _wake: WakeReason) -> Effect {
+        match self.state {
+            State::Setup => {
+                if self.runner.is_none() {
+                    self.runner = Some(self.build_setup(ctx));
+                }
+                if let Some(e) = self.runner.as_mut().unwrap().step(ctx) {
+                    return e;
+                }
+                self.runner = None;
+                self.next(ctx)
+            }
+            State::Idle => self.next(ctx),
+            State::Running => self.step(ctx),
+        }
+    }
+
+    fn is_daemon(&self) -> bool {
+        // The client decides when the run ends.
+        true
+    }
+
+    fn label(&self) -> &str {
+        self.app.name
+    }
+}

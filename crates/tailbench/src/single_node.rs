@@ -1,0 +1,325 @@
+//! Single-node tail-latency experiments (Figure 3) and the node runner
+//! shared with the cluster experiments (Figure 4).
+//!
+//! The paper's setup: a 64-thread machine divided four ways — under KVM,
+//! 4 VMs × 16 cores (one runs the tailbench app, three run a 48-core
+//! varbench corpus as noise); under Docker, the same split as 4
+//! containers on one shared kernel. Clients drive ~75% utilization.
+
+use std::rc::Rc;
+
+use ksa_desim::{Engine, EngineParams, Ns};
+use ksa_envsim::{build_env, EnvKind, EnvSpec, Machine};
+use ksa_kernel::prog::Corpus;
+use ksa_stats::Samples;
+use ksa_varbench::worker::{site_bases, CorpusWorker};
+use serde::{Deserialize, Serialize};
+
+use crate::apps::AppProfile;
+use crate::client::{Client, ClientMode, ITER_KEY_BASE};
+use crate::server::{ServerWorker, SOJOURN_KEY};
+use crate::world::TbWorld;
+
+/// Configuration of one single-node run.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleNodeConfig {
+    /// The machine being divided.
+    pub machine: Machine,
+    /// Number of equal divisions (VMs or containers); the app gets one.
+    pub groups: usize,
+    /// KVM VMs (true) or Docker containers (false).
+    pub virt: bool,
+    /// Run the varbench noise corpus on the other groups.
+    pub noise: bool,
+    /// Requests the client issues (Figure 3 mode).
+    pub requests: u64,
+    /// Leading samples discarded as warm-up.
+    pub warmup: usize,
+    /// Target utilization percentage.
+    pub util_pct: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl SingleNodeConfig {
+    /// The paper's Figure 3 configuration.
+    pub fn paper(virt: bool, noise: bool, seed: u64) -> Self {
+        Self {
+            machine: Machine {
+                cores: 64,
+                mem_mib: 64 * 1024,
+            },
+            groups: 4,
+            virt,
+            noise,
+            requests: 2_000,
+            warmup: 200,
+            util_pct: 75,
+            seed,
+        }
+    }
+
+    /// A scaled-down configuration for tests.
+    pub fn quick(virt: bool, noise: bool, seed: u64) -> Self {
+        Self {
+            machine: Machine {
+                cores: 16,
+                mem_mib: 8 * 1024,
+            },
+            groups: 4,
+            virt,
+            noise,
+            requests: 300,
+            warmup: 30,
+            util_pct: 75,
+            seed,
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TailResult {
+    /// Application name.
+    pub app: String,
+    /// Request sojourn times (warm-up removed).
+    pub sojourns: Samples,
+    /// p99 request latency.
+    pub p99: u64,
+    /// Per-batch durations (cluster mode; empty otherwise).
+    pub batch_durations: Vec<Ns>,
+    /// Final virtual time.
+    pub sim_ns: Ns,
+}
+
+/// Runs one app under `cfg` (Figure 3 point). `noise_corpus` is only
+/// used when `cfg.noise` is set.
+pub fn run_single_node(
+    app: &AppProfile,
+    cfg: &SingleNodeConfig,
+    noise_corpus: &Corpus,
+) -> TailResult {
+    run_node(app, cfg, noise_corpus, None)
+}
+
+/// Runs one cluster node: `batches` rounds of `per_batch` requests with a
+/// local drain between rounds (Figure 4's node-local component).
+pub fn run_node_batched(
+    app: &AppProfile,
+    cfg: &SingleNodeConfig,
+    noise_corpus: &Corpus,
+    batches: u64,
+    per_batch: u64,
+) -> TailResult {
+    run_node(app, cfg, noise_corpus, Some((batches, per_batch)))
+}
+
+fn run_node(
+    app: &AppProfile,
+    cfg: &SingleNodeConfig,
+    noise_corpus: &Corpus,
+    batched: Option<(u64, u64)>,
+) -> TailResult {
+    assert!(cfg.machine.cores % cfg.groups == 0);
+    let per_group = cfg.machine.cores / cfg.groups;
+
+    let mut engine: Engine<TbWorld> =
+        Engine::new(TbWorld::new(), EngineParams::default(), cfg.seed);
+    let kind = if cfg.virt {
+        EnvKind::Vm(cfg.groups)
+    } else {
+        EnvKind::Container(cfg.groups)
+    };
+    let spec = EnvSpec::new(cfg.machine, kind);
+    let built = build_env(&mut engine, &spec, cfg.seed);
+
+    // The app owns the first group of cores (instance 0 under KVM; the
+    // first container's share under Docker).
+    let app_cores = &built.cores[..per_group];
+    let app_id = engine.world_mut().add_queue();
+    let req_q = engine.add_queue();
+    let done_q = engine.add_queue();
+
+    for (i, &core) in app_cores.iter().enumerate() {
+        let (instance, slot) = {
+            use ksa_kernel::world::HasKernel;
+            engine.world().kernel().locate(core)
+        };
+        let worker = ServerWorker::new(
+            app.clone(),
+            app_id,
+            req_q,
+            done_q,
+            core,
+            instance,
+            slot,
+            cfg.seed ^ (i as u64 + 1) * 0x9e37,
+        );
+        engine.spawn(core, Box::new(worker), 0);
+    }
+
+    let rate = app.arrival_rate(per_group, cfg.util_pct);
+    let mode = match batched {
+        None => ClientMode::OpenLoop {
+            total: cfg.requests,
+        },
+        Some((batches, per_batch)) => ClientMode::Batched { batches, per_batch },
+    };
+    // Client runs on the app's first core; it mostly sleeps. Started
+    // slightly late so server setup completes first.
+    let client = Client::new(app_id, req_q, done_q, rate, mode, cfg.seed ^ 0xc11e);
+    engine.spawn(app_cores[0], Box::new(client), 50_000);
+
+    // Noise co-runners on the remaining cores.
+    if cfg.noise && built.cores.len() > per_group {
+        let noise_cores = &built.cores[per_group..];
+        let corpus_rc = Rc::new(noise_corpus.clone());
+        let bases = Rc::new(site_bases(noise_corpus));
+        // The noise corpus barrier-synchronizes program starts across
+        // all noise cores, exactly like the paper's varbench co-runner.
+        let barrier = engine.add_barrier(noise_cores.len() as u32);
+        for (i, &core) in noise_cores.iter().enumerate() {
+            let (instance, slot) = {
+                use ksa_kernel::world::HasKernel;
+                engine.world().kernel().locate(core)
+            };
+            let w = CorpusWorker::new(
+                corpus_rc.clone(),
+                bases.clone(),
+                usize::MAX,
+                Some(barrier),
+                core,
+                instance,
+                slot,
+                cfg.seed ^ (0x517e + i as u64),
+            )
+            .as_daemon();
+            engine.spawn(core, Box::new(w), 0);
+        }
+    }
+
+    let res = engine
+        .run()
+        .unwrap_or_else(|e| panic!("tailbench node run stalled: {e}"));
+
+    let mut sojourns = Vec::new();
+    let mut batch_durations = Vec::new();
+    for rec in &res.records {
+        if rec.key == SOJOURN_KEY {
+            sojourns.push(rec.value);
+        } else if rec.key >= ITER_KEY_BASE {
+            batch_durations.push(rec.value);
+        }
+    }
+    let kept: Vec<u64> = sojourns
+        .iter()
+        .copied()
+        .skip(cfg.warmup.min(sojourns.len() / 2))
+        .collect();
+    let mut samples = Samples::from_values(kept);
+    let p99 = samples.p99().unwrap_or(0);
+    TailResult {
+        app: app.name.to_string(),
+        sojourns: samples,
+        p99,
+        batch_durations,
+        sim_ns: res.clock,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::suite;
+    use ksa_kernel::{Arg, Call, Program, SysNo};
+
+    fn noise_corpus() -> Corpus {
+        Corpus {
+            programs: vec![
+                Program {
+                    calls: vec![
+                        Call::new(SysNo::Open, vec![Arg::Const(1), Arg::Const(1)]),
+                        Call::new(SysNo::Write, vec![Arg::Ref(0), Arg::Const(16_000)]),
+                        Call::new(SysNo::Fsync, vec![Arg::Ref(0)]),
+                    ],
+                },
+                Program {
+                    calls: vec![
+                        Call::new(SysNo::Mmap, vec![Arg::Const(64), Arg::Const(1)]),
+                        Call::new(SysNo::Munmap, vec![Arg::Ref(0)]),
+                        Call::new(SysNo::Clone, vec![Arg::Const(0)]),
+                        Call::new(SysNo::Wait4, vec![Arg::Ref(2)]),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn isolated_run_completes_and_records() {
+        let app = &suite()[1]; // masstree: short requests
+        let cfg = SingleNodeConfig::quick(false, false, 3);
+        let res = run_single_node(app, &cfg, &noise_corpus());
+        assert_eq!(
+            res.sojourns.len() as u64,
+            cfg.requests - cfg.warmup as u64,
+            "all post-warmup requests recorded"
+        );
+        assert!(res.p99 > 0);
+        assert!(res.sim_ns > 0);
+    }
+
+    #[test]
+    fn noise_increases_docker_tail() {
+        let app = &suite()[0]; // xapian: kernel-intensive
+        let quiet = run_single_node(app, &SingleNodeConfig::quick(false, false, 5), &noise_corpus());
+        let noisy = run_single_node(app, &SingleNodeConfig::quick(false, true, 5), &noise_corpus());
+        assert!(
+            noisy.p99 > quiet.p99,
+            "noise must raise the Docker tail: {} vs {}",
+            noisy.p99,
+            quiet.p99
+        );
+    }
+
+    #[test]
+    fn kvm_bounds_noise_better_than_docker() {
+        let app = &suite()[0]; // xapian
+        let mk = |virt, noise| {
+            run_single_node(
+                app,
+                &SingleNodeConfig::quick(virt, noise, 11),
+                &noise_corpus(),
+            )
+        };
+        let docker_quiet = mk(false, false);
+        let docker_noisy = mk(false, true);
+        let kvm_quiet = mk(true, false);
+        let kvm_noisy = mk(true, true);
+        let docker_blowup = docker_noisy.p99 as f64 / docker_quiet.p99.max(1) as f64;
+        let kvm_blowup = kvm_noisy.p99 as f64 / kvm_quiet.p99.max(1) as f64;
+        assert!(
+            kvm_blowup < docker_blowup,
+            "isolation must bound the blowup: kvm {kvm_blowup:.2} vs docker {docker_blowup:.2}"
+        );
+    }
+
+    #[test]
+    fn batched_mode_reports_durations() {
+        let app = &suite()[1];
+        let cfg = SingleNodeConfig::quick(false, false, 9);
+        let res = run_node_batched(app, &cfg, &noise_corpus(), 5, 40);
+        assert_eq!(res.batch_durations.len(), 5);
+        assert!(res.batch_durations.iter().all(|&d| d > 0));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let app = &suite()[6]; // silo
+        let cfg = SingleNodeConfig::quick(true, false, 21);
+        let a = run_single_node(app, &cfg, &noise_corpus());
+        let b = run_single_node(app, &cfg, &noise_corpus());
+        assert_eq!(a.p99, b.p99);
+        assert_eq!(a.sim_ns, b.sim_ns);
+    }
+}

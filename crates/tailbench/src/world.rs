@@ -1,0 +1,83 @@
+//! The tailbench world: the kernel plus application request queues.
+
+use std::collections::VecDeque;
+
+use ksa_desim::Ns;
+use ksa_kernel::world::{HasKernel, KernelWorld};
+
+/// One in-flight request.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Arrival (enqueue) time.
+    pub arrival: Ns,
+    /// Issuing batch (cluster mode) or 0.
+    pub batch: u64,
+}
+
+/// Per-application queue state shared between client and servers.
+#[derive(Debug, Default)]
+pub struct AppQueue {
+    /// Pending requests (FIFO).
+    pub pending: VecDeque<Request>,
+    /// Requests completed so far.
+    pub completed: u64,
+    /// Completion count at which the waiting client is signalled
+    /// (cluster batch mode); `u64::MAX` when unused.
+    pub batch_target: u64,
+}
+
+impl AppQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            pending: VecDeque::new(),
+            completed: 0,
+            batch_target: u64::MAX,
+        }
+    }
+}
+
+/// World for tailbench runs: kernel instances plus app queues.
+#[derive(Default)]
+pub struct TbWorld {
+    /// The kernel.
+    pub kernel: KernelWorld,
+    /// One queue per application (index = app id).
+    pub queues: Vec<AppQueue>,
+}
+
+impl TbWorld {
+    /// Creates an empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a queue; returns its app id.
+    pub fn add_queue(&mut self) -> usize {
+        self.queues.push(AppQueue::new());
+        self.queues.len() - 1
+    }
+}
+
+impl HasKernel for TbWorld {
+    fn kernel(&self) -> &KernelWorld {
+        &self.kernel
+    }
+    fn kernel_mut(&mut self) -> &mut KernelWorld {
+        &mut self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_register_sequentially() {
+        let mut w = TbWorld::new();
+        assert_eq!(w.add_queue(), 0);
+        assert_eq!(w.add_queue(), 1);
+        assert_eq!(w.queues.len(), 2);
+        assert_eq!(w.queues[0].batch_target, u64::MAX);
+    }
+}

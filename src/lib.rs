@@ -1,0 +1,6 @@
+//! Workspace facade for the kernel-surface-area reproduction.
+//!
+//! The full public API lives in [`ksa_core`]; this crate exists to host
+//! the repository-level examples and integration tests. See README.md.
+
+pub use ksa_core::*;

@@ -1,0 +1,156 @@
+//! Cross-crate property-based tests: invariants of the generator, the
+//! engine and the statistics layer under random inputs.
+
+use ksa_core::desim::{CoreConfig, Effect, Engine, EngineParams, Process, SimCtx, WakeReason};
+use ksa_core::kernel::coverage::CoverageSet;
+use ksa_core::kernel::dispatch::dispatch_simple;
+use ksa_core::kernel::instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
+use ksa_core::kernel::params::CostModel;
+use ksa_core::kernel::SysNo;
+use ksa_core::stats::{quantile_sorted, BucketRow, Samples};
+use ksa_core::syzgen::{mutate, ProgramGenerator};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any argument vector to any syscall compiles to a lock-balanced op
+    /// sequence (the fuzzer feeds the kernel arbitrary input).
+    #[test]
+    fn dispatch_never_unbalances_locks(
+        call_idx in 0usize..SysNo::ALL.len(),
+        args in proptest::collection::vec(any::<u64>(), 0..5),
+        seed in any::<u64>(),
+    ) {
+        let mut eng: Engine<()> = Engine::new((), EngineParams::default(), 1);
+        let disk = eng.add_device(ksa_core::desim::DeviceModel::nvme_ssd());
+        let cores = vec![eng.add_core(CoreConfig::default())];
+        let mut inst = KernelInstance::build(&mut eng, 0, InstanceConfig {
+            cores,
+            mem_mib: 128,
+            virt: VirtProfile::native(),
+            tenancy: TenancyProfile::none(),
+            cost: CostModel::default(),
+            disk,
+        });
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let seq = dispatch_simple(&mut inst, 0, SysNo::ALL[call_idx], &args, &mut rng);
+        prop_assert!(seq.locks_balanced());
+    }
+
+    /// Generator output and all mutants keep resource references valid.
+    #[test]
+    fn generated_programs_and_mutants_stay_valid(seed in any::<u64>(), steps in 1usize..20) {
+        let mut gen = ProgramGenerator::new(seed);
+        let corpus: Vec<_> = (0..4).map(|_| gen.random_program()).collect();
+        let mut p = gen.random_program();
+        for _ in 0..steps {
+            p = mutate::mutate(&mut gen, &p, &corpus);
+            prop_assert!(p.refs_valid());
+            prop_assert!(!p.is_empty());
+        }
+    }
+
+    /// Quantiles of sorted data are monotone in q and bounded by the
+    /// extremes.
+    #[test]
+    fn quantiles_are_monotone(mut values in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+        values.sort_unstable();
+        let mut last = 0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = quantile_sorted(&values, q).unwrap();
+            prop_assert!(v >= last);
+            prop_assert!(v >= values[0] && v <= *values.last().unwrap());
+            last = v;
+        }
+    }
+
+    /// Bucket rows always account for exactly 100% of the values.
+    #[test]
+    fn bucket_rows_account_for_everything(values in proptest::collection::vec(0u64..100_000_000, 1..100)) {
+        let row = BucketRow::from_values("x", &values);
+        prop_assert!((row.below[4] + row.above_last - 100.0).abs() < 1e-6);
+        for w in row.below.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+
+    /// Samples summaries are internally ordered.
+    #[test]
+    fn summaries_are_ordered(values in proptest::collection::vec(1u64..1_000_000_000, 2..300)) {
+        let mut s = Samples::from_values(values);
+        let sum = s.summary().unwrap();
+        prop_assert!(sum.min <= sum.median);
+        prop_assert!(sum.median <= sum.p95);
+        prop_assert!(sum.p95 <= sum.p99);
+        prop_assert!(sum.p99 <= sum.max);
+        prop_assert!(sum.mean >= sum.min as f64 && sum.mean <= sum.max as f64);
+    }
+
+    /// The engine clock never runs backwards, whatever mix of delays,
+    /// sleeps and lock traffic a process issues.
+    #[test]
+    fn engine_clock_is_monotone(script in proptest::collection::vec(0u32..4, 1..30), seed in any::<u64>()) {
+        struct P {
+            script: Vec<u32>,
+            at: usize,
+            lock: ksa_core::desim::LockId,
+            held: bool,
+            last: u64,
+        }
+        impl Process<()> for P {
+            fn resume(&mut self, ctx: &mut SimCtx<'_, ()>, _w: WakeReason) -> Effect {
+                assert!(ctx.now() >= self.last, "clock went backwards");
+                self.last = ctx.now();
+                if self.held {
+                    ctx.release(self.lock);
+                    self.held = false;
+                }
+                let Some(&op) = self.script.get(self.at) else {
+                    return Effect::Done;
+                };
+                self.at += 1;
+                match op {
+                    0 => Effect::Delay(100),
+                    1 => Effect::Sleep(50),
+                    2 => {
+                        self.held = true;
+                        Effect::Acquire(self.lock, ksa_core::desim::LockMode::Exclusive)
+                    }
+                    _ => Effect::Delay(1),
+                }
+            }
+        }
+        let mut eng: Engine<()> = Engine::new((), EngineParams::default(), seed);
+        let core = eng.add_core(CoreConfig::default());
+        let lock = eng.add_lock(ksa_core::desim::LockKind::Spin, "prop");
+        eng.spawn(core, Box::new(P { script, at: 0, lock, held: false, last: 0 }), 0);
+        let res = eng.run().unwrap();
+        prop_assert!(res.clock < 1_000_000);
+    }
+}
+
+/// Coverage merging is idempotent and commutative on random sets.
+#[test]
+fn coverage_merge_laws() {
+    use ksa_core::kernel::coverage::block_bucketed;
+    let mk = |ids: &[u32]| {
+        let mut s = CoverageSet::new();
+        for &i in ids {
+            s.insert(block_bucketed("prop.cov", i));
+        }
+        s
+    };
+    let a = mk(&[1, 5, 9, 200]);
+    let b = mk(&[5, 9, 77]);
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab.len(), ba.len());
+    let mut aa = a.clone();
+    assert_eq!(aa.merge(&a), 0, "self-merge adds nothing");
+}
