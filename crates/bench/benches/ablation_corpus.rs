@@ -3,36 +3,30 @@
 //! Coverage guidance should reach more kernel blocks per program — the
 //! generator's whole point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ksa_bench::microbench;
 use ksa_syzgen::{generate, GenConfig, ProgramGenerator, Sandbox};
 
-fn bench_corpus_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_corpus");
-    group.sample_size(10);
-    group.bench_function("coverage_guided", |b| {
-        b.iter(|| {
-            generate(GenConfig {
-                seed: 11,
-                max_programs: 30,
-                stall_limit: 200,
-                mutate_pct: 70,
-                minimize: true,
-            })
+fn main() {
+    let group = microbench::group("ablation_corpus").sample_size(10);
+    group.bench("coverage_guided", || {
+        generate(GenConfig {
+            seed: 11,
+            max_programs: 30,
+            stall_limit: 200,
+            mutate_pct: 70,
+            minimize: true,
         })
     });
-    group.bench_function("random", |b| {
-        b.iter(|| {
-            let mut gen = ProgramGenerator::new(11);
-            let mut sandbox = Sandbox::new(11);
-            let mut cover = ksa_kernel::coverage::CoverageSet::new();
-            for _ in 0..30 {
-                let p = gen.random_program();
-                cover.merge(&sandbox.run_fresh(&p));
-            }
-            cover.len()
-        })
+    group.bench("random", || {
+        let mut gen = ProgramGenerator::new(11);
+        let mut sandbox = Sandbox::new(11);
+        let mut cover = ksa_kernel::coverage::CoverageSet::new();
+        for _ in 0..30 {
+            let p = gen.random_program();
+            cover.merge(&sandbox.run_fresh(&p));
+        }
+        cover.len()
     });
-    group.finish();
 
     // Coverage-per-program comparison, reported once.
     let guided = generate(GenConfig {
@@ -56,6 +50,3 @@ fn bench_corpus_ablation(c: &mut Criterion) {
         random_cover.len()
     );
 }
-
-criterion_group!(benches, bench_corpus_ablation);
-criterion_main!(benches);

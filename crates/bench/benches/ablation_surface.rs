@@ -2,10 +2,9 @@
 //!
 //! Varies cores-only (same memory per instance) against the paper's
 //! proportional sweep, reporting memory-management versus filesystem
-//! tails. Runs the simulation inside criterion for timing and prints the
-//! shape summary once.
+//! tails. Times the simulation and prints the shape summary once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksa_bench::microbench;
 use ksa_core::experiments::{default_corpus, Scale};
 use ksa_envsim::{EnvKind, EnvSpec, Machine};
 use ksa_kernel::Category;
@@ -17,29 +16,29 @@ fn tail(res: &mut ksa_varbench::RunResult, cat: Category) -> u64 {
     p99s.get(p99s.len() / 2).copied().unwrap_or(0)
 }
 
-fn bench_surface_ablation(c: &mut Criterion) {
+fn main() {
     let corpus = default_corpus(Scale::Tiny).corpus;
-    let mut group = c.benchmark_group("ablation_surface");
-    group.sample_size(10);
+    let group = microbench::group("ablation_surface").sample_size(10);
 
     // Proportional sweep (cores and memory shrink together) vs a
     // memory-rich sweep (cores shrink, memory constant per instance).
     for (label, mem_mib) in [("proportional", 4096u64), ("memory_rich", 16_384)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &mem_mib, |b, &mem| {
-            b.iter(|| {
-                run(
-                    &RunConfig {
-                        env: EnvSpec::new(Machine { cores: 8, mem_mib: mem }, EnvKind::Vm(8)),
-                        iterations: 4,
-                        sync: true,
-                        seed: 5,
-                    },
-                    &corpus,
-                )
-            })
+        group.bench(label, || {
+            run(
+                &RunConfig {
+                    env: EnvSpec::new(
+                        Machine { cores: 8, mem_mib },
+                        EnvKind::Vm(8),
+                    ),
+                    iterations: 4,
+                    sync: true,
+                    seed: 5,
+                    max_events: 0,
+                },
+                &corpus,
+            )
         });
     }
-    group.finish();
 
     for (label, mem) in [("proportional-4G", 4096u64), ("memory-rich-16G", 16_384)] {
         let mut res = run(
@@ -48,9 +47,11 @@ fn bench_surface_ablation(c: &mut Criterion) {
                 iterations: 6,
                 sync: true,
                 seed: 5,
+                max_events: 0,
             },
             &corpus,
-        );
+        )
+        .expect("trial failed");
         eprintln!(
             "{label}: mm med-p99={}ns fs med-p99={}ns io med-p99={}ns",
             tail(&mut res, Category::Memory),
@@ -59,6 +60,3 @@ fn bench_surface_ablation(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_surface_ablation);
-criterion_main!(benches);

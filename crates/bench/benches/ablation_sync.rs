@@ -2,38 +2,35 @@
 //!
 //! The paper argues fine-grained synchronization is what exposes latent
 //! contention. This bench measures the same corpus with and without the
-//! global program barrier and reports (via criterion throughput and an
-//! eprintln summary) how much measured tail collapses without it.
+//! global program barrier and reports how much measured tail collapses
+//! without it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ksa_bench::microbench;
 use ksa_core::experiments::{default_corpus, Scale};
 use ksa_envsim::{EnvKind, EnvSpec, Machine};
 use ksa_varbench::{run, RunConfig};
 
-fn bench_sync_ablation(c: &mut Criterion) {
+fn main() {
     let corpus = default_corpus(Scale::Tiny).corpus;
     let machine = Machine {
         cores: 8,
         mem_mib: 4096,
     };
-    let mut group = c.benchmark_group("ablation_sync");
-    group.sample_size(10);
+    let group = microbench::group("ablation_sync").sample_size(10);
     for sync in [true, false] {
-        group.bench_function(if sync { "synced" } else { "unsynced" }, |b| {
-            b.iter(|| {
-                run(
-                    &RunConfig {
-                        env: EnvSpec::new(machine, EnvKind::Native),
-                        iterations: 4,
-                        sync,
-                        seed: 3,
-                    },
-                    &corpus,
-                )
-            })
+        group.bench(if sync { "synced" } else { "unsynced" }, || {
+            run(
+                &RunConfig {
+                    env: EnvSpec::new(machine, EnvKind::Native),
+                    iterations: 4,
+                    sync,
+                    seed: 3,
+                    max_events: 0,
+                },
+                &corpus,
+            )
         });
     }
-    group.finish();
 
     // Report the measurement-quality difference once.
     let mut stats = Vec::new();
@@ -44,9 +41,11 @@ fn bench_sync_ablation(c: &mut Criterion) {
                 iterations: 8,
                 sync,
                 seed: 3,
+                max_events: 0,
             },
             &corpus,
-        );
+        )
+        .expect("trial failed");
         let p99s = res.per_site(None, |s| s.p99());
         let mut sorted = p99s.clone();
         sorted.sort_unstable();
@@ -59,6 +58,3 @@ fn bench_sync_ablation(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_sync_ablation);
-criterion_main!(benches);

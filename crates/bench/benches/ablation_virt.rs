@@ -5,7 +5,7 @@
 //! per-core VM sweep with (a) the KVM overhead profile and (b) a "free
 //! hypervisor" whose profile is zeroed after environment construction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ksa_bench::microbench;
 use ksa_core::experiments::{default_corpus, Scale};
 use ksa_envsim::{EnvKind, EnvSpec, Machine};
 use ksa_kernel::instance::VirtProfile;
@@ -22,6 +22,7 @@ fn measure(free_hypervisor: bool, corpus: &ksa_kernel::prog::Corpus) -> RunResul
             iterations: 6,
             sync: true,
             seed: 9,
+            max_events: 0,
         },
         corpus,
         |engine| {
@@ -32,19 +33,14 @@ fn measure(free_hypervisor: bool, corpus: &ksa_kernel::prog::Corpus) -> RunResul
             }
         },
     )
+    .expect("trial failed")
 }
 
-fn bench_virt_ablation(c: &mut Criterion) {
+fn main() {
     let corpus = default_corpus(Scale::Tiny).corpus;
-    let mut group = c.benchmark_group("ablation_virt");
-    group.sample_size(10);
-    group.bench_function("kvm_profile", |b| {
-        b.iter(|| measure(false, &corpus))
-    });
-    group.bench_function("free_hypervisor", |b| {
-        b.iter(|| measure(true, &corpus))
-    });
-    group.finish();
+    let group = microbench::group("ablation_virt").sample_size(10);
+    group.bench("kvm_profile", || measure(false, &corpus));
+    group.bench("free_hypervisor", || measure(true, &corpus));
 
     // Shape report: the isolation benefit survives, the bounded cost
     // disappears.
@@ -61,6 +57,3 @@ fn bench_virt_ablation(c: &mut Criterion) {
         med(&mut free)
     );
 }
-
-criterion_group!(benches, bench_virt_ablation);
-criterion_main!(benches);

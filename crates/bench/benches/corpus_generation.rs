@@ -1,30 +1,19 @@
 //! Generator microbenchmarks: coverage-guided corpus construction cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksa_bench::microbench;
 use ksa_syzgen::{generate, GenConfig};
 
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("corpus_generation");
-    group.sample_size(10);
-    for programs in [20usize, 60] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(programs),
-            &programs,
-            |b, &max_programs| {
-                b.iter(|| {
-                    generate(GenConfig {
-                        seed: 7,
-                        max_programs,
-                        stall_limit: 300,
-                        mutate_pct: 70,
-                        minimize: true,
-                    })
-                })
-            },
-        );
+fn main() {
+    let group = microbench::group("corpus_generation").sample_size(10);
+    for max_programs in [20usize, 60] {
+        group.bench(&format!("{max_programs}"), || {
+            generate(GenConfig {
+                seed: 7,
+                max_programs,
+                stall_limit: 300,
+                mutate_pct: 70,
+                minimize: true,
+            })
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_generation);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Engine microbenchmarks: event-loop throughput on contended and
 //! uncontended configurations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksa_bench::microbench;
 use ksa_envsim::{EnvKind, EnvSpec, Machine};
 use ksa_kernel::prog::Corpus;
 use ksa_kernel::{Arg, Call, Program, SysNo};
@@ -34,36 +34,30 @@ fn mixed_corpus() -> Corpus {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let corpus = mixed_corpus();
-    let mut group = c.benchmark_group("engine_throughput");
-    group.sample_size(10);
+    let group = microbench::group("engine_throughput").sample_size(10);
     for cores in [4usize, 16] {
         for kind in [EnvKind::Native, EnvKind::Vm(cores)] {
             let label = format!("{}c/{}", cores, kind.label());
-            group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
-                b.iter(|| {
-                    run(
-                        &RunConfig {
-                            env: EnvSpec::new(
-                                Machine {
-                                    cores,
-                                    mem_mib: 1024 * cores as u64 / 4,
-                                },
-                                kind,
-                            ),
-                            iterations: 5,
-                            sync: true,
-                            seed: 1,
-                        },
-                        &corpus,
-                    )
-                })
+            group.bench(&label, || {
+                run(
+                    &RunConfig {
+                        env: EnvSpec::new(
+                            Machine {
+                                cores,
+                                mem_mib: 1024 * cores as u64 / 4,
+                            },
+                            kind,
+                        ),
+                        iterations: 5,
+                        sync: true,
+                        seed: 1,
+                        max_events: 0,
+                    },
+                    &corpus,
+                )
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -17,7 +17,6 @@ use ksa_desim::Ns;
 use ksa_kernel::prog::Corpus;
 use ksa_tailbench::apps::AppProfile;
 use ksa_tailbench::single_node::{run_node_batched, SingleNodeConfig};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one cluster run.
 #[derive(Debug, Clone, Copy)]
@@ -93,7 +92,7 @@ impl ClusterConfig {
 }
 
 /// Result of one cluster run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterResult {
     /// Application name.
     pub app: String,
@@ -152,7 +151,7 @@ fn run_nodes(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus) -> Ve
     let mut out: Vec<Option<Vec<Ns>>> = Vec::new();
     out.resize_with(cfg.nodes, || None);
     let threads = cfg.threads.max(1);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let chunks: Vec<Vec<usize>> = (0..threads)
             .map(|t| (0..cfg.nodes).filter(|n| n % threads == t).collect())
             .collect();
@@ -160,7 +159,7 @@ fn run_nodes(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus) -> Ve
         for chunk in chunks {
             let handle = s.spawn({
                 let chunk2 = chunk.clone();
-                move |_| {
+                move || {
                     chunk2
                         .iter()
                         .map(|&node| {
@@ -189,8 +188,7 @@ fn run_nodes(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus) -> Ve
                 out[node] = Some(durs);
             }
         }
-    })
-    .expect("crossbeam scope");
+    });
     out.into_iter().map(|o| o.unwrap()).collect()
 }
 

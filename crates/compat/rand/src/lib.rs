@@ -1,0 +1,343 @@
+//! Offline drop-in replacement for the subset of the `rand` crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, self-contained implementation of the `rand` API
+//! surface it depends on: [`Rng::gen`], [`Rng::gen_range`],
+//! [`SeedableRng::seed_from_u64`], [`rngs::SmallRng`], [`rngs::StdRng`]
+//! and [`seq::SliceRandom::choose`]. The generator core is xoshiro256++
+//! seeded through SplitMix64 — the same construction the real `SmallRng`
+//! uses on 64-bit targets — so streams are deterministic, well mixed and
+//! cheap.
+//!
+//! Only determinism and statistical plausibility are promised, not
+//! stream compatibility with the real crate: seeds produce *a* fixed
+//! sequence, not the upstream sequence.
+
+use std::ops::Range;
+
+/// SplitMix64: seed expander (and a fine standalone mixer).
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The xoshiro256++ core shared by both rng types.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // All-zero state is invalid for xoshiro; splitmix of any seed
+        // cannot produce it, but keep the guard for from_seed paths.
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 0x9e3779b97f4a7c15;
+        }
+        Self { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types the blanket [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw(core: &mut Xoshiro256) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn draw(core: &mut Xoshiro256) -> Self {
+        core.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn draw(core: &mut Xoshiro256) -> Self {
+        (core.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn draw(core: &mut Xoshiro256) -> Self {
+        core.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw(core: &mut Xoshiro256) -> Self {
+        core.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn draw(core: &mut Xoshiro256) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (core.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Range types usable with [`Rng::gen_range`]. Generic over the output
+/// type (instead of an associated type) so integer literals in call sites
+/// like `gen_range(0..32)` infer their type from the surrounding
+/// expression, matching the real crate's ergonomics.
+pub trait SampleRange<T> {
+    /// Draws uniformly from the (half-open) range.
+    fn sample(self, core: &mut Xoshiro256) -> T;
+}
+
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, core: &mut Xoshiro256) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Widening-multiply rejection-free mapping (Lemire); the
+                // tiny modulo bias is irrelevant for simulation jitter.
+                let hi = ((core.next_u64() as u128 * span) >> 64) as $t;
+                self.start + hi
+            }
+        }
+    )*};
+}
+
+impl_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, core: &mut Xoshiro256) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let hi = ((core.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, core: &mut Xoshiro256) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit = f64::draw(core);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Access to the shared generator core.
+    fn core(&mut self) -> &mut Xoshiro256;
+
+    /// Draws a uniformly random value of an inferred type.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self.core())
+    }
+
+    /// Draws uniformly from a half-open range.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.core())
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::draw(self.core()) < p
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{SeedableRng, Xoshiro256};
+
+    /// Small, fast generator (workload RNGs).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(pub(crate) Xoshiro256);
+
+    /// "Standard" generator (engine RNG). Same core as [`SmallRng`] but a
+    /// distinct stream: the seed is domain-separated so engine jitter and
+    /// workload choices never correlate by accident.
+    #[derive(Debug, Clone)]
+    pub struct StdRng(pub(crate) Xoshiro256);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(Xoshiro256::from_u64(seed))
+        }
+    }
+
+    /// Domain-separation tag so a `StdRng` and a `SmallRng` built from the
+    /// same seed still produce independent streams.
+    const STD_RNG_TAG: u64 = 0xa0761d6478bd642f;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256::from_u64(seed ^ STD_RNG_TAG))
+        }
+    }
+
+    impl super::Rng for SmallRng {
+        #[inline]
+        fn core(&mut self) -> &mut Xoshiro256 {
+            &mut self.0
+        }
+    }
+
+    impl super::Rng for StdRng {
+        #[inline]
+        fn core(&mut self) -> &mut Xoshiro256 {
+            &mut self.0
+        }
+    }
+}
+
+/// Slice helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// The subset of `rand::seq::SliceRandom` the workspace uses.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniformly random element, or `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = rng.gen_range(0..self.len());
+                self.get(i)
+            }
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+            let f = r.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn streams_differ_between_rng_types() {
+        let mut small = SmallRng::seed_from_u64(42);
+        let mut std = StdRng::seed_from_u64(42);
+        assert_ne!(small.gen::<u64>(), std.gen::<u64>());
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        let items = [1u32, 2, 3, 4];
+        for _ in 0..100 {
+            assert!(items.contains(items.choose(&mut r).unwrap()));
+        }
+        let mut v: Vec<u32> = (0..32).collect();
+        let orig = v.clone();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle permutes, never loses elements");
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads={heads}");
+    }
+}

@@ -14,10 +14,9 @@ use ksa_tailbench::apps::{cluster_suite, suite};
 use ksa_tailbench::single_node::{run_single_node, SingleNodeConfig};
 use ksa_cluster::{run_cluster, ClusterConfig};
 use ksa_varbench::{run, RunConfig};
-use serde::{Deserialize, Serialize};
 
 /// Experiment scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Seconds-scale: CI and doctests.
     Tiny,
@@ -159,7 +158,7 @@ pub fn table1(scale: Scale) -> Vec<SweepRow> {
 /// Table 2's three sub-tables: per-site median / p99 / max bucket
 /// percentages for native Linux, per-core KVM VMs and per-core Docker
 /// containers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Result {
     /// Median breakdown.
     pub median: BucketTable,
@@ -188,9 +187,11 @@ pub fn table2(corpus: &Corpus, scale: Scale, seed: u64) -> Table2Result {
                 iterations: scale.iterations(),
                 sync: true,
                 seed,
+                max_events: 0,
             },
             corpus,
-        );
+        )
+        .expect("table2 trial failed");
         let meds = res.per_site(None, |s| s.median());
         let p99s = res.per_site(None, |s| s.p99());
         let maxes = res.per_site(None, |s| s.max());
@@ -204,7 +205,7 @@ pub fn table2(corpus: &Corpus, scale: Scale, seed: u64) -> Table2Result {
 // ---------------------------------------------------------------- Figure 2
 
 /// One subfigure of Figure 2: a category plus one violin per VM count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Category {
     /// The syscall category.
     pub category: Category,
@@ -214,7 +215,7 @@ pub struct Fig2Category {
 
 /// Figure 2: distributions of per-site p99s by category across the VM
 /// sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Result {
     /// VM counts, left to right.
     pub vm_counts: Vec<usize>,
@@ -234,9 +235,11 @@ pub fn fig2(corpus: &Corpus, scale: Scale, seed: u64) -> Fig2Result {
             iterations: scale.iterations(),
             sync: true,
             seed,
+            max_events: 0,
         },
         corpus,
-    );
+    )
+    .expect("fig2 native trial failed");
     let keep: Vec<bool> = native
         .sites
         .iter_mut()
@@ -252,9 +255,11 @@ pub fn fig2(corpus: &Corpus, scale: Scale, seed: u64) -> Fig2Result {
                 iterations: scale.iterations(),
                 sync: true,
                 seed,
+                max_events: 0,
             },
             corpus,
-        );
+        )
+        .expect("fig2 vm trial failed");
         per_config.push(res);
     }
 
@@ -301,9 +306,11 @@ pub fn table3(corpus: &Corpus, scale: Scale, seed: u64) -> BucketTable {
                 iterations: scale.iterations(),
                 sync: true,
                 seed,
+                max_events: 0,
             },
             corpus,
-        );
+        )
+        .expect("table3 trial failed");
         let maxes = res.per_site(None, |s| s.max());
         table.push_values(format!("{} ctnrs", row.count), &maxes);
     }
@@ -314,7 +321,7 @@ pub fn table3(corpus: &Corpus, scale: Scale, seed: u64) -> BucketTable {
 
 /// One Figure 3 application row: p99 latencies in the four
 /// configurations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Row {
     /// Application name.
     pub app: String,
@@ -420,7 +427,7 @@ pub fn fig3(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig3Row> {
 // ---------------------------------------------------------------- Figure 4
 
 /// One Figure 4 application row: total 64-node runtimes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Row {
     /// Application name.
     pub app: String,

@@ -1,12 +1,11 @@
 //! The kernel surface area: the paper's central parameter.
 
 use ksa_envsim::EnvSpec;
-use serde::{Deserialize, Serialize};
 
 /// The kernel surface area of one OS instance: for each hardware
 /// resource, how much of it this kernel manages. The paper's
 /// simplification — cores and memory — is what the simulator varies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelSurfaceArea {
     /// Hardware threads managed by the instance.
     pub cores: usize,

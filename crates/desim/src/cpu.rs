@@ -69,11 +69,7 @@ impl CoreState {
     /// wall time spent computing.
     pub fn charge_compute(&mut self, now: Ns, work: Ns) -> Ns {
         let start = self.free_at.max(now);
-        let ticks = if self.cfg.tick_period == 0 {
-            0
-        } else {
-            work / self.cfg.tick_period
-        };
+        let ticks = work.checked_div(self.cfg.tick_period).unwrap_or(0);
         let end = start + work + ticks * self.cfg.tick_cost;
         self.free_at = end;
         end

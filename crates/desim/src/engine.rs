@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cpu::{CoreConfig, CoreId, CoreState};
+use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::iodev::{DevId, DeviceModel, DeviceState};
 use crate::lock::{LockId, LockKind, LockMode, LockState};
 use crate::process::{Effect, Pid, Process, WakeReason};
@@ -76,11 +77,20 @@ pub struct Record {
 /// Error returned when the simulation cannot make progress.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// Live processes remain but no events are pending: a lost wake-up or
-    /// lock cycle in the process implementations. Carries diagnostics.
+    /// The run could not finish. Either the event heap drained while live
+    /// processes remained (a lost wake-up or lock cycle — `livelock ==
+    /// false`), or the event-budget watchdog fired because the run kept
+    /// processing events without the user processes finishing (`livelock ==
+    /// true`). Carries diagnostics either way so the harness can report a
+    /// structured failure instead of hanging forever.
     Stalled {
         /// Virtual time at the stall.
         clock: Ns,
+        /// Events processed by the failed `run_until` call.
+        events: u64,
+        /// True when the event budget was exhausted (livelock watchdog);
+        /// false when the heap drained with live processes (deadlock).
+        livelock: bool,
         /// `(pid, label, blocked_on)` for every live, blocked process.
         blocked: Vec<(Pid, String, String)>,
     },
@@ -89,8 +99,20 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Stalled { clock, blocked } => {
-                writeln!(f, "simulation stalled at t={clock}ns; blocked processes:")?;
+            SimError::Stalled {
+                clock,
+                events,
+                livelock,
+                blocked,
+            } => {
+                if *livelock {
+                    writeln!(
+                        f,
+                        "simulation exceeded its event budget ({events} events) at t={clock}ns; live processes:"
+                    )?;
+                } else {
+                    writeln!(f, "simulation stalled at t={clock}ns; blocked processes:")?;
+                }
                 for (pid, label, on) in blocked {
                     writeln!(f, "  pid {} ({label}) blocked on {on}", pid.0)?;
                 }
@@ -178,6 +200,8 @@ pub struct EngineState {
     records: Vec<Record>,
     params: EngineParams,
     rng: StdRng,
+    faults: FaultState,
+    event_budget: u64,
     proc_core: Vec<CoreId>,
     proc_daemon: Vec<bool>,
     live_users: usize,
@@ -306,6 +330,24 @@ impl<'a, W> SimCtx<'a, W> {
     pub fn queue_len(&self, queue: QueueId) -> usize {
         self.st.queues[queue.0 as usize].waiting.len()
     }
+
+    /// The engine's fault-injection state.
+    pub fn faults(&mut self) -> &mut FaultState {
+        &mut self.st.faults
+    }
+
+    /// Registers a hit of `(kind, site)` and asks the fault plan whether
+    /// this hit should fail. Convenience over [`SimCtx::faults`].
+    pub fn should_fail(&mut self, kind: FaultKind, site: &str) -> bool {
+        self.st.faults.should_fail(kind, site)
+    }
+
+    /// Splits the context into the world and the fault state, so code that
+    /// holds `&mut W` (e.g. a kernel dispatch loop) can still consult the
+    /// fault plan without a double mutable borrow of the context.
+    pub fn world_and_faults(&mut self) -> (&mut W, &mut FaultState) {
+        (self.world, &mut self.st.faults)
+    }
 }
 
 struct ProcSlot<W> {
@@ -340,6 +382,8 @@ impl<W> Engine<W> {
                 records: Vec::new(),
                 params,
                 rng: StdRng::seed_from_u64(seed),
+                faults: FaultState::default(),
+                event_budget: 0,
                 proc_core: Vec::new(),
                 proc_daemon: Vec::new(),
                 live_users: 0,
@@ -456,6 +500,31 @@ impl<W> Engine<W> {
             .map(|l| (l.label, l.acquisitions, l.contended))
     }
 
+    /// Installs a fault plan, clearing any previous hit counters. Call
+    /// before `run`; handlers consult the plan through [`SimCtx`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.st.faults.reset(plan);
+    }
+
+    /// The fault-injection state (plan, hit counters, injected faults).
+    pub fn fault_state(&self) -> &FaultState {
+        &self.st.faults
+    }
+
+    /// Mutable fault-injection state (e.g. to inspect-and-reset between
+    /// runs of a long-lived engine).
+    pub fn fault_state_mut(&mut self) -> &mut FaultState {
+        &mut self.st.faults
+    }
+
+    /// Arms the livelock watchdog: a single `run`/`run_until` call may
+    /// process at most `budget` events before failing with a structured
+    /// [`SimError::Stalled`] (`livelock == true`). `0` disables the
+    /// watchdog (the default).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.st.event_budget = budget;
+    }
+
     /// Runs to completion: until every non-daemon process is done.
     pub fn run(&mut self) -> Result<SimResult, SimError> {
         self.run_until(Ns::MAX)
@@ -464,15 +533,25 @@ impl<W> Engine<W> {
     /// Runs until every non-daemon process is done or the clock passes
     /// `deadline`, whichever comes first.
     pub fn run_until(&mut self, deadline: Ns) -> Result<SimResult, SimError> {
+        let mut processed: u64 = 0;
         while self.st.live_users > 0 {
             let Some(Reverse(ev)) = self.st.events.pop() else {
-                return Err(self.stall_error());
+                return Err(self.stall_error(processed, false));
             };
             if ev.t > deadline {
                 // Put it back so a later run_until can continue.
                 self.st.events.push(Reverse(ev));
                 break;
             }
+            if self.st.event_budget != 0 && processed >= self.st.event_budget {
+                // Watchdog: the run keeps generating events without the
+                // user processes finishing. Park the event for a possible
+                // resume and report a structured livelock instead of
+                // spinning forever.
+                self.st.events.push(Reverse(ev));
+                return Err(self.stall_error(processed, true));
+            }
+            processed += 1;
             self.st.clock = ev.t;
             match ev.kind {
                 EventKind::Wake(pid, reason) => self.run_process(pid, reason),
@@ -499,7 +578,7 @@ impl<W> Engine<W> {
         })
     }
 
-    fn stall_error(&self) -> SimError {
+    fn stall_error(&self, events: u64, livelock: bool) -> SimError {
         let blocked = self
             .procs
             .iter()
@@ -516,6 +595,8 @@ impl<W> Engine<W> {
             .collect();
         SimError::Stalled {
             clock: self.st.clock,
+            events,
+            livelock,
             blocked,
         }
     }
@@ -991,11 +1072,131 @@ mod tests {
         eng.spawn(c, Box::new(Scripted::new(vec![Effect::Wait(q)])), 0);
         let err = eng.run().unwrap_err();
         match err {
-            SimError::Stalled { blocked, .. } => {
+            SimError::Stalled {
+                blocked, livelock, ..
+            } => {
+                assert!(!livelock, "drained heap is a deadlock, not a livelock");
                 assert_eq!(blocked.len(), 1);
                 assert_eq!(blocked[0].2, "queue");
             }
         }
+    }
+
+    #[test]
+    fn event_budget_converts_livelock_into_structured_error() {
+        // A user process that never finishes: sleeps forever in a loop.
+        struct Spinner;
+        impl Process<()> for Spinner {
+            fn resume(&mut self, _ctx: &mut SimCtx<'_, ()>, _w: WakeReason) -> Effect {
+                Effect::Sleep(1_000)
+            }
+            fn label(&self) -> &'static str {
+                "spinner"
+            }
+        }
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig::default());
+        eng.spawn(c, Box::new(Spinner), 0);
+        eng.set_event_budget(100);
+        let err = eng.run().unwrap_err();
+        match err {
+            SimError::Stalled {
+                events,
+                livelock,
+                blocked,
+                ..
+            } => {
+                assert!(livelock, "watchdog fires as a livelock");
+                assert_eq!(events, 100);
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].1, "spinner");
+            }
+        }
+    }
+
+    #[test]
+    fn event_budget_does_not_trip_healthy_runs() {
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        eng.spawn(
+            c,
+            Box::new(Scripted::new(vec![Effect::Delay(100), Effect::Delay(50)])),
+            0,
+        );
+        eng.set_event_budget(1_000);
+        let res = eng.run().unwrap();
+        assert_eq!(res.clock, 150);
+    }
+
+    #[test]
+    fn budget_exhausted_run_can_resume_with_larger_budget() {
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        eng.spawn(
+            c,
+            Box::new(Scripted::new(vec![
+                Effect::Delay(10),
+                Effect::Delay(10),
+                Effect::Delay(10),
+                Effect::Delay(10),
+            ])),
+            0,
+        );
+        eng.set_event_budget(2);
+        let err = eng.run().unwrap_err();
+        assert!(matches!(err, SimError::Stalled { livelock: true, .. }));
+        eng.set_event_budget(0);
+        let res = eng.run().unwrap();
+        assert_eq!(res.clock, 40, "parked event resumes cleanly");
+    }
+
+    #[test]
+    fn fault_plan_is_reachable_through_ctx() {
+        use crate::fault::{FaultSchedule, InjectedFault};
+
+        struct Failer {
+            outcomes: std::rc::Rc<std::cell::RefCell<Vec<bool>>>,
+        }
+        impl Process<()> for Failer {
+            fn resume(&mut self, ctx: &mut SimCtx<'_, ()>, _w: WakeReason) -> Effect {
+                for _ in 0..3 {
+                    let fail = ctx.should_fail(FaultKind::AllocFail, "mm.alloc_pages");
+                    self.outcomes.borrow_mut().push(fail);
+                }
+                let (_world, faults) = ctx.world_and_faults();
+                assert_eq!(faults.hits_at(FaultKind::AllocFail, "mm.alloc_pages"), 3);
+                Effect::Done
+            }
+        }
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig::default());
+        eng.set_fault_plan(
+            FaultPlan::new(9).site(FaultKind::AllocFail, "mm.alloc_pages", FaultSchedule::Nth(2)),
+        );
+        let outcomes = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        eng.spawn(
+            c,
+            Box::new(Failer {
+                outcomes: outcomes.clone(),
+            }),
+            0,
+        );
+        eng.run().unwrap();
+        assert_eq!(*outcomes.borrow(), vec![false, true, false]);
+        assert_eq!(
+            eng.fault_state().injected(),
+            &[InjectedFault {
+                kind: FaultKind::AllocFail,
+                site: "mm.alloc_pages".to_string(),
+                hit: 2,
+            }]
+        );
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Deterministic fault injection.
+//!
+//! Syzkaller only reaches deep kernel error paths because its executor can
+//! force failures (alloc failures, I/O errors) at chosen call sites; this
+//! module is the simulation's analogue. A [`FaultPlan`] names *sites*
+//! (static strings like `"mm.alloc_pages"`) and gives each a
+//! [`FaultSchedule`]; a [`FaultState`] owns the plan plus per-site hit
+//! counters and answers the single question handlers ask:
+//! [`FaultState::should_fail`].
+//!
+//! Every decision is a pure function of `(plan seed, kind, site, hit
+//! number)` — no wall clock, no global RNG — so identical seed + identical
+//! plan replays bit-identically, and disjoint sites never interact. That
+//! determinism is what lets the fuzzer *mutate schedules* the way it
+//! mutates programs.
+
+use std::collections::HashMap;
+
+/// The class of failure a site can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Memory allocation failure (buddy or slab) → ENOMEM paths.
+    AllocFail,
+    /// Block-device / journal I/O error → EIO paths.
+    IoError,
+    /// Lock acquisition timeout → EAGAIN/backoff paths.
+    LockTimeout,
+}
+
+impl FaultKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::AllocFail,
+        FaultKind::IoError,
+        FaultKind::LockTimeout,
+    ];
+
+    /// Short stable name (used in serialized plans and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::AllocFail => "alloc_fail",
+            FaultKind::IoError => "io_error",
+            FaultKind::LockTimeout => "lock_timeout",
+        }
+    }
+}
+
+/// When a site fails, as a function of its hit counter (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSchedule {
+    /// Never fail (the default).
+    Never,
+    /// Fail exactly on the `n`-th hit (1-based), once.
+    Nth(u64),
+    /// Fail on every `n`-th hit (n ≥ 1).
+    EveryNth(u64),
+    /// Fail each hit independently with probability `milli`/1000,
+    /// derived deterministically from the plan seed and hit number.
+    ProbMilli(u32),
+}
+
+impl FaultSchedule {
+    fn decides(self, seed: u64, kind: FaultKind, site: &str, hit: u64) -> bool {
+        match self {
+            FaultSchedule::Never => false,
+            FaultSchedule::Nth(n) => hit == n.max(1),
+            FaultSchedule::EveryNth(n) => hit.is_multiple_of(n.max(1)),
+            FaultSchedule::ProbMilli(milli) => {
+                decision_hash(seed, kind, site, hit) % 1000 < milli as u64
+            }
+        }
+    }
+}
+
+/// SplitMix64-style mixer over (seed, kind, site, hit).
+fn decision_hash(seed: u64, kind: FaultKind, site: &str, hit: u64) -> u64 {
+    let mut h = seed ^ 0x9e3779b97f4a7c15u64.wrapping_mul(kind as u64 + 1);
+    for b in site.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h ^= hit.wrapping_mul(0xbf58476d1ce4e5b9);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+    h ^ (h >> 31)
+}
+
+/// A seeded assignment of schedules to fault sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for probabilistic schedules.
+    pub seed: u64,
+    /// Per-kind default schedule for sites without an explicit entry.
+    defaults: [(FaultKind, FaultScheduleSlot); 3],
+    /// Site-specific schedules.
+    sites: HashMap<(FaultKind, String), FaultSchedule>,
+}
+
+/// Internal: a schedule slot that defaults to `Never`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FaultScheduleSlot(FaultSchedule);
+
+impl Default for FaultScheduleSlot {
+    fn default() -> Self {
+        FaultScheduleSlot(FaultSchedule::Never)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (every engine starts with this).
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// An empty plan with a decision seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            defaults: [
+                (FaultKind::AllocFail, FaultScheduleSlot::default()),
+                (FaultKind::IoError, FaultScheduleSlot::default()),
+                (FaultKind::LockTimeout, FaultScheduleSlot::default()),
+            ],
+            sites: HashMap::new(),
+        }
+    }
+
+    /// True when no schedule can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.defaults
+            .iter()
+            .all(|(_, s)| s.0 == FaultSchedule::Never)
+            && self
+                .sites
+                .values()
+                .all(|s| *s == FaultSchedule::Never)
+    }
+
+    /// Sets the schedule for one site (builder style).
+    pub fn site(mut self, kind: FaultKind, site: impl Into<String>, sched: FaultSchedule) -> Self {
+        self.set_site(kind, site, sched);
+        self
+    }
+
+    /// Sets the schedule for one site.
+    pub fn set_site(&mut self, kind: FaultKind, site: impl Into<String>, sched: FaultSchedule) {
+        self.sites.insert((kind, site.into()), sched);
+    }
+
+    /// Sets the default schedule for every site of `kind` (builder style).
+    pub fn kind_default(mut self, kind: FaultKind, sched: FaultSchedule) -> Self {
+        for slot in &mut self.defaults {
+            if slot.0 == kind {
+                slot.1 = FaultScheduleSlot(sched);
+            }
+        }
+        self
+    }
+
+    /// The schedule governing `(kind, site)`.
+    pub fn schedule_for(&self, kind: FaultKind, site: &str) -> FaultSchedule {
+        if let Some(s) = self.sites.get(&(kind, site.to_string())) {
+            return *s;
+        }
+        self.defaults
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| s.0)
+            .unwrap_or(FaultSchedule::Never)
+    }
+
+    /// Iterates the explicitly scheduled sites.
+    pub fn scheduled_sites(&self) -> impl Iterator<Item = (FaultKind, &str, FaultSchedule)> {
+        self.sites.iter().map(|((k, s), sched)| (*k, s.as_str(), *sched))
+    }
+}
+
+/// One injected fault, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The failure class.
+    pub kind: FaultKind,
+    /// The site that failed.
+    pub site: String,
+    /// Which hit (1-based) of that site failed.
+    pub hit: u64,
+}
+
+/// Runtime fault-decision state: the plan plus per-site hit counters.
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    plan: FaultPlan,
+    hits: HashMap<(FaultKind, String), u64>,
+    injected: Vec<InjectedFault>,
+}
+
+impl FaultState {
+    /// Builds state for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            hits: HashMap::new(),
+            injected: Vec::new(),
+        }
+    }
+
+    /// Replaces the plan and clears all counters.
+    pub fn reset(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.hits.clear();
+        self.injected.clear();
+    }
+
+    /// Clears counters and the injection log but keeps the plan, so its
+    /// schedules replay from hit 1 (a fresh "VM boot" under the same
+    /// plan).
+    pub fn rearm(&mut self) {
+        self.hits.clear();
+        self.injected.clear();
+    }
+
+    /// The governing plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Registers one hit of `(kind, site)` and decides whether this hit
+    /// fails. Handlers call this at each failable point; the counter
+    /// advances regardless of the verdict so `Nth` schedules address
+    /// individual dynamic occurrences.
+    pub fn should_fail(&mut self, kind: FaultKind, site: &str) -> bool {
+        let hit = self
+            .hits
+            .entry((kind, site.to_string()))
+            .and_modify(|h| *h += 1)
+            .or_insert(1);
+        let hit = *hit;
+        let sched = self.plan.schedule_for(kind, site);
+        let fail = sched.decides(self.plan.seed, kind, site, hit);
+        if fail {
+            self.injected.push(InjectedFault {
+                kind,
+                site: site.to_string(),
+                hit,
+            });
+        }
+        fail
+    }
+
+    /// Hit counters, in arbitrary order: `(kind, site, hits)`.
+    pub fn hit_counts(&self) -> impl Iterator<Item = (FaultKind, &str, u64)> {
+        self.hits.iter().map(|((k, s), h)| (*k, s.as_str(), *h))
+    }
+
+    /// Total hits registered for `(kind, site)`.
+    pub fn hits_at(&self, kind: FaultKind, site: &str) -> u64 {
+        self.hits
+            .get(&(kind, site.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Every fault injected so far, in injection order.
+    pub fn injected(&self) -> &[InjectedFault] {
+        &self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fails() {
+        let mut st = FaultState::new(FaultPlan::none());
+        for _ in 0..1000 {
+            assert!(!st.should_fail(FaultKind::AllocFail, "mm.alloc_pages"));
+        }
+        assert!(st.injected().is_empty());
+        assert_eq!(st.hits_at(FaultKind::AllocFail, "mm.alloc_pages"), 1000);
+    }
+
+    #[test]
+    fn nth_fails_exactly_once() {
+        let plan = FaultPlan::new(1).site(
+            FaultKind::IoError,
+            "fileio.read",
+            FaultSchedule::Nth(3),
+        );
+        let mut st = FaultState::new(plan);
+        let verdicts: Vec<bool> = (0..6)
+            .map(|_| st.should_fail(FaultKind::IoError, "fileio.read"))
+            .collect();
+        assert_eq!(verdicts, [false, false, true, false, false, false]);
+        assert_eq!(st.injected().len(), 1);
+        assert_eq!(st.injected()[0].hit, 3);
+    }
+
+    #[test]
+    fn every_nth_recurs() {
+        let plan = FaultPlan::new(1).site(
+            FaultKind::AllocFail,
+            "mm.slab",
+            FaultSchedule::EveryNth(2),
+        );
+        let mut st = FaultState::new(plan);
+        let verdicts: Vec<bool> = (0..6)
+            .map(|_| st.should_fail(FaultKind::AllocFail, "mm.slab"))
+            .collect();
+        assert_eq!(verdicts, [false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn prob_is_deterministic_and_seed_sensitive() {
+        let run = |seed| {
+            let plan = FaultPlan::new(seed).site(
+                FaultKind::AllocFail,
+                "mm.alloc_pages",
+                FaultSchedule::ProbMilli(300),
+            );
+            let mut st = FaultState::new(plan);
+            (0..200)
+                .map(|_| st.should_fail(FaultKind::AllocFail, "mm.alloc_pages"))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same verdicts");
+        assert_ne!(run(7), run(8), "different seed, different verdicts");
+        let fails = run(7).iter().filter(|&&f| f).count();
+        assert!((20..120).contains(&fails), "p=0.3 over 200: {fails}");
+    }
+
+    #[test]
+    fn kind_default_covers_unnamed_sites() {
+        let plan = FaultPlan::new(2).kind_default(FaultKind::IoError, FaultSchedule::EveryNth(1));
+        let mut st = FaultState::new(plan);
+        assert!(st.should_fail(FaultKind::IoError, "anywhere"));
+        assert!(!st.should_fail(FaultKind::AllocFail, "anywhere"));
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let plan = FaultPlan::new(3)
+            .site(FaultKind::AllocFail, "a", FaultSchedule::Nth(1))
+            .site(FaultKind::AllocFail, "b", FaultSchedule::Nth(2));
+        let mut st = FaultState::new(plan.clone());
+        assert!(st.should_fail(FaultKind::AllocFail, "a"));
+        assert!(!st.should_fail(FaultKind::AllocFail, "b"));
+        assert!(st.should_fail(FaultKind::AllocFail, "b"));
+
+        // Interleaving hits of a *different* site does not shift b's
+        // decisions: counters are per-site.
+        let mut st2 = FaultState::new(plan);
+        for _ in 0..50 {
+            st2.should_fail(FaultKind::AllocFail, "a");
+        }
+        assert!(!st2.should_fail(FaultKind::AllocFail, "b"));
+        assert!(st2.should_fail(FaultKind::AllocFail, "b"));
+    }
+
+    #[test]
+    fn kinds_do_not_collide_on_the_same_site_name() {
+        let plan = FaultPlan::new(4).site(FaultKind::AllocFail, "x", FaultSchedule::Nth(1));
+        let mut st = FaultState::new(plan);
+        assert!(!st.should_fail(FaultKind::IoError, "x"));
+        assert!(st.should_fail(FaultKind::AllocFail, "x"));
+    }
+}

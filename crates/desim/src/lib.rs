@@ -29,6 +29,13 @@
 //! * **RCU domains**, **IPI broadcasts**, **block devices** with FIFO
 //!   request queues, **wait queues** and **barriers** complete the kernel
 //!   toolbox.
+//! * **Fault injection** ([`fault`]): a seeded [`FaultPlan`] assigns
+//!   per-site failure schedules (alloc failures, I/O errors, lock
+//!   timeouts) that processes consult through [`SimCtx`]; decisions are a
+//!   pure function of `(seed, site, hit)` so faulty runs replay
+//!   bit-identically. An event-budget watchdog
+//!   ([`Engine::set_event_budget`]) converts livelocked simulations into a
+//!   structured [`SimError::Stalled`] instead of running forever.
 //!
 //! The engine is generic over a *world* type `W` — shared mutable state
 //! (e.g. a simulated kernel) that every process can inspect and mutate
@@ -37,6 +44,7 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod fault;
 pub mod iodev;
 pub mod lock;
 pub mod process;
@@ -46,6 +54,7 @@ pub use cpu::{CoreConfig, CoreId, CoreState};
 pub use engine::{
     BarrierId, Engine, EngineParams, QueueId, RcuId, Record, SimCtx, SimError, SimResult,
 };
+pub use fault::{FaultKind, FaultPlan, FaultSchedule, FaultState, InjectedFault};
 pub use iodev::{DevId, DeviceModel};
 pub use lock::{LockId, LockKind, LockMode};
 pub use process::{Effect, Pid, Process, WakeReason};

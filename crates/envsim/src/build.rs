@@ -33,7 +33,7 @@ pub fn build_env<W: HasKernel + 'static>(
 ) -> BuiltEnv {
     let n_inst = spec.kind.instances();
     assert!(
-        spec.machine.cores % n_inst == 0,
+        spec.machine.cores.is_multiple_of(n_inst),
         "cores ({}) must divide evenly into {} instances",
         spec.machine.cores,
         n_inst
@@ -68,7 +68,7 @@ pub fn build_env<W: HasKernel + 'static>(
             })
             .collect();
         all_cores.extend(cores.iter().copied());
-        instance_of.extend(std::iter::repeat(inst_idx).take(cores_per));
+        instance_of.extend(std::iter::repeat_n(inst_idx, cores_per));
         let inst = KernelInstance::build(
             engine,
             inst_idx,

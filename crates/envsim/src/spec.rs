@@ -1,10 +1,9 @@
 //! Environment specifications and the paper's configuration sweeps.
 
 use ksa_kernel::params::CostModel;
-use serde::{Deserialize, Serialize};
 
 /// The physical machine being divided.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Machine {
     /// Hardware threads.
     pub cores: usize,
@@ -33,7 +32,7 @@ impl Machine {
 }
 
 /// How the machine's kernel surface is divided.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnvKind {
     /// Bare metal: one kernel, whole machine.
     Native,
@@ -63,7 +62,7 @@ impl EnvKind {
 }
 
 /// A full environment specification.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct EnvSpec {
     /// The machine.
     pub machine: Machine,
@@ -91,7 +90,7 @@ impl EnvSpec {
 }
 
 /// One row of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepRow {
     /// Number of VMs (or containers).
     pub count: usize,

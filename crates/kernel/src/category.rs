@@ -1,10 +1,9 @@
 //! System-call categories (Section 5 of the paper).
 
-use serde::{Deserialize, Serialize};
 
 /// Broad purpose of a system call. The paper assigns each call one or more
 /// categories; Figure 2 is organized by these.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
     /// (a) Process management and scheduling.
     ProcessSched,

@@ -65,6 +65,34 @@ pub fn block_bucketed(name: &'static str, bucket: u32) -> BlockId {
     id
 }
 
+/// Interns an **error-path** block: the name is prefixed with `err.` so
+/// error blocks are distinguishable from happy-path blocks when counting
+/// coverage (e.g. `block_err("io.fsync.eio")` → `err.io.fsync.eio`).
+/// Handlers reach these only when a fault plan forces a failure, which is
+/// what makes fault-injection corpora measurably *new* coverage.
+pub fn block_err(name: &'static str) -> BlockId {
+    let mut reg = registry().lock().unwrap();
+    let key = format!("err.{name}");
+    if let Some(&id) = reg.by_name.get(key.as_str()) {
+        return id;
+    }
+    let leaked: &'static str = Box::leak(key.into_boxed_str());
+    let id = BlockId(reg.names.len() as u32);
+    reg.names.push(leaked);
+    reg.by_name.insert(leaked, id);
+    id
+}
+
+/// True when `id` was interned through [`block_err`].
+pub fn is_error_block(id: BlockId) -> bool {
+    registry()
+        .lock()
+        .unwrap()
+        .names
+        .get(id.0 as usize)
+        .is_some_and(|n| n.starts_with("err."))
+}
+
 /// Number of distinct blocks interned so far.
 pub fn block_universe() -> usize {
     registry().lock().unwrap().names.len()
@@ -148,6 +176,20 @@ impl CoverageSet {
         })
     }
 
+    /// Number of covered **error-path** blocks (those interned through
+    /// [`block_err`]). A no-fault execution covers zero of these; any
+    /// positive count is coverage only fault injection can reach.
+    pub fn error_blocks(&self) -> usize {
+        let reg = registry().lock().unwrap();
+        self.iter()
+            .filter(|id| {
+                reg.names
+                    .get(id.0 as usize)
+                    .is_some_and(|n| n.starts_with("err."))
+            })
+            .count()
+    }
+
     /// Removes all blocks.
     pub fn clear(&mut self) {
         self.bits.clear();
@@ -208,6 +250,22 @@ mod tests {
         for &i in &ids {
             assert!(got.contains(&i));
         }
+    }
+
+    #[test]
+    fn error_blocks_are_counted_separately() {
+        let ok = block("cov.test.happy");
+        let bad = block_err("cov.test.sad");
+        assert!(!is_error_block(ok));
+        assert!(is_error_block(bad));
+        assert_eq!(block_name(bad), "err.cov.test.sad");
+        assert_eq!(block_err("cov.test.sad"), bad, "interning is stable");
+        let mut s = CoverageSet::new();
+        s.insert(ok);
+        assert_eq!(s.error_blocks(), 0);
+        s.insert(bad);
+        assert_eq!(s.error_blocks(), 1);
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

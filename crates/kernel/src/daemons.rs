@@ -82,10 +82,10 @@ impl<W: HasKernel> Process<W> for Flusher {
                 match _wake {
                     WakeReason::Timer => {
                         // Delay finished -> submit I/O (still holding).
-                        return Effect::Io {
+                        Effect::Io {
                             dev: disk,
                             bytes: self.pages * 4096,
-                        };
+                        }
                     }
                     _ => {
                         // I/O finished: clean state, release, sleep.

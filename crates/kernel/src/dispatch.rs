@@ -9,12 +9,13 @@
 //! methods for the recurring kernel patterns (page allocation with
 //! per-CPU magazines and direct reclaim, slab allocation, path walks).
 
-use ksa_desim::{LockId, LockMode, Ns};
+use ksa_desim::{FaultKind, FaultState, LockId, LockMode, Ns};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::category::Category;
 use crate::coverage::{block, CoverageSet};
+use crate::errno::Errno;
 use crate::instance::KernelInstance;
 use crate::ops::{KOp, OpSeq};
 use crate::state::NAMES_PER_SLOT;
@@ -32,6 +33,8 @@ pub struct HCtx<'a> {
     pub rng: &'a mut SmallRng,
     /// Coverage sink for this execution.
     pub cover: &'a mut CoverageSet,
+    /// Fault-injection state consulted at failable points.
+    pub faults: &'a mut FaultState,
     /// The op sequence under construction.
     pub seq: OpSeq,
 }
@@ -55,6 +58,82 @@ impl<'a> HCtx<'a> {
     /// Log2 size class helper for bucketed coverage.
     pub fn size_class(v: u64) -> u32 {
         64 - v.max(1).leading_zeros()
+    }
+
+    /// Records coverage of an error-path block (interned under the `err.`
+    /// prefix; see [`crate::coverage::block_err`]).
+    pub fn cover_err(&mut self, name: &'static str) {
+        let id = crate::coverage::block_err(name);
+        self.cover.insert(id);
+        self.k.coverage.insert(id);
+    }
+
+    /// Asks the fault plan whether `(kind, site)` fails at this hit.
+    pub fn inject(&mut self, kind: FaultKind, site: &'static str) -> bool {
+        self.faults.should_fail(kind, site)
+    }
+
+    /// Terminates the call on an error path: records the error block,
+    /// charges the unwind cost and tags the sequence with `errno`.
+    /// Handlers still perform their own state cleanup before returning.
+    pub fn fail(&mut self, errno: Errno, block: &'static str) {
+        self.cover_err(block);
+        self.cpu(250);
+        self.seq.error = Some(errno);
+    }
+
+    /// Fallible page allocation: consults the fault plan before the real
+    /// allocation. A forced failure still pays a truncated direct-reclaim
+    /// attempt (the kernel scans before giving up) and returns `false`;
+    /// the caller takes its ENOMEM path.
+    pub fn try_alloc_pages(&mut self, pages: u64, site: &'static str) -> bool {
+        if pages > 0 && self.faults.should_fail(FaultKind::AllocFail, site) {
+            let cost = self.cost();
+            let scan = (self.k.state.mm.lru_pages / 16).clamp(32, 4_096);
+            self.cpu(cost.lru_scan_per_page * scan / 4);
+            return false;
+        }
+        self.alloc_pages(pages);
+        true
+    }
+
+    /// Fallible slab allocation (see [`Self::try_alloc_pages`]).
+    pub fn try_slab_alloc(&mut self, objs: u64, site: &'static str) -> bool {
+        if objs > 0 && self.faults.should_fail(FaultKind::AllocFail, site) {
+            let cost = self.cost();
+            self.cpu(cost.slab_refill / 2);
+            return false;
+        }
+        self.slab_alloc(objs);
+        true
+    }
+
+    /// Fallible exclusive lock acquire: a forced timeout pays a bounded
+    /// backoff spin and returns `false` *without* taking the lock, so
+    /// sequences stay balanced; the caller takes its EAGAIN path.
+    pub fn try_lock(&mut self, l: LockId, site: &'static str) -> bool {
+        if self.faults.should_fail(FaultKind::LockTimeout, site) {
+            self.cpu(1_500);
+            return false;
+        }
+        self.lock(l);
+        true
+    }
+
+    /// Fallible block I/O: the request is issued either way (the error
+    /// comes back on completion, so the device round-trip is still paid),
+    /// but a forced failure returns `false` and the caller takes its EIO
+    /// path instead of completing the transfer.
+    pub fn try_io(&mut self, bytes: u64, write: bool, site: &'static str) -> bool {
+        if self.faults.should_fail(FaultKind::IoError, site) {
+            self.push(KOp::Io {
+                bytes: bytes.min(4_096),
+                write,
+            });
+            return false;
+        }
+        self.push(KOp::Io { bytes, write });
+        true
     }
 
     /// Plain kernel CPU work.
@@ -177,8 +256,12 @@ impl<'a> HCtx<'a> {
     /// Walks a path of `depth` components. `cached` says whether the
     /// terminal dentry is resident: the RCU fast path costs per-component
     /// work plus hash-chain pressure from the *shared* dcache; a cold
-    /// terminal pays the dcache-locked insert and an inode read.
-    pub fn path_walk(&mut self, depth: u32, cached: bool) {
+    /// terminal pays the dcache-locked insert and an inode read. Returns
+    /// `false` when the walk fails (dentry allocation or inode read under
+    /// fault injection); the error is already recorded on the sequence
+    /// and the caller just unwinds its own state.
+    #[must_use]
+    pub fn path_walk(&mut self, depth: u32, cached: bool) -> bool {
         let cost = self.cost();
         let depth = depth + self.k.tenancy.ns_depth;
         let chain = cost.dentry_chain_per_1k * (self.k.state.fs.dentries / 1000);
@@ -186,7 +269,11 @@ impl<'a> HCtx<'a> {
         self.cpu((cost.dentry_hop + chain) * depth as Ns);
         if !cached {
             self.cover("fs.path_walk.cold");
-            self.slab_alloc(2); // dentry + inode
+            if !self.try_slab_alloc(2, "fs.path_walk.dentry") {
+                // dentry + inode allocation failed: nothing was inserted.
+                self.fail(Errno::ENOMEM, "fs.path_walk.enomem");
+                return false;
+            }
             let dcache = self.k.locks.dcache;
             self.lock(dcache);
             self.cpu(cost.dentry_insert);
@@ -195,12 +282,14 @@ impl<'a> HCtx<'a> {
             self.lock(sb);
             self.cpu(cost.inode_read_cpu);
             self.unlock(sb);
-            self.push(KOp::Io {
-                bytes: 4096,
-                write: false,
-            });
+            if !self.try_io(4096, false, "fs.inode_read") {
+                // The inode never arrived: the dentry stays negative.
+                self.fail(Errno::EIO, "fs.path_walk.eio");
+                return false;
+            }
             self.k.state.fs.dentries += 1;
         }
+        true
     }
 
     /// cgroup charge bookkeeping for memory/I/O in containerized
@@ -276,12 +365,14 @@ pub fn dispatch(
     args: &[u64],
     rng: &mut SmallRng,
     cover: &mut CoverageSet,
+    faults: &mut FaultState,
 ) -> OpSeq {
     let mut h = HCtx {
         k,
         slot,
         rng,
         cover,
+        faults,
         seq: OpSeq::new(),
     };
     let a = |i: usize| args.get(i).copied().unwrap_or(0);
@@ -387,7 +478,8 @@ pub fn dispatch(
     h.seq
 }
 
-/// Convenience wrapper used by tests: dispatch with throwaway coverage.
+/// Convenience wrapper used by tests: dispatch with throwaway coverage
+/// and no fault injection.
 pub fn dispatch_simple(
     k: &mut KernelInstance,
     slot: usize,
@@ -396,5 +488,6 @@ pub fn dispatch_simple(
     rng: &mut SmallRng,
 ) -> OpSeq {
     let mut cover = CoverageSet::new();
-    dispatch(k, slot, no, args, rng, &mut cover)
+    let mut faults = FaultState::default();
+    dispatch(k, slot, no, args, rng, &mut cover, &mut faults)
 }

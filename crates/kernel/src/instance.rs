@@ -7,7 +7,6 @@
 //! work, shootdown fan-out, RCU grace periods and cache sizes.
 
 use ksa_desim::{CoreId, DevId, Engine, LockId, LockKind, Ns, RcuId};
-use serde::{Deserialize, Serialize};
 
 use crate::coverage::CoverageSet;
 use crate::params::CostModel;
@@ -20,7 +19,7 @@ pub const FUTEX_BUCKETS: usize = 16;
 
 /// Hardware-virtualization overhead profile. All costs are per event;
 /// bare metal uses [`VirtProfile::native`] (all zero, multipliers = 1).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct VirtProfile {
     /// True for a hardware VM.
     pub enabled: bool,
@@ -90,7 +89,7 @@ impl VirtProfile {
 
 /// Container (namespace + cgroup) overhead profile for instances hosting
 /// Docker-style tenants. VMs and native get [`TenancyProfile::none`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TenancyProfile {
     /// Number of containers sharing this kernel instance.
     pub containers: u32,

@@ -40,6 +40,7 @@ pub mod category;
 pub mod coverage;
 pub mod daemons;
 pub mod dispatch;
+pub mod errno;
 pub mod exec;
 pub mod instance;
 pub mod ops;
@@ -53,6 +54,7 @@ pub mod world;
 pub use category::Category;
 pub use coverage::{BlockId, CoverageSet};
 pub use dispatch::dispatch;
+pub use errno::Errno;
 pub use exec::OpRunner;
 pub use instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
 pub use params::CostModel;

@@ -74,6 +74,10 @@ pub struct OpSeq {
     pub ops: Vec<KOp>,
     /// The syscall's return value (resource produced, or 0).
     pub result: u64,
+    /// Error path taken, if any. The ops still replay (the work up to the
+    /// failure point was really done); `error` tells the harness the call
+    /// did not complete its semantic effect.
+    pub error: Option<crate::errno::Errno>,
 }
 
 impl OpSeq {
@@ -136,11 +140,7 @@ impl OpSeq {
         for op in &self.ops {
             match op {
                 KOp::Lock(id, _) => stack.push(*id),
-                KOp::Unlock(id) => {
-                    if stack.pop() != Some(*id) {
-                        return false;
-                    }
-                }
+                KOp::Unlock(id) if stack.pop() != Some(*id) => return false,
                 _ => {}
             }
         }

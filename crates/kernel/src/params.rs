@@ -7,10 +7,9 @@
 //! copy ≈ 0.1 ns/byte, TLB shootdown handler ≈ a few µs).
 
 use ksa_desim::{Ns, US};
-use serde::{Deserialize, Serialize};
 
 /// Base costs for the simulated kernel's micro-operations.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     /// Syscall entry + exit (mode switch, dispatch, return).
     pub syscall_entry: Ns,

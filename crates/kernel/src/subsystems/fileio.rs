@@ -11,6 +11,7 @@
 use ksa_desim::Ns;
 
 use crate::dispatch::HCtx;
+use crate::errno::Errno;
 use crate::ops::{KOp, VmExitKind};
 use crate::state::FdKind;
 
@@ -28,6 +29,7 @@ pub fn sys_read(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
     let Some(fd) = h.pick_fd(fd_sel) else {
         h.cover("io.read.ebadf");
         h.cpu(120);
+        h.seq.error = Some(Errno::EBADF);
         return;
     };
     match h.k.state.slots[h.slot].fds[fd].kind {
@@ -46,6 +48,7 @@ pub fn sys_read(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
         FdKind::Closed => {
             h.cover("io.read.ebadf");
             h.cpu(120);
+            h.seq.error = Some(Errno::EBADF);
         }
         FdKind::File { idx } => {
             h.cover_bucket("io.read.size", crate::dispatch::HCtx::size_class(bytes));
@@ -67,13 +70,21 @@ pub fn sys_read(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
                 // Miss: readahead from disk, insert into cache + LRU.
                 h.cover("io.read.miss");
                 let miss_pages = end.saturating_sub(cached.min(end)) + 8; // readahead
-                h.alloc_pages(miss_pages);
+                if !h.try_alloc_pages(miss_pages, "io.read.pages") {
+                    // No pages for the readahead window.
+                    h.fail(Errno::ENOMEM, "io.read.enomem");
+                    return;
+                }
                 h.push(KOp::VmExit(VmExitKind::IoKick));
-                h.push(KOp::Io {
-                    bytes: miss_pages * 4096,
-                    write: false,
-                });
+                let ok = h.try_io(miss_pages * 4096, false, "io.read.disk");
                 h.push(KOp::VmExit(VmExitKind::IoIrq));
+                if !ok {
+                    // The device errored: drop the speculative pages and
+                    // leave the cache and file offset untouched.
+                    h.free_pages(miss_pages);
+                    h.fail(Errno::EIO, "io.read.eio");
+                    return;
+                }
                 h.mem(cost.copy(bytes));
                 let f = &mut h.k.state.fs.files[idx];
                 f.cached_pages = (f.cached_pages + miss_pages).min(f.size_pages);
@@ -97,6 +108,7 @@ pub fn sys_write(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
     let Some(fd) = h.pick_fd(fd_sel) else {
         h.cover("io.write.ebadf");
         h.cpu(120);
+        h.seq.error = Some(Errno::EBADF);
         return;
     };
     match h.k.state.slots[h.slot].fds[fd].kind {
@@ -115,12 +127,17 @@ pub fn sys_write(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
         FdKind::Closed => {
             h.cover("io.write.ebadf");
             h.cpu(120);
+            h.seq.error = Some(Errno::EBADF);
         }
         FdKind::File { idx } => {
             h.cover("io.write.file");
             h.cover_bucket("io.write.size", crate::dispatch::HCtx::size_class(bytes));
             let pages = bytes.div_ceil(4096);
-            h.alloc_pages(pages);
+            if !h.try_alloc_pages(pages, "io.write.pages") {
+                // No pages for the cache-side copy: nothing dirtied yet.
+                h.fail(Errno::ENOMEM, "io.write.enomem");
+                return;
+            }
             h.mem(cost.copy(bytes));
             {
                 let f = &mut h.k.state.fs.files[idx];
@@ -142,15 +159,22 @@ pub fn sys_write(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
                 h.cover("io.write.throttled");
                 let flush = (h.k.state.mm.dirty_pages / 2).min(4096);
                 let journal = h.k.locks.journal;
-                h.lock(journal);
+                if !h.try_lock(journal, "io.write.journal") {
+                    // Could not join the flush transaction; the data is in
+                    // the cache but the caller must back off and retry.
+                    h.fail(Errno::EAGAIN, "io.write.journal_timeout");
+                    return;
+                }
                 h.cpu(cost.writeback_base + cost.writeback_per_page * flush);
                 h.push(KOp::VmExit(VmExitKind::IoKick));
-                h.push(KOp::Io {
-                    bytes: flush * 4096,
-                    write: true,
-                });
+                let ok = h.try_io(flush * 4096, true, "io.write.writeback");
                 h.push(KOp::VmExit(VmExitKind::IoIrq));
                 h.unlock(journal);
+                if !ok {
+                    // Writeback failed: pages stay dirty for a later retry.
+                    h.fail(Errno::EIO, "io.write.eio");
+                    return;
+                }
                 h.k.state.mm.dirty_pages -= flush;
             }
             h.seq.result = bytes;
@@ -163,6 +187,7 @@ pub fn sys_lseek(h: &mut HCtx, fd_sel: u64, off: u64) {
     let Some(fd) = h.pick_fd(fd_sel) else {
         h.cover("io.lseek.ebadf");
         h.cpu(100);
+        h.seq.error = Some(Errno::EBADF);
         return;
     };
     h.cover("io.lseek");
@@ -180,11 +205,13 @@ pub fn sys_fsync(h: &mut HCtx, fd_sel: u64, data_only: bool) {
     let Some(fd) = h.pick_fd(fd_sel) else {
         h.cover("io.fsync.ebadf");
         h.cpu(100);
+        h.seq.error = Some(Errno::EBADF);
         return;
     };
     let FdKind::File { idx } = h.k.state.slots[h.slot].fds[fd].kind else {
         h.cover("io.fsync.nonfile");
         h.cpu(150);
+        h.seq.error = Some(Errno::EINVAL);
         return;
     };
     let file_dirty = h.k.state.fs.files[idx].dirty_pages;
@@ -202,11 +229,14 @@ pub fn sys_fsync(h: &mut HCtx, fd_sel: u64, data_only: bool) {
     if file_dirty > 0 {
         h.cpu(cost.writeback_base / 2 + cost.writeback_per_page * file_dirty.min(1024));
         h.push(KOp::VmExit(VmExitKind::IoKick));
-        h.push(KOp::Io {
-            bytes: file_dirty.min(1024) * 4096,
-            write: true,
-        });
+        let ok = h.try_io(file_dirty.min(1024) * 4096, true, "io.fsync.data");
         h.push(KOp::VmExit(VmExitKind::IoIrq));
+        if !ok {
+            // Data writeback failed; pages stay dirty, durability not
+            // achieved — report it rather than pretending.
+            h.fail(Errno::EIO, "io.fsync.data_eio");
+            return;
+        }
     }
     // Metadata commit: serialize on the journal with everyone else's
     // metadata. Group commit (jbd2): the first waiter commits the whole
@@ -215,15 +245,22 @@ pub fn sys_fsync(h: &mut HCtx, fd_sel: u64, data_only: bool) {
     if !data_only && h.k.state.fs.journal_dirty > 0 {
         let journal = h.k.locks.journal;
         let blocks = h.k.state.fs.journal_dirty.min(8_192);
-        h.lock(journal);
+        if !h.try_lock(journal, "io.fsync.journal") {
+            // Timed out waiting on the running transaction.
+            h.fail(Errno::EAGAIN, "io.fsync.journal_timeout");
+            return;
+        }
         h.cpu(cost.journal_commit_base + cost.journal_per_block * blocks);
         h.push(KOp::VmExit(VmExitKind::IoKick));
-        h.push(KOp::Io {
-            bytes: (blocks + 1) * 4096,
-            write: true,
-        });
+        let ok = h.try_io((blocks + 1) * 4096, true, "io.fsync.journal_io");
         h.push(KOp::VmExit(VmExitKind::IoIrq));
         h.unlock(journal);
+        if !ok {
+            // Commit record never hit the disk: the transaction stays
+            // dirty and will be retried by the next committer.
+            h.fail(Errno::EIO, "io.fsync.eio");
+            return;
+        }
         h.k.state.fs.journal_dirty = 0;
         h.k.state.fs.commits += 1;
     }
@@ -258,17 +295,23 @@ pub fn sys_fallocate(h: &mut HCtx, fd_sel: u64, len: u64) {
     let Some(fd) = h.pick_fd(fd_sel) else {
         h.cover("io.fallocate.ebadf");
         h.cpu(100);
+        h.seq.error = Some(Errno::EBADF);
         return;
     };
     let FdKind::File { idx } = h.k.state.slots[h.slot].fds[fd].kind else {
         h.cover("io.fallocate.nonfile");
         h.cpu(120);
+        h.seq.error = Some(Errno::EINVAL);
         return;
     };
     h.cover("io.fallocate");
     let blocks = (len % 64).max(1);
     let journal = h.k.locks.journal;
-    h.lock(journal);
+    if !h.try_lock(journal, "io.fallocate.journal") {
+        // Block allocation needs the journal; no metadata was touched.
+        h.fail(Errno::EAGAIN, "io.fallocate.journal_timeout");
+        return;
+    }
     h.cpu(cost.journal_per_block * blocks + 2_000);
     h.unlock(journal);
     h.k.state.fs.journal_dirty += blocks / 2 + 1;

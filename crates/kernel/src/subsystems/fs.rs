@@ -8,6 +8,7 @@
 //! journal/dcache writers and smaller hash-chain pressure.
 
 use crate::dispatch::HCtx;
+use crate::errno::Errno;
 use crate::state::{Fd, FdKind, FileMeta};
 
 /// Gets or creates the file behind a path selector in this slot's
@@ -18,20 +19,31 @@ fn lookup_or_create(h: &mut HCtx, sel: u64, create: bool) -> Option<(usize, bool
     h.cover_bucket("fs.lookup.depth", depth);
     if let Some(idx) = h.k.state.slots[h.slot].names[name] {
         let cached = h.k.state.fs.files[idx].dentry_cached;
-        h.path_walk(depth, cached);
+        if !h.path_walk(depth, cached) {
+            return None; // walk failed; error already recorded
+        }
         h.k.state.fs.files[idx].dentry_cached = true;
         return Some((idx, false));
     }
     if !create {
         h.cover("fs.lookup.enoent");
-        h.path_walk(depth, true); // parent components resolve, final misses
+        // Parent components resolve, final misses.
+        if !h.path_walk(depth, true) {
+            return None;
+        }
         h.cpu(200);
         return None;
     }
     // Create: parent walk, dentry insert, journal the new inode.
     h.cover("fs.create");
-    h.path_walk(depth - 1, true);
-    h.slab_alloc(2);
+    if !h.path_walk(depth - 1, true) {
+        return None;
+    }
+    if !h.try_slab_alloc(2, "fs.create.inode") {
+        // No memory for the dentry + inode pair; nothing inserted yet.
+        h.fail(Errno::ENOMEM, "fs.create.enomem");
+        return None;
+    }
     let cost = h.cost();
     let dcache = h.k.locks.dcache;
     h.lock(dcache);
@@ -42,7 +54,13 @@ fn lookup_or_create(h: &mut HCtx, sel: u64, create: bool) -> Option<(usize, bool
     h.cpu(400);
     h.unlock(sb);
     let journal = h.k.locks.journal;
-    h.lock(journal);
+    if !h.try_lock(journal, "fs.create.journal") {
+        // Could not journal the create: free the speculative dentry and
+        // inode and leave the namespace unchanged.
+        h.cpu(cost.slab_fast * 2);
+        h.fail(Errno::EAGAIN, "fs.create.journal_timeout");
+        return None;
+    }
     h.cpu(cost.dirent_update);
     h.unlock(journal);
     h.k.state.fs.journal_dirty += 2;
@@ -89,6 +107,7 @@ pub fn sys_close(h: &mut HCtx, fd_sel: u64) {
     let Some(fd) = h.pick_fd(fd_sel) else {
         h.cover("fs.close.ebadf");
         h.cpu(90);
+        h.seq.error = Some(Errno::EBADF);
         return;
     };
     h.cover("fs.close");
@@ -113,6 +132,7 @@ pub fn sys_fstat(h: &mut HCtx, fd_sel: u64) {
     if h.pick_fd(fd_sel).is_none() {
         h.cover("fs.fstat.ebadf");
         h.cpu(90);
+        h.seq.error = Some(Errno::EBADF);
         return;
     }
     h.cover("fs.fstat");
@@ -162,18 +182,24 @@ fn unlink_common(h: &mut HCtx, path_sel: u64, blk: &'static str) {
     let name = h.name_index(path_sel);
     let Some(idx) = h.k.state.slots[h.slot].names[name] else {
         h.cover("fs.unlink.enoent");
-        h.path_walk(2, true);
+        let _ = h.path_walk(2, true); // cached walk: cannot fail
         return;
     };
     h.cover(blk);
     let cached = h.k.state.fs.files[idx].dentry_cached;
-    h.path_walk(2 + (path_sel % 4) as u32, cached);
+    if !h.path_walk(2 + (path_sel % 4) as u32, cached) {
+        return;
+    }
     let dcache = h.k.locks.dcache;
     h.lock(dcache);
     h.cpu(cost.dentry_insert / 2);
     h.unlock(dcache);
     let journal = h.k.locks.journal;
-    h.lock(journal);
+    if !h.try_lock(journal, "fs.unlink.journal") {
+        // The entry survives: nothing was journaled or removed.
+        h.fail(Errno::EAGAIN, "fs.unlink.journal_timeout");
+        return;
+    }
     h.cpu(cost.dirent_update);
     h.unlock(journal);
     h.k.state.fs.journal_dirty += 1;
@@ -199,20 +225,29 @@ pub fn sys_rename(h: &mut HCtx, from_sel: u64, to_sel: u64) {
     let from = h.name_index(from_sel);
     let Some(idx) = h.k.state.slots[h.slot].names[from] else {
         h.cover("fs.rename.enoent");
-        h.path_walk(2, true);
+        let _ = h.path_walk(2, true); // cached walk: cannot fail
         return;
     };
     h.cover("fs.rename");
     let rename = h.k.locks.rename;
     let dcache = h.k.locks.dcache;
     let journal = h.k.locks.journal;
-    h.lock(rename);
-    h.path_walk(2 + (from_sel % 3) as u32, true);
-    h.path_walk(2 + (to_sel % 3) as u32, true);
+    if !h.try_lock(rename, "fs.rename.mutex") {
+        // Lost the race for the instance-wide rename mutex.
+        h.fail(Errno::EAGAIN, "fs.rename.timeout");
+        return;
+    }
+    let _ = h.path_walk(2 + (from_sel % 3) as u32, true); // cached: cannot fail
+    let _ = h.path_walk(2 + (to_sel % 3) as u32, true);
     h.lock(dcache);
     h.cpu(cost.dentry_insert);
     h.unlock(dcache);
-    h.lock(journal);
+    if !h.try_lock(journal, "fs.rename.journal") {
+        // Back out: release the rename mutex, leave both names as-is.
+        h.unlock(rename);
+        h.fail(Errno::EAGAIN, "fs.rename.journal_timeout");
+        return;
+    }
     h.cpu(cost.dirent_update * 2);
     h.unlock(journal);
     h.unlock(rename);
@@ -248,7 +283,11 @@ pub fn sys_truncate(h: &mut HCtx, path_sel: u64, new_pages: u64) {
     h.cover("fs.truncate");
     let new_pages = new_pages % 64;
     let journal = h.k.locks.journal;
-    h.lock(journal);
+    if !h.try_lock(journal, "fs.truncate.journal") {
+        // Size change not journaled: the file keeps its old length.
+        h.fail(Errno::EAGAIN, "fs.truncate.journal_timeout");
+        return;
+    }
     h.cpu(cost.dirent_update + cost.journal_per_block * 2);
     h.unlock(journal);
     h.k.state.fs.journal_dirty += 1;

@@ -8,6 +8,7 @@
 //! surface areas.
 
 use crate::dispatch::HCtx;
+use crate::errno::Errno;
 use crate::instance::FUTEX_BUCKETS;
 use crate::ops::KOp;
 use crate::state::{Fd, FdKind, MsgQueue, ShmSeg, Vma};
@@ -31,8 +32,16 @@ fn install_fd(h: &mut HCtx, kind: FdKind) -> u64 {
 pub fn sys_pipe2(h: &mut HCtx) {
     h.cover("ipc.pipe2");
     let cost = h.cost();
-    h.slab_alloc(2);
-    h.alloc_pages(4); // default pipe buffer
+    if !h.try_slab_alloc(2, "ipc.pipe2.inode") {
+        h.fail(Errno::ENOMEM, "ipc.pipe2.enomem");
+        return;
+    }
+    if !h.try_alloc_pages(4, "ipc.pipe2.buffer") {
+        // Free the two inode objects; no fd was installed.
+        h.cpu(cost.slab_fast * 2);
+        h.fail(Errno::ENOMEM, "ipc.pipe2.buffer_enomem");
+        return;
+    }
     h.cpu(cost.pipe_op);
     let r = install_fd(h, FdKind::Pipe { read_end: true });
     let _w = install_fd(h, FdKind::Pipe { read_end: false });
@@ -71,7 +80,10 @@ pub fn sys_futex_wake(h: &mut HCtx, uaddr: u64, nwake: u64) {
 pub fn sys_msgget(h: &mut HCtx) {
     h.cover("ipc.msgget");
     let cost = h.cost();
-    h.slab_alloc(1);
+    if !h.try_slab_alloc(1, "ipc.msgget.queue") {
+        h.fail(Errno::ENOMEM, "ipc.msgget.enomem");
+        return;
+    }
     let ids = h.k.locks.ipc_ids;
     h.push(KOp::Lock(ids, ksa_desim::LockMode::Exclusive));
     h.cpu(cost.ipc_lookup + 500);
@@ -89,6 +101,7 @@ pub fn sys_msgsnd(h: &mut HCtx, qid: u64, bytes: u64) {
     if nq == 0 {
         h.cover("ipc.msgsnd.einval");
         h.cpu(120);
+        h.seq.error = Some(Errno::EINVAL);
         return;
     }
     let bytes = (bytes % 8192).max(64);
@@ -99,7 +112,11 @@ pub fn sys_msgsnd(h: &mut HCtx, qid: u64, bytes: u64) {
     h.push(KOp::Lock(ids, ksa_desim::LockMode::Shared));
     h.cpu(cost.ipc_lookup);
     h.push(KOp::Unlock(ids));
-    h.slab_alloc(1);
+    if !h.try_slab_alloc(1, "ipc.msgsnd.msg") {
+        // No msg_msg buffer: the queue is untouched.
+        h.fail(Errno::ENOMEM, "ipc.msgsnd.enomem");
+        return;
+    }
     h.lock(obj);
     h.cpu(cost.ipc_msg_base);
     h.mem(cost.copy(bytes));
@@ -116,6 +133,7 @@ pub fn sys_msgrcv(h: &mut HCtx, qid: u64, _bytes: u64) {
     if nq == 0 {
         h.cover("ipc.msgrcv.einval");
         h.cpu(120);
+        h.seq.error = Some(Errno::EINVAL);
         return;
     }
     let ids = h.k.locks.ipc_ids;
@@ -133,6 +151,7 @@ pub fn sys_msgrcv(h: &mut HCtx, qid: u64, _bytes: u64) {
         h.lock(obj);
         h.cpu(cost.ipc_msg_base / 2);
         h.unlock(obj);
+        h.seq.error = Some(Errno::EAGAIN);
         return;
     }
     h.cover("ipc.msgrcv.dequeue");
@@ -152,7 +171,10 @@ pub fn sys_semget(h: &mut HCtx, nsems: u64) {
     h.cover("ipc.semget");
     let cost = h.cost();
     let n = (nsems % 16).max(1) as u32;
-    h.slab_alloc(1);
+    if !h.try_slab_alloc(1, "ipc.semget.set") {
+        h.fail(Errno::ENOMEM, "ipc.semget.enomem");
+        return;
+    }
     let ids = h.k.locks.ipc_ids;
     h.push(KOp::Lock(ids, ksa_desim::LockMode::Exclusive));
     h.cpu(cost.ipc_lookup + 90 * n as u64 + 400);
@@ -169,6 +191,7 @@ pub fn sys_semop(h: &mut HCtx, sid: u64, nops: u64) {
     if ns == 0 {
         h.cover("ipc.semop.einval");
         h.cpu(120);
+        h.seq.error = Some(Errno::EINVAL);
         return;
     }
     h.cover("ipc.semop");
@@ -188,7 +211,10 @@ pub fn sys_shmget(h: &mut HCtx, pages: u64) {
     h.cover("ipc.shmget");
     let cost = h.cost();
     let pages = (pages % 128).max(1);
-    h.slab_alloc(2);
+    if !h.try_slab_alloc(2, "ipc.shmget.seg") {
+        h.fail(Errno::ENOMEM, "ipc.shmget.enomem");
+        return;
+    }
     let ids = h.k.locks.ipc_ids;
     h.push(KOp::Lock(ids, ksa_desim::LockMode::Exclusive));
     h.cpu(cost.ipc_lookup + 700);
@@ -205,6 +231,7 @@ pub fn sys_shmat(h: &mut HCtx, shmid: u64) {
     if ns == 0 {
         h.cover("ipc.shmat.einval");
         h.cpu(120);
+        h.seq.error = Some(Errno::EINVAL);
         return;
     }
     h.cover("ipc.shmat");
@@ -218,7 +245,11 @@ pub fn sys_shmat(h: &mut HCtx, shmid: u64) {
     h.lock(mmap_sem);
     h.cpu(cost.vma_alloc);
     h.unlock(mmap_sem);
-    h.alloc_pages(pages.min(32));
+    if !h.try_alloc_pages(pages.min(32), "ipc.shmat.pages") {
+        // The segment exists but could not be mapped; no VMA inserted.
+        h.fail(Errno::ENOMEM, "ipc.shmat.enomem");
+        return;
+    }
     h.mem(cost.pte_per_page * pages);
     h.k.state.ipc.shms[si].attaches += 1;
     let slot = &mut h.k.state.slots[h.slot];
@@ -243,6 +274,7 @@ pub fn sys_shmdt(h: &mut HCtx, vma_sel: u64) {
     let Some(vi) = pick else {
         h.cover("ipc.shmdt.einval");
         h.cpu(120);
+        h.seq.error = Some(Errno::EINVAL);
         return;
     };
     h.cover("ipc.shmdt");
@@ -267,6 +299,9 @@ pub fn sys_shmdt(h: &mut HCtx, vma_sel: u64) {
 /// eventfd2: lightweight counter fd.
 pub fn sys_eventfd(h: &mut HCtx) {
     h.cover("ipc.eventfd");
-    h.slab_alloc(1);
+    if !h.try_slab_alloc(1, "ipc.eventfd.ctx") {
+        h.fail(Errno::ENOMEM, "ipc.eventfd.enomem");
+        return;
+    }
     h.seq.result = install_fd(h, FdKind::EventFd);
 }

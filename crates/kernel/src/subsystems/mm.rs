@@ -12,6 +12,7 @@
 use ksa_desim::Ns;
 
 use crate::dispatch::HCtx;
+use crate::errno::Errno;
 use crate::ops::KOp;
 use crate::state::Vma;
 
@@ -26,14 +27,28 @@ pub fn sys_mmap(h: &mut HCtx, len_pages: u64, flags: u64) {
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
     h.cover("mm.mmap");
     h.cover_bucket("mm.mmap.pages", crate::dispatch::HCtx::size_class(pages));
-    h.slab_alloc(1); // vma struct
-    h.lock(mmap_sem);
+    if !h.try_slab_alloc(1, "mm.mmap.vma") {
+        // No vma struct: nothing to unwind.
+        h.fail(Errno::ENOMEM, "mm.mmap.enomem");
+        return;
+    }
+    if !h.try_lock(mmap_sem, "mm.mmap.mmap_sem") {
+        // Return the vma struct to the slab on the way out.
+        h.cpu(cost.slab_fast);
+        h.fail(Errno::EAGAIN, "mm.mmap.eagain");
+        return;
+    }
     h.cpu(cost.vma_alloc);
     h.unlock(mmap_sem);
     let mut populated = 0;
     if flags & 1 != 0 {
         h.cover("mm.mmap.populate");
-        h.alloc_pages(pages);
+        if !h.try_alloc_pages(pages, "mm.mmap.populate") {
+            // Tear the fresh vma back down before reporting ENOMEM.
+            h.cpu(cost.slab_fast);
+            h.fail(Errno::ENOMEM, "mm.mmap.populate_enomem");
+            return;
+        }
         h.mem(cost.page_touch * pages.min(64));
         populated = pages;
     }
@@ -55,6 +70,7 @@ pub fn sys_munmap(h: &mut HCtx, vma_sel: u64) {
     let cost = h.cost();
     let Some(vi) = h.pick_vma(vma_sel) else {
         h.cover("mm.munmap.efault");
+        h.seq.error = Some(Errno::EFAULT);
         h.cpu(150);
         return;
     };
@@ -81,6 +97,7 @@ pub fn sys_mprotect(h: &mut HCtx, vma_sel: u64) {
     let cost = h.cost();
     let Some(vi) = h.pick_vma(vma_sel) else {
         h.cover("mm.mprotect.efault");
+        h.seq.error = Some(Errno::EFAULT);
         h.cpu(150);
         return;
     };
@@ -103,6 +120,7 @@ pub fn sys_madvise(h: &mut HCtx, vma_sel: u64, advice: u64) {
     let cost = h.cost();
     let Some(vi) = h.pick_vma(vma_sel) else {
         h.cover("mm.madvise.efault");
+        h.seq.error = Some(Errno::EFAULT);
         h.cpu(120);
         return;
     };
@@ -128,7 +146,11 @@ pub fn sys_madvise(h: &mut HCtx, vma_sel: u64, advice: u64) {
             h.cover("mm.madvise.willneed");
             let v = h.k.state.slots[h.slot].vmas[vi];
             let want = (v.pages - v.populated).min(v.pages / 2 + 1);
-            h.alloc_pages(want);
+            if !h.try_alloc_pages(want, "mm.madvise.willneed") {
+                // Prefault failed; the mapping itself is untouched.
+                h.fail(Errno::ENOMEM, "mm.madvise.enomem");
+                return;
+            }
             h.mem(cost.page_touch * want.min(32));
             h.k.state.slots[h.slot].vmas[vi].populated += want;
         }
@@ -146,12 +168,17 @@ pub fn sys_brk(h: &mut HCtx, delta: u64) {
     let cost = h.cost();
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
     let grow = delta % 64;
-    if delta % 2 == 0 {
+    if delta.is_multiple_of(2) {
         h.cover("mm.brk.grow");
         h.lock(mmap_sem);
         h.cpu(cost.vma_alloc / 2);
         h.unlock(mmap_sem);
-        h.alloc_pages(grow.max(1));
+        if !h.try_alloc_pages(grow.max(1), "mm.brk.grow") {
+            // The break stays where it was.
+            h.fail(Errno::ENOMEM, "mm.brk.enomem");
+            h.seq.result = h.k.state.slots[h.slot].brk_pages;
+            return;
+        }
         h.k.state.slots[h.slot].brk_pages += grow.max(1);
     } else {
         let shrink = grow.min(h.k.state.slots[h.slot].brk_pages / 2);
@@ -180,6 +207,7 @@ pub fn sys_mremap(h: &mut HCtx, vma_sel: u64, new_len: u64) {
     let cost = h.cost();
     let Some(vi) = h.pick_vma(vma_sel) else {
         h.cover("mm.mremap.efault");
+        h.seq.error = Some(Errno::EFAULT);
         h.cpu(150);
         return;
     };
@@ -197,7 +225,11 @@ pub fn sys_mremap(h: &mut HCtx, vma_sel: u64, new_len: u64) {
     h.push(KOp::Tlb { pages: old_pages });
     h.unlock(mmap_sem);
     if new_pages > old_pages {
-        h.alloc_pages(new_pages - old_pages);
+        if !h.try_alloc_pages(new_pages - old_pages, "mm.mremap.grow") {
+            // Growth failed: the mapping keeps its old size.
+            h.fail(Errno::ENOMEM, "mm.mremap.enomem");
+            return;
+        }
         h.k.state.slots[h.slot].vmas[vi].populated += new_pages - old_pages;
     }
     let v = &mut h.k.state.slots[h.slot].vmas[vi];
@@ -212,6 +244,7 @@ pub fn sys_mlock(h: &mut HCtx, vma_sel: u64) {
     let cost = h.cost();
     let Some(vi) = h.pick_vma(vma_sel) else {
         h.cover("mm.mlock.efault");
+        h.seq.error = Some(Errno::EFAULT);
         h.cpu(120);
         return;
     };
@@ -223,7 +256,11 @@ pub fn sys_mlock(h: &mut HCtx, vma_sel: u64) {
     h.cpu(cost.vma_alloc / 2);
     h.unlock(mmap_sem);
     let need = pages - h.k.state.slots[h.slot].vmas[vi].populated;
-    h.alloc_pages(need);
+    if !h.try_alloc_pages(need, "mm.mlock.populate") {
+        // Nothing pinned; the vma stays unlocked.
+        h.fail(Errno::ENOMEM, "mm.mlock.enomem");
+        return;
+    }
     h.lock(lru);
     h.cpu(80 * pages.min(128));
     h.unlock(lru);
@@ -236,6 +273,7 @@ pub fn sys_mlock(h: &mut HCtx, vma_sel: u64) {
 pub fn sys_munlock(h: &mut HCtx, vma_sel: u64) {
     let Some(vi) = h.pick_vma(vma_sel) else {
         h.cover("mm.munlock.efault");
+        h.seq.error = Some(Errno::EFAULT);
         h.cpu(120);
         return;
     };
@@ -279,6 +317,7 @@ pub fn sys_mincore(h: &mut HCtx, vma_sel: u64) {
 
     let Some(vi) = h.pick_vma(vma_sel) else {
         h.cover("mm.mincore.efault");
+        h.seq.error = Some(Errno::EFAULT);
         h.cpu(120);
         return;
     };

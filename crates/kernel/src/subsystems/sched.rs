@@ -10,6 +10,7 @@
 use ksa_desim::{Ns, US};
 
 use crate::dispatch::HCtx;
+use crate::errno::Errno;
 use crate::ops::{KOp, VmExitKind};
 
 /// getpid: pure fast path, no shared state.
@@ -43,8 +44,17 @@ pub fn sys_clone(h: &mut HCtx, _flags: u64) {
     let rq = h.k.locks.runqueue[h.slot];
 
     // Task struct + cred + stack allocations.
-    h.slab_alloc(4);
-    h.alloc_pages(4);
+    if !h.try_slab_alloc(4, "sched.clone.task") {
+        // Fork fails before any shared structure is touched.
+        h.fail(Errno::ENOMEM, "sched.clone.enomem");
+        return;
+    }
+    if !h.try_alloc_pages(4, "sched.clone.stack") {
+        // Free the task/cred objects; no pid was allocated.
+        h.cpu(cost.slab_fast * 4);
+        h.fail(Errno::ENOMEM, "sched.clone.stack_enomem");
+        return;
+    }
 
     // Copy mm: cost scales with the address-space size built up so far.
     let vmas = h.k.state.slots[h.slot].vmas.iter().filter(|v| v.mapped).count() as Ns;

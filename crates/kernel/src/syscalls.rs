@@ -1,12 +1,11 @@
 //! The simulated system-call table.
 
-use serde::{Deserialize, Serialize};
 
 use crate::category::Category;
 
 /// Every system call the simulated kernel implements, spanning the paper's
 /// six categories. Names match the Linux calls they model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum SysNo {
     // (a) process management / scheduling

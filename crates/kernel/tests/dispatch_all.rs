@@ -1,7 +1,7 @@
 //! Dispatch-level tests: every syscall compiles to a sane op sequence on
 //! every environment flavour, and the logical state stays consistent.
 
-use ksa_desim::{CoreId, DeviceModel, Engine, EngineParams};
+use ksa_desim::{CoreId, DeviceModel, Engine, EngineParams, FaultState};
 use ksa_kernel::coverage::CoverageSet;
 use ksa_kernel::dispatch::dispatch;
 use ksa_kernel::instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
@@ -32,11 +32,12 @@ fn build(n_cores: usize, virt: VirtProfile, tenancy: TenancyProfile) -> KernelIn
 /// must have balanced locks and the handler must not panic.
 fn exercise_all(mut inst: KernelInstance, seed: u64) -> KernelInstance {
     let mut rng = SmallRng::seed_from_u64(seed);
+    let mut faults = FaultState::default();
     let mut cover = CoverageSet::new();
     for round in 0..30u64 {
         for &no in &SysNo::ALL {
             let args: Vec<u64> = (0..4).map(|i| rng.gen::<u64>() ^ (round + i)).collect();
-            let seq = dispatch(&mut inst, 0, no, &args, &mut rng, &mut cover);
+            let seq = dispatch(&mut inst, 0, no, &args, &mut rng, &mut cover, &mut faults);
             assert!(
                 seq.locks_balanced(),
                 "{}: unbalanced locks (args {:?})",
@@ -72,16 +73,17 @@ fn all_syscalls_compile_containers() {
 fn coverage_grows_with_argument_diversity() {
     let mut inst = build(2, VirtProfile::native(), TenancyProfile::none());
     let mut rng = SmallRng::seed_from_u64(7);
+    let mut faults = FaultState::default();
     let mut c1 = CoverageSet::new();
     // One getpid only covers a couple of blocks.
-    dispatch(&mut inst, 0, SysNo::Getpid, &[0], &mut rng, &mut c1);
+    dispatch(&mut inst, 0, SysNo::Getpid, &[0], &mut rng, &mut c1, &mut faults);
     let few = c1.len();
     let mut c2 = CoverageSet::new();
     for i in 0..50 {
-        dispatch(&mut inst, 0, SysNo::Open, &[i, i % 2], &mut rng, &mut c2);
-        dispatch(&mut inst, 0, SysNo::Write, &[i, i * 1000], &mut rng, &mut c2);
-        dispatch(&mut inst, 0, SysNo::Munmap, &[i], &mut rng, &mut c2);
-        dispatch(&mut inst, 0, SysNo::Mmap, &[i * 3, i % 2], &mut rng, &mut c2);
+        dispatch(&mut inst, 0, SysNo::Open, &[i, i % 2], &mut rng, &mut c2, &mut faults);
+        dispatch(&mut inst, 0, SysNo::Write, &[i, i * 1000], &mut rng, &mut c2, &mut faults);
+        dispatch(&mut inst, 0, SysNo::Munmap, &[i], &mut rng, &mut c2, &mut faults);
+        dispatch(&mut inst, 0, SysNo::Mmap, &[i * 3, i % 2], &mut rng, &mut c2, &mut faults);
     }
     assert!(
         c2.len() > few + 5,
@@ -94,37 +96,38 @@ fn coverage_grows_with_argument_diversity() {
 fn state_effects_are_visible() {
     let mut inst = build(1, VirtProfile::native(), TenancyProfile::none());
     let mut rng = SmallRng::seed_from_u64(9);
+    let mut faults = FaultState::default();
     let mut cover = CoverageSet::new();
 
     // open(O_CREAT) installs an fd.
-    let seq = dispatch(&mut inst, 0, SysNo::Open, &[5, 1], &mut rng, &mut cover);
+    let seq = dispatch(&mut inst, 0, SysNo::Open, &[5, 1], &mut rng, &mut cover, &mut faults);
     let fd = seq.result;
     assert_eq!(inst.state.slots[0].fds.len(), 1);
     assert_eq!(fd, 0);
 
     // write dirties pages.
     let before = inst.state.mm.dirty_pages;
-    dispatch(&mut inst, 0, SysNo::Write, &[fd, 32_768], &mut rng, &mut cover);
+    dispatch(&mut inst, 0, SysNo::Write, &[fd, 32_768], &mut rng, &mut cover, &mut faults);
     assert!(inst.state.mm.dirty_pages > before);
 
     // fsync cleans the journal.
     inst.state.fs.journal_dirty += 100;
-    dispatch(&mut inst, 0, SysNo::Fsync, &[fd, 0], &mut rng, &mut cover);
+    dispatch(&mut inst, 0, SysNo::Fsync, &[fd, 0], &mut rng, &mut cover, &mut faults);
     assert_eq!(inst.state.fs.journal_dirty, 0);
 
     // mmap then munmap toggles the vma.
-    let seq = dispatch(&mut inst, 0, SysNo::Mmap, &[64, 1], &mut rng, &mut cover);
+    let seq = dispatch(&mut inst, 0, SysNo::Mmap, &[64, 1], &mut rng, &mut cover, &mut faults);
     assert!(seq.result >= 1);
     assert!(inst.state.slots[0].vmas[0].mapped);
-    dispatch(&mut inst, 0, SysNo::Munmap, &[0], &mut rng, &mut cover);
+    dispatch(&mut inst, 0, SysNo::Munmap, &[0], &mut rng, &mut cover, &mut faults);
     assert!(!inst.state.slots[0].vmas[0].mapped);
 
     // clone + wait4 round-trips the task counters.
     let tasks = inst.state.sched.nr_tasks;
-    dispatch(&mut inst, 0, SysNo::Clone, &[0], &mut rng, &mut cover);
+    dispatch(&mut inst, 0, SysNo::Clone, &[0], &mut rng, &mut cover, &mut faults);
     assert_eq!(inst.state.sched.nr_tasks, tasks + 1);
     assert_eq!(inst.state.slots[0].children_pending, 1);
-    dispatch(&mut inst, 0, SysNo::Wait4, &[0], &mut rng, &mut cover);
+    dispatch(&mut inst, 0, SysNo::Wait4, &[0], &mut rng, &mut cover, &mut faults);
     assert_eq!(inst.state.sched.nr_tasks, tasks);
     assert_eq!(inst.state.slots[0].children_pending, 0);
 }
@@ -135,12 +138,13 @@ fn tlb_ops_absent_on_uniprocessor_runner() {
     let mut uni = build(1, VirtProfile::native(), TenancyProfile::none());
     let mut big = build(8, VirtProfile::native(), TenancyProfile::none());
     let mut rng = SmallRng::seed_from_u64(3);
+    let mut faults = FaultState::default();
     let mut cover = CoverageSet::new();
     for inst in [&mut uni, &mut big] {
-        dispatch(inst, 0, SysNo::Mmap, &[64, 1], &mut rng, &mut cover);
+        dispatch(inst, 0, SysNo::Mmap, &[64, 1], &mut rng, &mut cover, &mut faults);
     }
-    let s_uni = dispatch(&mut uni, 0, SysNo::Munmap, &[0], &mut rng, &mut cover);
-    let s_big = dispatch(&mut big, 0, SysNo::Munmap, &[0], &mut rng, &mut cover);
+    let s_uni = dispatch(&mut uni, 0, SysNo::Munmap, &[0], &mut rng, &mut cover, &mut faults);
+    let s_big = dispatch(&mut big, 0, SysNo::Munmap, &[0], &mut rng, &mut cover, &mut faults);
     let r_uni = OpRunner::new(&s_uni, &uni, uni.cores[0]);
     let r_big = OpRunner::new(&s_big, &big, big.cores[0]);
     assert_eq!(r_uni.ipi_count(), 0);
@@ -151,11 +155,12 @@ fn tlb_ops_absent_on_uniprocessor_runner() {
 fn container_tenancy_adds_cgroup_paths() {
     let mut inst = build(2, VirtProfile::native(), TenancyProfile::containers(64));
     let mut rng = SmallRng::seed_from_u64(21);
+    let mut faults = FaultState::default();
     let mut cover = CoverageSet::new();
     // Drive enough charges to hit the periodic flush.
-    dispatch(&mut inst, 0, SysNo::Open, &[1, 1], &mut rng, &mut cover);
+    dispatch(&mut inst, 0, SysNo::Open, &[1, 1], &mut rng, &mut cover, &mut faults);
     for i in 0..200 {
-        dispatch(&mut inst, 0, SysNo::Write, &[0, 4096 + i], &mut rng, &mut cover);
+        dispatch(&mut inst, 0, SysNo::Write, &[0, 4096 + i], &mut rng, &mut cover, &mut faults);
     }
     let names: Vec<&str> = cover.iter().map(ksa_kernel::coverage::block_name).collect();
     assert!(names.contains(&"cgroup.charge"));
@@ -170,12 +175,13 @@ fn dispatch_is_deterministic() {
     let run = |seed: u64| {
         let mut inst = build(2, VirtProfile::native(), TenancyProfile::none());
         let mut rng = SmallRng::seed_from_u64(seed);
+    let mut faults = FaultState::default();
         let mut cover = CoverageSet::new();
         let mut sig = Vec::new();
         for round in 0..10u64 {
             for &no in &SysNo::ALL {
                 let args = [round, round * 7 + 1, round % 3, 4096];
-                let seq = dispatch(&mut inst, 0, no, &args, &mut rng, &mut cover);
+                let seq = dispatch(&mut inst, 0, no, &args, &mut rng, &mut cover, &mut faults);
                 sig.push(seq.cpu_ns());
             }
         }

@@ -1,7 +1,7 @@
 //! Per-subsystem behavioural tests: each handler's state effects and the
 //! branch structure the coverage blocks promise.
 
-use ksa_desim::{CoreId, DeviceModel, Engine, EngineParams};
+use ksa_desim::{CoreId, DeviceModel, Engine, EngineParams, FaultState};
 use ksa_kernel::coverage::{block_name, CoverageSet};
 use ksa_kernel::dispatch::dispatch;
 use ksa_kernel::instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
@@ -16,6 +16,7 @@ struct Fixture {
     inst: KernelInstance,
     rng: SmallRng,
     cover: CoverageSet,
+    faults: FaultState,
 }
 
 impl Fixture {
@@ -39,11 +40,20 @@ impl Fixture {
             inst,
             rng: SmallRng::seed_from_u64(17),
             cover: CoverageSet::new(),
+            faults: FaultState::default(),
         }
     }
 
     fn call(&mut self, no: SysNo, args: &[u64]) -> ksa_kernel::ops::OpSeq {
-        dispatch(&mut self.inst, 0, no, args, &mut self.rng, &mut self.cover)
+        dispatch(
+            &mut self.inst,
+            0,
+            no,
+            args,
+            &mut self.rng,
+            &mut self.cover,
+            &mut self.faults,
+        )
     }
 
     fn covered(&self, name: &str) -> bool {

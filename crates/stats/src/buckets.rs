@@ -5,7 +5,6 @@
 //! percentile / worst case falls **below** 1µs, 10µs, 100µs, 1ms and 10ms,
 //! plus the residual share above 10ms.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{MS, US};
 
@@ -19,7 +18,7 @@ pub const LATENCY_BUCKET_LABELS: [&str; 6] = ["1us", "10us", "100us", "1ms", "10
 
 /// One row of a bucket table: cumulative percentages below each edge and
 /// the residual percentage above the last edge.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BucketRow {
     /// Row label (e.g. `"Linux median"` or a container count).
     pub label: String,
@@ -59,7 +58,7 @@ impl BucketRow {
 }
 
 /// A multi-row bucket table with shared column headers.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BucketTable {
     /// Title printed above the table.
     pub title: String,

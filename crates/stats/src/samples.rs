@@ -1,6 +1,5 @@
 //! Raw sample storage with lazily sorted views.
 
-use serde::{Deserialize, Serialize};
 
 use crate::quantile::quantile_sorted;
 use crate::summary::SummaryStats;
@@ -9,10 +8,9 @@ use crate::summary::SummaryStats;
 ///
 /// Samples are appended unordered during a run; all queries operate on a
 /// sorted copy that is materialized at most once (`freeze` / first query).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Samples {
     values: Vec<u64>,
-    #[serde(skip)]
     sorted: bool,
 }
 

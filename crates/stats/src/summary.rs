@@ -1,11 +1,10 @@
 //! Full summary statistics for one measurement site.
 
-use serde::{Deserialize, Serialize};
 
 use crate::quantile::quantile_sorted;
 
 /// Summary of a latency distribution, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SummaryStats {
     /// Number of samples summarized.
     pub count: usize,

@@ -7,13 +7,12 @@
 //! data so the text/CSV renderers (and any external plotting tool) can
 //! reproduce the figure.
 
-use serde::{Deserialize, Serialize};
 
 use crate::density::kernel_density;
 use crate::quantile::quantile_sorted;
 
 /// Data behind one violin: quartiles, whiskers, extrema and a log-space KDE.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ViolinSummary {
     /// Label for this violin (e.g. `"8 VMs"`).
     pub label: String,

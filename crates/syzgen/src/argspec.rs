@@ -1,10 +1,9 @@
 //! Typed argument descriptions per system call.
 
 use ksa_kernel::SysNo;
-use serde::{Deserialize, Serialize};
 
 /// Resource kinds that calls can produce and consume.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Resource {
     /// A file descriptor (open, pipe2, eventfd).
     Fd,

@@ -1,16 +1,16 @@
 //! The coverage-guided corpus construction loop (Syzkaller's triage).
 
+use ksa_json::Value;
 use ksa_kernel::coverage::CoverageSet;
 use ksa_kernel::prog::Corpus;
 use ksa_kernel::Program;
-use serde::{Deserialize, Serialize};
 
 use crate::gen::ProgramGenerator;
 use crate::mutate::mutate;
 use crate::sandbox::Sandbox;
 
 /// Generation-loop configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct GenConfig {
     /// RNG seed.
     pub seed: u64,
@@ -39,7 +39,7 @@ impl Default for GenConfig {
 }
 
 /// Statistics from a generation run.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct GenStats {
     /// Candidates executed.
     pub executed: usize,
@@ -52,7 +52,7 @@ pub struct GenStats {
 }
 
 /// A corpus plus its provenance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GeneratedCorpus {
     /// The programs.
     pub corpus: Corpus,
@@ -62,15 +62,67 @@ pub struct GeneratedCorpus {
     pub stats: GenStats,
 }
 
+impl GenConfig {
+    fn to_value(self) -> Value {
+        Value::object([
+            ("seed", Value::from(self.seed)),
+            ("max_programs", Value::from(self.max_programs)),
+            ("stall_limit", Value::from(self.stall_limit)),
+            ("mutate_pct", Value::from(self.mutate_pct)),
+            ("minimize", Value::from(self.minimize)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ksa_json::Error> {
+        Ok(Self {
+            seed: v.get("seed")?.as_u64()?,
+            max_programs: v.get("max_programs")?.as_usize()?,
+            stall_limit: v.get("stall_limit")?.as_usize()?,
+            mutate_pct: v.get("mutate_pct")?.as_u64()? as u32,
+            minimize: v.get("minimize")?.as_bool()?,
+        })
+    }
+}
+
+impl GenStats {
+    fn to_value(self) -> Value {
+        Value::object([
+            ("executed", Value::from(self.executed)),
+            ("accepted", Value::from(self.accepted)),
+            ("minimized_away", Value::from(self.minimized_away)),
+            ("blocks", Value::from(self.blocks)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ksa_json::Error> {
+        Ok(Self {
+            executed: v.get("executed")?.as_usize()?,
+            accepted: v.get("accepted")?.as_usize()?,
+            minimized_away: v.get("minimized_away")?.as_usize()?,
+            blocks: v.get("blocks")?.as_usize()?,
+        })
+    }
+}
+
 impl GeneratedCorpus {
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("corpus serialization")
+        Value::object([
+            ("corpus", self.corpus.to_value()),
+            ("config", self.config.to_value()),
+            ("stats", self.stats.to_value()),
+        ])
+        .render()
     }
 
     /// Deserializes from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, ksa_json::Error> {
+        let v = ksa_json::parse(s)?;
+        Ok(Self {
+            corpus: Corpus::from_value(v.get("corpus")?)?,
+            config: GenConfig::from_value(v.get("config")?)?,
+            stats: GenStats::from_value(v.get("stats")?)?,
+        })
     }
 }
 
@@ -87,7 +139,7 @@ pub fn generate(cfg: GenConfig) -> GeneratedCorpus {
         use rand::seq::SliceRandom;
         use rand::Rng;
         // Candidate: mutate an existing program or make a fresh one.
-        let candidate = if !corpus.is_empty() && gen.rng().gen_range(0..100) < cfg.mutate_pct {
+        let candidate = if !corpus.is_empty() && gen.rng().gen_range(0u32..100) < cfg.mutate_pct {
             let base = corpus.choose(gen.rng()).unwrap().clone();
             mutate(&mut gen, &base, &corpus)
         } else {

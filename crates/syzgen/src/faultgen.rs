@@ -1,0 +1,338 @@
+//! The fault-injection corpus phase (Syzkaller's `fault` / `fault_nth`
+//! analogue).
+//!
+//! The coverage-guided loop in [`crate::corpus`] can only reach blocks on
+//! success paths: a no-fault execution never takes an `err.*` branch. This
+//! phase extends a finished corpus with **fault plans** — deterministic
+//! schedules that force one specific allocation, I/O or lock acquisition
+//! to fail — and keeps the `(program, plan)` pairs that cover new blocks.
+//!
+//! The probe mirrors Syzkaller exactly: run a program once with an empty
+//! plan to *enumerate* its fault points (the hit counters advance even
+//! when nothing fails), then re-execute it once per `(kind, site, n)`
+//! with an `Nth(n)` schedule — "fail the n-th occurrence of this site" —
+//! and check the coverage signal. All candidate orderings are sorted, so
+//! the phase is deterministic for a given seed and base corpus.
+
+use ksa_desim::{FaultKind, FaultPlan, FaultSchedule};
+use ksa_json::Value;
+use ksa_kernel::coverage::CoverageSet;
+use ksa_kernel::prog::Corpus;
+
+use crate::sandbox::Sandbox;
+
+/// Fault-phase configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultGenConfig {
+    /// Seed for plan decision hashes and the sandbox.
+    pub seed: u64,
+    /// Cap on candidate executions (probes excluded).
+    pub max_candidates: usize,
+    /// Cap on the `n` probed per `(kind, site)`: sites hit thousands of
+    /// times only get their first few occurrences targeted.
+    pub per_site_cap: u64,
+    /// Stop after this many consecutive candidates without new coverage.
+    pub stall_limit: usize,
+}
+
+impl Default for FaultGenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xfa17,
+            max_candidates: 2_000,
+            per_site_cap: 4,
+            stall_limit: 300,
+        }
+    }
+}
+
+/// Statistics from a fault phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultGenStats {
+    /// Candidate `(program, plan)` executions.
+    pub executed: usize,
+    /// Accepted pairs.
+    pub accepted: usize,
+    /// Distinct fault points enumerated across the corpus.
+    pub sites_probed: usize,
+    /// Error blocks covered by the accepted pairs (all of them
+    /// unreachable without injection).
+    pub error_blocks: usize,
+    /// Total new blocks the phase added over the base corpus.
+    pub new_blocks: usize,
+}
+
+/// One accepted pair: replay `plan` while executing base-corpus program
+/// `prog` to reproduce the error coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEntry {
+    /// Index into the base corpus.
+    pub prog: usize,
+    /// The schedule that exposed new blocks.
+    pub plan: FaultPlan,
+}
+
+/// The fault phase's output.
+#[derive(Debug, Clone)]
+pub struct FaultCorpus {
+    /// Accepted `(program, plan)` pairs.
+    pub entries: Vec<FaultEntry>,
+    /// Phase statistics.
+    pub stats: FaultGenStats,
+}
+
+/// Runs the fault phase over `base`, starting from the coverage a plain
+/// (no-fault) replay of the base corpus reaches.
+pub fn fault_phase(base: &Corpus, cfg: FaultGenConfig) -> FaultCorpus {
+    let mut sandbox = Sandbox::new(cfg.seed);
+    let mut global = CoverageSet::new();
+
+    // Baseline: replay the corpus fault-free and record per-program fault
+    // points. `(kind, site, hits)` tuples are sorted for determinism —
+    // the hit map iterates in arbitrary order.
+    let mut points: Vec<(usize, FaultKind, String, u64)> = Vec::new();
+    for (pi, prog) in base.programs.iter().enumerate() {
+        let cover = sandbox.run_fresh(prog);
+        global.merge(&cover);
+        let mut sites: Vec<(FaultKind, String, u64)> = sandbox
+            .fault_hits()
+            .map(|(k, s, h)| (k, s.to_string(), h))
+            .collect();
+        sites.sort();
+        for (kind, site, hits) in sites {
+            points.push((pi, kind, site, hits));
+        }
+    }
+    let mut sites_seen: Vec<(FaultKind, &str)> = points
+        .iter()
+        .map(|(_, k, s, _)| (*k, s.as_str()))
+        .collect();
+    sites_seen.sort();
+    sites_seen.dedup();
+
+    let mut stats = FaultGenStats {
+        sites_probed: sites_seen.len(),
+        ..FaultGenStats::default()
+    };
+    let base_blocks = global.len();
+
+    // Candidate sweep: fail the n-th occurrence of each point.
+    let mut entries = Vec::new();
+    let mut stall = 0usize;
+    'sweep: for (pi, kind, site, hits) in &points {
+        for n in 1..=(*hits).min(cfg.per_site_cap) {
+            if stats.executed >= cfg.max_candidates || stall >= cfg.stall_limit {
+                break 'sweep;
+            }
+            let plan = FaultPlan::new(cfg.seed)
+                .site(*kind, site.clone(), FaultSchedule::Nth(n));
+            sandbox.set_fault_plan(plan.clone());
+            let cover = sandbox.run_fresh(&base.programs[*pi]);
+            stats.executed += 1;
+            if global.new_blocks(&cover) == 0 {
+                stall += 1;
+                continue;
+            }
+            stall = 0;
+            global.merge(&cover);
+            entries.push(FaultEntry { prog: *pi, plan });
+            stats.accepted += 1;
+        }
+    }
+    sandbox.set_fault_plan(FaultPlan::none());
+
+    stats.error_blocks = global.error_blocks();
+    stats.new_blocks = global.len() - base_blocks;
+    FaultCorpus { entries, stats }
+}
+
+// ------------------------------------------------------------ serialization
+
+fn kind_to_str(k: FaultKind) -> &'static str {
+    k.name()
+}
+
+fn kind_from_str(s: &str) -> Result<FaultKind, ksa_json::Error> {
+    FaultKind::ALL
+        .into_iter()
+        .find(|k| k.name() == s)
+        .ok_or_else(|| ksa_json::Error::shape("unknown fault kind"))
+}
+
+fn sched_to_value(s: FaultSchedule) -> Value {
+    match s {
+        FaultSchedule::Never => Value::object([("kind", Value::from("never"))]),
+        FaultSchedule::Nth(n) => {
+            Value::object([("kind", Value::from("nth")), ("n", Value::from(n))])
+        }
+        FaultSchedule::EveryNth(n) => {
+            Value::object([("kind", Value::from("every_nth")), ("n", Value::from(n))])
+        }
+        FaultSchedule::ProbMilli(m) => Value::object([
+            ("kind", Value::from("prob_milli")),
+            ("n", Value::from(m as u64)),
+        ]),
+    }
+}
+
+fn sched_from_value(v: &Value) -> Result<FaultSchedule, ksa_json::Error> {
+    let kind = v.get("kind")?.as_str()?;
+    Ok(match kind {
+        "never" => FaultSchedule::Never,
+        "nth" => FaultSchedule::Nth(v.get("n")?.as_u64()?),
+        "every_nth" => FaultSchedule::EveryNth(v.get("n")?.as_u64()?),
+        "prob_milli" => FaultSchedule::ProbMilli(v.get("n")?.as_u64()? as u32),
+        _ => return Err(ksa_json::Error::shape("unknown schedule kind")),
+    })
+}
+
+/// Serializes a plan (seed plus explicitly scheduled sites; kind defaults
+/// are not used by the fault phase).
+pub fn plan_to_value(p: &FaultPlan) -> Value {
+    let mut sites: Vec<(FaultKind, &str, FaultSchedule)> = p.scheduled_sites().collect();
+    sites.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    let sites = Value::array(sites.into_iter().map(|(k, s, sched)| {
+        Value::object([
+            ("fault", Value::from(kind_to_str(k))),
+            ("site", Value::from(s)),
+            ("sched", sched_to_value(sched)),
+        ])
+    }));
+    Value::object([("seed", Value::from(p.seed)), ("sites", sites)])
+}
+
+/// Deserializes a plan written by [`plan_to_value`].
+pub fn plan_from_value(v: &Value) -> Result<FaultPlan, ksa_json::Error> {
+    let mut plan = FaultPlan::new(v.get("seed")?.as_u64()?);
+    for site in v.get("sites")?.as_array()? {
+        plan.set_site(
+            kind_from_str(site.get("fault")?.as_str()?)?,
+            site.get("site")?.as_str()?.to_string(),
+            sched_from_value(site.get("sched")?)?,
+        );
+    }
+    Ok(plan)
+}
+
+impl FaultCorpus {
+    /// Serializes to JSON (the base corpus is stored separately).
+    pub fn to_json(&self) -> String {
+        Value::object([
+            (
+                "entries",
+                Value::array(self.entries.iter().map(|e| {
+                    Value::object([
+                        ("prog", Value::from(e.prog)),
+                        ("plan", plan_to_value(&e.plan)),
+                    ])
+                })),
+            ),
+            (
+                "stats",
+                Value::object([
+                    ("executed", Value::from(self.stats.executed)),
+                    ("accepted", Value::from(self.stats.accepted)),
+                    ("sites_probed", Value::from(self.stats.sites_probed)),
+                    ("error_blocks", Value::from(self.stats.error_blocks)),
+                    ("new_blocks", Value::from(self.stats.new_blocks)),
+                ]),
+            ),
+        ])
+        .render()
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, ksa_json::Error> {
+        let v = ksa_json::parse(s)?;
+        let mut entries = Vec::new();
+        for e in v.get("entries")?.as_array()? {
+            entries.push(FaultEntry {
+                prog: e.get("prog")?.as_usize()?,
+                plan: plan_from_value(e.get("plan")?)?,
+            });
+        }
+        let st = v.get("stats")?;
+        Ok(Self {
+            entries,
+            stats: FaultGenStats {
+                executed: st.get("executed")?.as_usize()?,
+                accepted: st.get("accepted")?.as_usize()?,
+                sites_probed: st.get("sites_probed")?.as_usize()?,
+                error_blocks: st.get("error_blocks")?.as_usize()?,
+                new_blocks: st.get("new_blocks")?.as_usize()?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, GenConfig};
+
+    fn base() -> Corpus {
+        generate(GenConfig {
+            seed: 11,
+            max_programs: 15,
+            stall_limit: 120,
+            mutate_pct: 70,
+            minimize: false,
+        })
+        .corpus
+    }
+
+    #[test]
+    fn fault_phase_strictly_extends_coverage() {
+        let base = base();
+        let out = fault_phase(&base, FaultGenConfig::default());
+        assert!(out.stats.sites_probed > 0, "corpus must expose fault points");
+        assert!(
+            out.stats.error_blocks > 0,
+            "injection must reach error blocks"
+        );
+        assert!(out.stats.new_blocks >= out.stats.error_blocks);
+        assert!(!out.entries.is_empty());
+        assert!(out.stats.executed >= out.stats.accepted);
+    }
+
+    #[test]
+    fn accepted_entries_replay_their_error_coverage() {
+        let base = base();
+        let out = fault_phase(&base, FaultGenConfig::default());
+        let mut sb = Sandbox::new(7);
+        // Replay base fault-free, then each accepted pair; every pair
+        // must produce at least one injected fault when replayed.
+        for p in &base.programs {
+            sb.run_fresh(p);
+        }
+        for e in &out.entries {
+            sb.set_fault_plan(e.plan.clone());
+            let cover = sb.run_fresh(&base.programs[e.prog]);
+            assert!(
+                !sb.injected().is_empty(),
+                "plan {:?} injected nothing on replay",
+                e.plan
+            );
+            assert!(cover.error_blocks() > 0);
+        }
+    }
+
+    #[test]
+    fn fault_phase_is_deterministic() {
+        let base = base();
+        let a = fault_phase(&base, FaultGenConfig::default());
+        let b = fault_phase(&base, FaultGenConfig::default());
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.stats.error_blocks, b.stats.error_blocks);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let base = base();
+        let out = fault_phase(&base, FaultGenConfig::default());
+        let json = out.to_json();
+        let back = FaultCorpus::from_json(&json).unwrap();
+        assert_eq!(back.entries, out.entries);
+        assert_eq!(back.stats.error_blocks, out.stats.error_blocks);
+    }
+}

@@ -18,6 +18,12 @@
 //! 4. **The corpus loop** ([`corpus`]) keeps a candidate only if it
 //!    covers new blocks, then *minimizes* it — removing calls that are
 //!    not needed for the new coverage — exactly Syzkaller's triage.
+//! 5. **The fault phase** ([`faultgen`]) then extends the corpus the way
+//!    Syzkaller's FAULT_INJECTION mode does: it enumerates each
+//!    program's fault points (allocations, device I/O, lock timeouts),
+//!    fails them one occurrence at a time under a deterministic
+//!    [`ksa_desim::FaultPlan`], and keeps the `(program, plan)` pairs
+//!    that reach otherwise-unreachable `err.*` blocks.
 //!
 //! The output ([`GeneratedCorpus`]) serializes with serde so experiments
 //! share one corpus across environments, as the paper shares one corpus
@@ -25,11 +31,13 @@
 
 pub mod argspec;
 pub mod corpus;
+pub mod faultgen;
 pub mod gen;
 pub mod mutate;
 pub mod sandbox;
 
 pub use argspec::{arg_spec, produces, ArgSpec, Resource};
 pub use corpus::{generate, GenConfig, GenStats, GeneratedCorpus};
+pub use faultgen::{fault_phase, FaultCorpus, FaultEntry, FaultGenConfig, FaultGenStats};
 pub use gen::ProgramGenerator;
 pub use sandbox::Sandbox;

@@ -2,7 +2,9 @@
 //! candidate programs for their coverage signal (no timing needed — the
 //! handlers emit coverage when the call is compiled).
 
-use ksa_desim::{CoreId, DeviceModel, Engine, EngineParams};
+use ksa_desim::{
+    CoreId, DeviceModel, Engine, EngineParams, FaultKind, FaultPlan, FaultState, InjectedFault,
+};
 use ksa_kernel::coverage::CoverageSet;
 use ksa_kernel::dispatch::dispatch;
 use ksa_kernel::instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
@@ -19,6 +21,7 @@ pub struct Sandbox {
     _engine: Engine<()>,
     inst: KernelInstance,
     rng: SmallRng,
+    faults: FaultState,
 }
 
 impl Sandbox {
@@ -43,14 +46,40 @@ impl Sandbox {
             _engine: engine,
             inst,
             rng: SmallRng::seed_from_u64(seed),
+            faults: FaultState::default(),
         }
     }
 
     /// Resets the instance's logical state (like restarting the VM
-    /// Syzkaller fuzzes in).
+    /// Syzkaller fuzzes in). Fault hit counters restart too, so a plan's
+    /// schedule replays identically on the next program.
     pub fn reset(&mut self) {
         let pages = self.inst.mem_pages;
         self.inst.state = SubsysState::init(1, pages);
+        self.faults.rearm();
+    }
+
+    /// Installs a fault plan for subsequent runs (Syzkaller's
+    /// fault-injection mode). `FaultPlan::none()` disables injection.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultState::new(plan);
+    }
+
+    /// The currently installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
+    /// Faults injected since the last reset (in injection order).
+    pub fn injected(&self) -> &[InjectedFault] {
+        self.faults.injected()
+    }
+
+    /// Fault points the last runs reached: `(kind, site, hit count)` in
+    /// arbitrary order. Counters advance even with an empty plan, so a
+    /// plain run enumerates every injectable point of a program.
+    pub fn fault_hits(&self) -> impl Iterator<Item = (FaultKind, &str, u64)> {
+        self.faults.hit_counts()
     }
 
     /// Executes `prog`, returning the blocks it covered.
@@ -59,7 +88,15 @@ impl Sandbox {
         let mut results: Vec<u64> = Vec::with_capacity(prog.len());
         for call in &prog.calls {
             let args: Vec<u64> = call.args.iter().map(|a| a.resolve(&results)).collect();
-            let seq = dispatch(&mut self.inst, 0, call.no, &args, &mut self.rng, &mut cover);
+            let seq = dispatch(
+                &mut self.inst,
+                0,
+                call.no,
+                &args,
+                &mut self.rng,
+                &mut cover,
+                &mut self.faults,
+            );
             results.push(seq.result);
         }
         cover

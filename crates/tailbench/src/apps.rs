@@ -14,14 +14,13 @@
 //!   churn for moses/specjbb).
 
 use ksa_kernel::SysNo;
-use serde::Serialize;
 
 /// One per-request kernel call: the syscall plus two raw argument
 /// selectors (resolved against the worker's private resources).
 pub type TemplateCall = (SysNo, u64, u64);
 
 /// Profile of one tailbench application.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AppProfile {
     /// Application name as in the paper.
     pub name: &'static str,

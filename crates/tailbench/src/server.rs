@@ -71,7 +71,8 @@ impl ServerWorker {
     /// Builds the warm-up sequence: open a data file, prime its cache,
     /// create the loopback socket (a pipe pair).
     fn build_setup(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> OpRunner {
-        let inst = &mut ctx.world.kernel.instances[self.instance];
+        let (world, faults) = ctx.world_and_faults();
+        let inst = &mut world.kernel.instances[self.instance];
         let mut seq = OpSeq::new();
         for (no, a0, a1) in [
             (SysNo::Open, self.slot as u64, 1),
@@ -80,7 +81,7 @@ impl ServerWorker {
             (SysNo::Pwrite, 0, 32_000),
             (SysNo::Pread, 0, 32_000),
         ] {
-            let sub = dispatch(inst, self.slot, no, &[a0, a1], &mut self.rng, &mut self.cover);
+            let sub = dispatch(inst, self.slot, no, &[a0, a1], &mut self.rng, &mut self.cover, faults);
             seq.ops.extend(sub.ops);
         }
         OpRunner::new(&seq, inst, self.core)
@@ -90,16 +91,17 @@ impl ServerWorker {
     /// kernel-call template, the (virtualization-sensitive) service
     /// compute, socket reply.
     fn build_request(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> OpRunner {
-        let inst = &mut ctx.world.kernel.instances[self.instance];
+        let (world, faults) = ctx.world_and_faults();
+        let inst = &mut world.kernel.instances[self.instance];
         let mut seq = OpSeq::new();
 
         // Loopback socket receive (read on the pipe).
-        let sub = dispatch(inst, self.slot, SysNo::Read, &[1, 768], &mut self.rng, &mut self.cover);
+        let sub = dispatch(inst, self.slot, SysNo::Read, &[1, 768], &mut self.rng, &mut self.cover, faults);
         seq.ops.extend(sub.ops);
 
         // The app's kernel footprint.
         for &(no, a0, a1) in self.app.calls {
-            let sub = dispatch(inst, self.slot, no, &[a0, a1], &mut self.rng, &mut self.cover);
+            let sub = dispatch(inst, self.slot, no, &[a0, a1], &mut self.rng, &mut self.cover, faults);
             seq.ops.extend(sub.ops);
         }
 
@@ -116,7 +118,7 @@ impl ServerWorker {
         seq.push(ksa_kernel::ops::KOp::UserCpu(total - mem));
 
         // Reply.
-        let sub = dispatch(inst, self.slot, SysNo::Write, &[1, 256], &mut self.rng, &mut self.cover);
+        let sub = dispatch(inst, self.slot, SysNo::Write, &[1, 256], &mut self.rng, &mut self.cover, faults);
         seq.ops.extend(sub.ops);
 
         debug_assert!(seq.locks_balanced());

@@ -13,7 +13,6 @@ use ksa_envsim::{build_env, EnvKind, EnvSpec, Machine};
 use ksa_kernel::prog::Corpus;
 use ksa_stats::Samples;
 use ksa_varbench::worker::{site_bases, CorpusWorker};
-use serde::{Deserialize, Serialize};
 
 use crate::apps::AppProfile;
 use crate::client::{Client, ClientMode, ITER_KEY_BASE};
@@ -78,7 +77,7 @@ impl SingleNodeConfig {
 }
 
 /// Result of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TailResult {
     /// Application name.
     pub app: String,
@@ -120,7 +119,7 @@ fn run_node(
     noise_corpus: &Corpus,
     batched: Option<(u64, u64)>,
 ) -> TailResult {
-    assert!(cfg.machine.cores % cfg.groups == 0);
+    assert!(cfg.machine.cores.is_multiple_of(cfg.groups));
     let per_group = cfg.machine.cores / cfg.groups;
 
     let mut engine: Engine<TbWorld> =
@@ -153,7 +152,7 @@ fn run_node(
             core,
             instance,
             slot,
-            cfg.seed ^ (i as u64 + 1) * 0x9e37,
+            cfg.seed ^ ((i as u64 + 1) * 0x9e37),
         );
         engine.spawn(core, Box::new(worker), 0);
     }

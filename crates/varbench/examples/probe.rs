@@ -35,9 +35,11 @@ fn main() {
                 iterations: 20,
                 sync: true,
                 seed: 7,
+                max_events: 0,
             },
             &gen.corpus,
-        );
+        )
+        .expect("trial failed");
         let meds = res.per_site(None, |s| s.median());
         let p99s = res.per_site(None, |s| s.p99());
         let maxes = res.per_site(None, |s| s.max());
@@ -66,9 +68,11 @@ fn main() {
             iterations: 20,
             sync: true,
             seed: 7,
+            max_events: 0,
         },
         &gen.corpus,
-    );
+    )
+    .expect("trial failed");
     let mut by_med: Vec<(u64, u64, String)> = res
         .sites
         .iter_mut()

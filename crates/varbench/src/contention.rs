@@ -9,10 +9,9 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 /// Aggregated contention for one lock label (e.g. `"journal"`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LockContention {
     /// Total acquisitions across all locks with this label.
     pub acquisitions: u64,
@@ -32,7 +31,7 @@ impl LockContention {
 }
 
 /// Per-label contention profile of one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ContentionProfile {
     /// Label → aggregated counters, sorted by label.
     pub by_label: BTreeMap<String, LockContention>,

@@ -17,5 +17,8 @@ pub mod run;
 pub mod worker;
 
 pub use contention::{ContentionProfile, LockContention};
-pub use run::{run, run_configs, run_hooked, RunConfig, RunResult, SiteResult};
+pub use run::{
+    outcomes_to_json, run, run_configs, run_configs_retry, run_hooked, run_isolated, RunConfig,
+    RunError, RunResult, SiteResult, TrialOutcome,
+};
 pub use worker::CorpusWorker;

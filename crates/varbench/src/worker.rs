@@ -107,8 +107,17 @@ impl CorpusWorker {
         }
         let call = program.calls[self.call].clone();
         let args: Vec<u64> = call.args.iter().map(|a| a.resolve(&self.results)).collect();
-        let inst = &mut ctx.world.kernel_mut().instances[self.instance];
-        let seq = dispatch(inst, self.slot, call.no, &args, &mut self.rng, &mut self.cover);
+        let (world, faults) = ctx.world_and_faults();
+        let inst = &mut world.kernel_mut().instances[self.instance];
+        let seq = dispatch(
+            inst,
+            self.slot,
+            call.no,
+            &args,
+            &mut self.rng,
+            &mut self.cover,
+            faults,
+        );
         self.pending_result = seq.result;
         self.runner = Some(OpRunner::new(&seq, inst, self.core));
         self.call_start = ctx.now();

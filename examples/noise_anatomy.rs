@@ -24,9 +24,11 @@ fn main() {
                 iterations: 8,
                 sync: true,
                 seed: 77,
+                max_events: 0,
             },
             &corpus.corpus,
-        );
+        )
+        .expect("trial failed");
         println!("=== {} ===", kind.label());
         println!("{}", res.contention.render());
     }

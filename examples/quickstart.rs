@@ -40,9 +40,11 @@ fn main() {
                 iterations: 10,
                 sync: true,
                 seed: 42,
+                max_events: 0,
             },
             &generated.corpus,
-        );
+        )
+        .expect("trial failed");
         let p99s = result.per_site(None, |s| s.p99());
         table.push_values(kind.label(), &p99s);
     }

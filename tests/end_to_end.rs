@@ -23,9 +23,11 @@ fn corpus_to_measurement_pipeline() {
             iterations: 3,
             sync: true,
             seed: 1,
+            max_events: 0,
         },
         &corpus.corpus,
-    );
+    )
+    .expect("trial failed");
     assert_eq!(res.sites.len(), corpus.corpus.total_calls());
     // Every site must have cores × iterations samples.
     for s in &res.sites {
@@ -53,9 +55,11 @@ fn isolation_bounds_the_tail() {
                 iterations: 5,
                 sync: true,
                 seed: 3,
+                max_events: 0,
             },
             &corpus.corpus,
-        );
+        )
+        .expect("trial failed");
         let mut p99s = r.per_site(None, |s| s.p99());
         p99s.sort_unstable();
         *p99s.last().unwrap()
@@ -84,9 +88,11 @@ fn virtualization_costs_at_the_median() {
                 iterations: 4,
                 sync: true,
                 seed: 4,
+                max_events: 0,
             },
             &corpus.corpus,
-        );
+        )
+        .expect("trial failed");
         let mut meds = r.per_site(None, |s| s.median());
         meds.sort_unstable();
         meds[0] // the fastest site's median

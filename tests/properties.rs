@@ -1,5 +1,9 @@
 //! Cross-crate property-based tests: invariants of the generator, the
 //! engine and the statistics layer under random inputs.
+//!
+//! Cases are driven by a seeded [`SmallRng`] loop rather than a property
+//! testing framework (the build environment is offline), so every failure
+//! is reproducible from the printed case seed.
 
 use ksa_core::desim::{CoreConfig, Effect, Engine, EngineParams, Process, SimCtx, WakeReason};
 use ksa_core::kernel::coverage::CoverageSet;
@@ -9,128 +13,174 @@ use ksa_core::kernel::params::CostModel;
 use ksa_core::kernel::SysNo;
 use ksa_core::stats::{quantile_sorted, BucketRow, Samples};
 use ksa_core::syzgen::{mutate, ProgramGenerator};
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Any argument vector to any syscall compiles to a lock-balanced op
-    /// sequence (the fuzzer feeds the kernel arbitrary input).
-    #[test]
-    fn dispatch_never_unbalances_locks(
-        call_idx in 0usize..SysNo::ALL.len(),
-        args in proptest::collection::vec(any::<u64>(), 0..5),
-        seed in any::<u64>(),
-    ) {
+/// Stable per-test base seed from the test name (FNV-1a).
+fn base_seed(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs `f` once per case with a distinct, stable seed.
+fn for_each_case(test: &str, f: impl Fn(u64, &mut SmallRng)) {
+    for case in 0..CASES {
+        let seed = base_seed(test) ^ case.wrapping_mul(0x9e3779b97f4a7c15);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        f(seed, &mut rng);
+    }
+}
+
+/// Any argument vector to any syscall compiles to a lock-balanced op
+/// sequence (the fuzzer feeds the kernel arbitrary input).
+#[test]
+fn dispatch_never_unbalances_locks() {
+    for_each_case("dispatch_never_unbalances_locks", |seed, rng| {
+        let call_idx = rng.gen_range(0..SysNo::ALL.len());
+        let n_args = rng.gen_range(0usize..5);
+        let args: Vec<u64> = (0..n_args).map(|_| rng.gen::<u64>()).collect();
+
         let mut eng: Engine<()> = Engine::new((), EngineParams::default(), 1);
         let disk = eng.add_device(ksa_core::desim::DeviceModel::nvme_ssd());
         let cores = vec![eng.add_core(CoreConfig::default())];
-        let mut inst = KernelInstance::build(&mut eng, 0, InstanceConfig {
-            cores,
-            mem_mib: 128,
-            virt: VirtProfile::native(),
-            tenancy: TenancyProfile::none(),
-            cost: CostModel::default(),
-            disk,
-        });
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let seq = dispatch_simple(&mut inst, 0, SysNo::ALL[call_idx], &args, &mut rng);
-        prop_assert!(seq.locks_balanced());
-    }
+        let mut inst = KernelInstance::build(
+            &mut eng,
+            0,
+            InstanceConfig {
+                cores,
+                mem_mib: 128,
+                virt: VirtProfile::native(),
+                tenancy: TenancyProfile::none(),
+                cost: CostModel::default(),
+                disk,
+            },
+        );
+        let mut call_rng = SmallRng::seed_from_u64(seed);
+        let seq = dispatch_simple(&mut inst, 0, SysNo::ALL[call_idx], &args, &mut call_rng);
+        assert!(seq.locks_balanced(), "seed {seed:#x} unbalanced locks");
+    });
+}
 
-    /// Generator output and all mutants keep resource references valid.
-    #[test]
-    fn generated_programs_and_mutants_stay_valid(seed in any::<u64>(), steps in 1usize..20) {
+/// Generator output and all mutants keep resource references valid.
+#[test]
+fn generated_programs_and_mutants_stay_valid() {
+    for_each_case("generated_programs_and_mutants_stay_valid", |seed, rng| {
+        let steps = rng.gen_range(1usize..20);
         let mut gen = ProgramGenerator::new(seed);
         let corpus: Vec<_> = (0..4).map(|_| gen.random_program()).collect();
         let mut p = gen.random_program();
         for _ in 0..steps {
             p = mutate::mutate(&mut gen, &p, &corpus);
-            prop_assert!(p.refs_valid());
-            prop_assert!(!p.is_empty());
+            assert!(p.refs_valid(), "seed {seed:#x} broke refs");
+            assert!(!p.is_empty(), "seed {seed:#x} emptied the program");
         }
-    }
+    });
+}
 
-    /// Quantiles of sorted data are monotone in q and bounded by the
-    /// extremes.
-    #[test]
-    fn quantiles_are_monotone(mut values in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+/// Quantiles of sorted data are monotone in q and bounded by the extremes.
+#[test]
+fn quantiles_are_monotone() {
+    for_each_case("quantiles_are_monotone", |seed, rng| {
+        let n = rng.gen_range(1usize..200);
+        let mut values: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..10_000_000)).collect();
         values.sort_unstable();
         let mut last = 0;
         for i in 0..=20 {
             let q = i as f64 / 20.0;
             let v = quantile_sorted(&values, q).unwrap();
-            prop_assert!(v >= last);
-            prop_assert!(v >= values[0] && v <= *values.last().unwrap());
+            assert!(v >= last, "seed {seed:#x}: quantile not monotone");
+            assert!(v >= values[0] && v <= *values.last().unwrap());
             last = v;
         }
-    }
+    });
+}
 
-    /// Bucket rows always account for exactly 100% of the values.
-    #[test]
-    fn bucket_rows_account_for_everything(values in proptest::collection::vec(0u64..100_000_000, 1..100)) {
+/// Bucket rows always account for exactly 100% of the values.
+#[test]
+fn bucket_rows_account_for_everything() {
+    for_each_case("bucket_rows_account_for_everything", |seed, rng| {
+        let n = rng.gen_range(1usize..100);
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..100_000_000)).collect();
         let row = BucketRow::from_values("x", &values);
-        prop_assert!((row.below[4] + row.above_last - 100.0).abs() < 1e-6);
+        assert!(
+            (row.below[4] + row.above_last - 100.0).abs() < 1e-6,
+            "seed {seed:#x}: buckets lost mass"
+        );
         for w in row.below.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-9);
+            assert!(w[0] <= w[1] + 1e-9);
         }
-    }
+    });
+}
 
-    /// Samples summaries are internally ordered.
-    #[test]
-    fn summaries_are_ordered(values in proptest::collection::vec(1u64..1_000_000_000, 2..300)) {
+/// Samples summaries are internally ordered.
+#[test]
+fn summaries_are_ordered() {
+    for_each_case("summaries_are_ordered", |seed, rng| {
+        let n = rng.gen_range(2usize..300);
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..1_000_000_000)).collect();
         let mut s = Samples::from_values(values);
         let sum = s.summary().unwrap();
-        prop_assert!(sum.min <= sum.median);
-        prop_assert!(sum.median <= sum.p95);
-        prop_assert!(sum.p95 <= sum.p99);
-        prop_assert!(sum.p99 <= sum.max);
-        prop_assert!(sum.mean >= sum.min as f64 && sum.mean <= sum.max as f64);
-    }
+        assert!(sum.min <= sum.median, "seed {seed:#x}");
+        assert!(sum.median <= sum.p95);
+        assert!(sum.p95 <= sum.p99);
+        assert!(sum.p99 <= sum.max);
+        assert!(sum.mean >= sum.min as f64 && sum.mean <= sum.max as f64);
+    });
+}
 
-    /// The engine clock never runs backwards, whatever mix of delays,
-    /// sleeps and lock traffic a process issues.
-    #[test]
-    fn engine_clock_is_monotone(script in proptest::collection::vec(0u32..4, 1..30), seed in any::<u64>()) {
-        struct P {
-            script: Vec<u32>,
-            at: usize,
-            lock: ksa_core::desim::LockId,
-            held: bool,
-            last: u64,
-        }
-        impl Process<()> for P {
-            fn resume(&mut self, ctx: &mut SimCtx<'_, ()>, _w: WakeReason) -> Effect {
-                assert!(ctx.now() >= self.last, "clock went backwards");
-                self.last = ctx.now();
-                if self.held {
-                    ctx.release(self.lock);
-                    self.held = false;
+/// The engine clock never runs backwards, whatever mix of delays, sleeps
+/// and lock traffic a process issues.
+#[test]
+fn engine_clock_is_monotone() {
+    struct P {
+        script: Vec<u32>,
+        at: usize,
+        lock: ksa_core::desim::LockId,
+        held: bool,
+        last: u64,
+    }
+    impl Process<()> for P {
+        fn resume(&mut self, ctx: &mut SimCtx<'_, ()>, _w: WakeReason) -> Effect {
+            assert!(ctx.now() >= self.last, "clock went backwards");
+            self.last = ctx.now();
+            if self.held {
+                ctx.release(self.lock);
+                self.held = false;
+            }
+            let Some(&op) = self.script.get(self.at) else {
+                return Effect::Done;
+            };
+            self.at += 1;
+            match op {
+                0 => Effect::Delay(100),
+                1 => Effect::Sleep(50),
+                2 => {
+                    self.held = true;
+                    Effect::Acquire(self.lock, ksa_core::desim::LockMode::Exclusive)
                 }
-                let Some(&op) = self.script.get(self.at) else {
-                    return Effect::Done;
-                };
-                self.at += 1;
-                match op {
-                    0 => Effect::Delay(100),
-                    1 => Effect::Sleep(50),
-                    2 => {
-                        self.held = true;
-                        Effect::Acquire(self.lock, ksa_core::desim::LockMode::Exclusive)
-                    }
-                    _ => Effect::Delay(1),
-                }
+                _ => Effect::Delay(1),
             }
         }
+    }
+    for_each_case("engine_clock_is_monotone", |seed, rng| {
+        let len = rng.gen_range(1usize..30);
+        let script: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..4)).collect();
         let mut eng: Engine<()> = Engine::new((), EngineParams::default(), seed);
         let core = eng.add_core(CoreConfig::default());
         let lock = eng.add_lock(ksa_core::desim::LockKind::Spin, "prop");
-        eng.spawn(core, Box::new(P { script, at: 0, lock, held: false, last: 0 }), 0);
+        eng.spawn(
+            core,
+            Box::new(P { script, at: 0, lock, held: false, last: 0 }),
+            0,
+        );
         let res = eng.run().unwrap();
-        prop_assert!(res.clock < 1_000_000);
-    }
+        assert!(res.clock < 1_000_000, "seed {seed:#x}: run too long");
+    });
 }
 
 /// Coverage merging is idempotent and commutative on random sets.
