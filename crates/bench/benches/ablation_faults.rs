@@ -72,6 +72,45 @@ fn main() {
         out.stats.sites_probed,
     );
 
+    // The networking subsystem obeys the same attribution law: natural
+    // socket errors (EBADF, EAGAIN on empty buffers, refused connects)
+    // are plain blocks, and `err.net.*` blocks are reachable only under
+    // injection. Checked against a net-heavy corpus so every socket
+    // fault point is actually on the replayed path.
+    use ksa_kernel::coverage::block_name;
+    let net_base = ksa_core::experiments::net_corpus(ksa_core::experiments::Scale::Tiny);
+    let mut sb = Sandbox::new(11);
+    let mut net_baseline = CoverageSet::new();
+    for p in &net_base.programs {
+        net_baseline.merge(&sb.run_fresh(p));
+    }
+    let net_err = |c: &CoverageSet| {
+        c.iter()
+            .filter(|&id| block_name(id).starts_with("err.net."))
+            .count()
+    };
+    assert_eq!(
+        net_err(&net_baseline),
+        0,
+        "a fault-free net replay must not reach err.net.* blocks"
+    );
+    let net_out = fault_phase(&net_base, FaultGenConfig::default());
+    let mut injected = CoverageSet::new();
+    for e in &net_out.entries {
+        sb.set_fault_plan(e.plan.clone());
+        injected.merge(&sb.run_fresh(&net_base.programs[e.prog]));
+    }
+    assert!(
+        net_err(&injected) > 0,
+        "injection must reach err.net.* blocks on a net-heavy corpus"
+    );
+    eprintln!(
+        "net attribution: baseline err.net.*=0 | injected err.net.*={} \
+         from {} accepted plans",
+        net_err(&injected),
+        net_out.stats.accepted,
+    );
+
     // One fault-injected measurement trial: install an accepted plan on
     // every kernel instance and run the corpus under the barrier harness.
     let plan = out

@@ -134,6 +134,8 @@ pub fn noise_corpus(scale: Scale) -> Corpus {
         SysNo::Msgsnd,
         SysNo::Msgrcv,
         SysNo::Write,
+        SysNo::Sendto,
+        SysNo::Recvfrom,
     ];
     let n = match scale {
         Scale::Tiny => 12,
@@ -141,6 +143,38 @@ pub fn noise_corpus(scale: Scale) -> Corpus {
         Scale::Full => 28,
     };
     let mut gen = ProgramGenerator::new(0x4015e);
+    Corpus {
+        programs: (0..n).map(|_| gen.random_program_in(&pool)).collect(),
+    }
+}
+
+/// A networking-heavy corpus for the `Category::Network` surface-area
+/// study (`ablation_net`): socket setup/teardown, loopback traffic
+/// through the simulated stack, and epoll readiness scans. Send/receive
+/// appear twice so data-path calls dominate control-path ones.
+pub fn net_corpus(scale: Scale) -> Corpus {
+    use ksa_kernel::SysNo;
+    use ksa_syzgen::ProgramGenerator;
+    let pool = [
+        SysNo::Socket,
+        SysNo::Bind,
+        SysNo::Listen,
+        SysNo::Accept,
+        SysNo::Connect,
+        SysNo::Sendto,
+        SysNo::Sendto,
+        SysNo::Recvfrom,
+        SysNo::Recvfrom,
+        SysNo::ShutdownSock,
+        SysNo::EpollCreate,
+        SysNo::EpollWait,
+    ];
+    let n = match scale {
+        Scale::Tiny => 10,
+        Scale::Quick => 16,
+        Scale::Full => 24,
+    };
+    let mut gen = ProgramGenerator::new(0x6e37);
     Corpus {
         programs: (0..n).map(|_| gen.random_program_in(&pool)).collect(),
     }
@@ -529,6 +563,29 @@ mod tests {
         assert_eq!(a.corpus.programs, b.corpus.programs);
         let n = noise_corpus(Scale::Tiny);
         assert!(!n.is_empty() && n.len() <= a.corpus.len());
+    }
+
+    #[test]
+    fn net_corpus_is_deterministic_and_net_heavy() {
+        use ksa_kernel::{Category, SysNo};
+        let a = net_corpus(Scale::Tiny);
+        let b = net_corpus(Scale::Tiny);
+        assert_eq!(a.programs, b.programs);
+        let calls: Vec<SysNo> = a
+            .programs
+            .iter()
+            .flat_map(|p| p.calls.iter().map(|c| c.no))
+            .collect();
+        let net = calls
+            .iter()
+            .filter(|no| no.categories().contains(&Category::Network))
+            .count();
+        assert!(
+            net * 2 > calls.len(),
+            "net calls should dominate: {net}/{}",
+            calls.len()
+        );
+        assert!(calls.contains(&SysNo::Sendto));
     }
 
     #[test]

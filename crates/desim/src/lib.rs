@@ -47,6 +47,7 @@ pub mod engine;
 pub mod fault;
 pub mod iodev;
 pub mod lock;
+pub mod netdev;
 pub mod process;
 pub mod time;
 
@@ -57,5 +58,6 @@ pub use engine::{
 pub use fault::{FaultKind, FaultPlan, FaultSchedule, FaultState, InjectedFault};
 pub use iodev::{DevId, DeviceModel};
 pub use lock::{LockId, LockKind, LockMode};
+pub use netdev::{NicModel, NicState};
 pub use process::{Effect, Pid, Process, WakeReason};
 pub use time::{Ns, MS, SEC, US};

@@ -87,6 +87,10 @@ pub fn build_env<W: HasKernel + 'static>(
             // shared dentry/inode caches (hash-chain pressure scales
             // with tenant count — Table 3's mechanism).
             inst.state.fs.dentries += 2_000 * n as u64;
+            // Containers share one host network stack: every tenant adds
+            // netfilter/conntrack chain hops to each packet's path. VMs
+            // pay virtio exits instead (see CostModel::exit_io_kick).
+            inst.state.net.stack_extra_ns = 120 * n as u64;
         }
         engine.world_mut().kernel_mut().push_instance(inst);
     }

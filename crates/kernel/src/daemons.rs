@@ -1,8 +1,9 @@
 //! Background kernel daemons.
 //!
 //! Each kernel instance runs the housekeeping threads a monolithic kernel
-//! runs: the journal flusher, kswapd, the scheduler load balancer and the
-//! vmstat worker. Their critical-section lengths scale with the
+//! runs: the journal flusher, kswapd, the scheduler load balancer, the
+//! vmstat worker and the NAPI softirq poller. Their critical-section
+//! lengths scale with the
 //! instance's **surface area** (dirty backlog ∝ memory, scan lengths ∝
 //! LRU size, balancing work ∝ core count), so a big shared kernel
 //! periodically holds global locks for a long time while small kernels
@@ -325,6 +326,84 @@ impl<W: HasKernel> Process<W> for VmstatWorker {
     }
 }
 
+/// NET_RX softirq / NAPI poller: drains the NIC descriptor rings in
+/// budgeted bursts under the instance's shared softirq lock. Deferred
+/// RX processing competes with process time on the core it runs on, and
+/// its burst length scales with the backlog the instance's senders
+/// built up — the networking face of "rare but potentially unbounded
+/// software interference". In guests each poll additionally pays the
+/// RX-completion interrupt injection (virtio-net exit cost).
+pub struct NapiPoller {
+    instance: usize,
+    rng: SmallRng,
+    holding: bool,
+}
+
+impl NapiPoller {
+    /// Creates the poller for `instance`.
+    pub fn new(instance: usize, seed: u64) -> Self {
+        Self {
+            instance,
+            rng: SmallRng::seed_from_u64(seed ^ 0x4a91),
+            holding: false,
+        }
+    }
+}
+
+impl<W: HasKernel> Process<W> for NapiPoller {
+    fn resume(&mut self, ctx: &mut SimCtx<'_, W>, wake: WakeReason) -> Effect {
+        if self.holding {
+            let (softirq, period, backlog) = {
+                let k = &ctx.world.kernel().instances[self.instance];
+                (
+                    k.locks.softirq,
+                    k.cost.softirq_period,
+                    k.state.net.nic.pending_total(),
+                )
+            };
+            ctx.release(softirq);
+            self.holding = false;
+            return if backlog > 0 {
+                // Budget exhausted with work left: ksoftirqd-style
+                // prompt reschedule instead of a full idle period.
+                Effect::Sleep(period / 8 + self.rng.gen_range(0..(period / 16).max(1)))
+            } else {
+                Effect::Sleep(period + self.rng.gen_range(0..period / 4))
+            };
+        }
+        match wake {
+            WakeReason::LockGranted(_) => {
+                self.holding = true;
+                let k = &mut ctx.world.kernel_mut().instances[self.instance];
+                let drained = k.state.net.nic.poll(k.cost.napi_budget);
+                let mut cost = US + k.cost.napi_pkt * drained;
+                if k.virt.enabled {
+                    // One injected RX-completion interrupt per poll.
+                    cost += k.virt.exit_io_irq;
+                }
+                Effect::Delay(cost)
+            }
+            _ => {
+                let k = &ctx.world.kernel().instances[self.instance];
+                if k.state.net.nic.pending_total() == 0 {
+                    let period = k.cost.softirq_period;
+                    Effect::Sleep(period + self.rng.gen_range(0..period / 4))
+                } else {
+                    Effect::Acquire(k.locks.softirq, ksa_desim::LockMode::Exclusive)
+                }
+            }
+        }
+    }
+
+    fn is_daemon(&self) -> bool {
+        true
+    }
+
+    fn label(&self) -> &str {
+        "napi"
+    }
+}
+
 /// Spawns the standard daemon set for instance `idx` of `world`,
 /// distributing them round-robin over the instance's cores.
 pub fn spawn_daemons<W: HasKernel + 'static>(
@@ -342,4 +421,5 @@ pub fn spawn_daemons<W: HasKernel + 'static>(
     engine.spawn(pick(1), Box::new(Kswapd::new(idx, seed)), 2_000);
     engine.spawn(pick(2), Box::new(LoadBalancer::new(idx, seed)), 3_000);
     engine.spawn(pick(3), Box::new(VmstatWorker::new(idx, seed)), 4_000);
+    engine.spawn(pick(4), Box::new(NapiPoller::new(idx, seed)), 5_000);
 }

@@ -468,6 +468,18 @@ pub fn dispatch(
         SysNo::Umask => subsystems::perms::sys_umask(&mut h, a(0)),
         SysNo::Setgroups => subsystems::perms::sys_setgroups(&mut h, a(0)),
         SysNo::Prctl => subsystems::perms::sys_prctl(&mut h, a(0)),
+
+        // (g) networking
+        SysNo::Socket => subsystems::net::sys_socket(&mut h, a(0)),
+        SysNo::Bind => subsystems::net::sys_bind(&mut h, a(0), a(1)),
+        SysNo::Listen => subsystems::net::sys_listen(&mut h, a(0), a(1)),
+        SysNo::Accept => subsystems::net::sys_accept(&mut h, a(0)),
+        SysNo::Connect => subsystems::net::sys_connect(&mut h, a(0), a(1)),
+        SysNo::Sendto => subsystems::net::sys_sendto(&mut h, a(0), a(1), a(2)),
+        SysNo::Recvfrom => subsystems::net::sys_recvfrom(&mut h, a(0), a(1)),
+        SysNo::ShutdownSock => subsystems::net::sys_shutdown_sock(&mut h, a(0)),
+        SysNo::EpollCreate => subsystems::net::sys_epoll_create(&mut h),
+        SysNo::EpollWait => subsystems::net::sys_epoll_wait(&mut h, a(0), a(1)),
     }
 
     debug_assert!(

@@ -161,6 +161,15 @@ pub struct InstanceLocks {
     pub audit: LockId,
     /// cgroup stat-flush spinlock (global).
     pub cgroup: LockId,
+    /// Socket/port hash-bucket spinlocks; one per core, so the socket
+    /// table's sharing degree scales with the instance surface.
+    pub sock_buckets: Vec<LockId>,
+    /// NIC queue (descriptor-ring) spinlocks; at most 8 queues, so wide
+    /// shared kernels funnel many cores through few rings.
+    pub nic_queue: Vec<LockId>,
+    /// NET_RX softirq serialization (NAPI poll vs. syscall-path
+    /// enqueue), instance-global.
+    pub softirq: LockId,
 }
 
 /// Static configuration for building an instance.
@@ -235,6 +244,13 @@ impl KernelInstance {
             cred: engine.add_lock(LockKind::Spin, "cred"),
             audit: engine.add_lock(LockKind::Spin, "audit"),
             cgroup: engine.add_lock(LockKind::Spin, "cgroup"),
+            sock_buckets: (0..n.max(1))
+                .map(|_| engine.add_lock(LockKind::Spin, "sock_bucket"))
+                .collect(),
+            nic_queue: (0..n.clamp(1, 8))
+                .map(|_| engine.add_lock(LockKind::Spin, "nic_queue"))
+                .collect(),
+            softirq: engine.add_lock(LockKind::Spin, "softirq"),
         };
         let rcu = engine.add_rcu_domain(n as u32);
         KernelInstance {
@@ -289,6 +305,8 @@ mod tests {
         assert_eq!(inst.n_cores(), 4);
         assert_eq!(inst.locks.runqueue.len(), 4);
         assert_eq!(inst.locks.mmap_sem.len(), 4);
+        assert_eq!(inst.locks.sock_buckets.len(), 4);
+        assert_eq!(inst.locks.nic_queue.len(), 4);
         assert_eq!(inst.mem_pages, 512 * 256);
         assert_eq!(inst.state.slots.len(), 4);
         assert_eq!(inst.slot_of(cores[2]), Some(2));

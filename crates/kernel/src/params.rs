@@ -91,6 +91,23 @@ pub struct CostModel {
     /// SysV message copy fixed part.
     pub ipc_msg_base: Ns,
 
+    // --- networking ---
+    /// Allocating and initializing a socket (sock + file glue).
+    pub sock_create: Ns,
+    /// sk_buff allocation/setup per packet.
+    pub skb_alloc: Ns,
+    /// Protocol demux: port-table hash lookup plus header parse.
+    pub proto_demux: Ns,
+    /// Softirq-side cost per packet drained by a NAPI poll.
+    pub napi_pkt: Ns,
+    /// Packets one NAPI poll may drain before yielding the core.
+    pub napi_budget: u64,
+    /// NAPI poller wake period when the rings are idle.
+    pub softirq_period: Ns,
+    /// Socket receive-buffer bound in bytes; senders hitting it get
+    /// `EAGAIN` (SO_RCVBUF-style backpressure).
+    pub sock_buf_bytes: u64,
+
     // --- permissions / capabilities ---
     /// Credential structure update (prepare_creds/commit_creds CPU).
     pub cred_update: Ns,
@@ -161,6 +178,14 @@ impl Default for CostModel {
             ipc_lookup: 380,
             ipc_msg_base: 700,
 
+            sock_create: 900,
+            skb_alloc: 300,
+            proto_demux: 250,
+            napi_pkt: 450,
+            napi_budget: 64,
+            softirq_period: 1_000_000, // 1 ms
+            sock_buf_bytes: 262_144,   // 256 KiB
+
             cred_update: 600,
             audit_emit: 450,
             cap_compute: 600,
@@ -202,5 +227,8 @@ mod tests {
         assert!(cm.tlb_handler > cm.tlb_local, "remote flush dwarfs local");
         assert!(cm.journal_commit_base > cm.dentry_hop * 10);
         assert!(cm.dirty_throttle_pct < 100 && cm.min_free_pct < 100);
+        assert!(cm.napi_pkt < US, "per-packet softirq work is sub-microsecond");
+        assert!(cm.softirq_period >= 100 * US, "NAPI idles between polls");
+        assert!(cm.sock_buf_bytes >= 64 * 1024, "rx buffers hold many packets");
     }
 }

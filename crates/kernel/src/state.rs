@@ -22,6 +22,13 @@ pub enum FdKind {
     },
     /// An eventfd counter.
     EventFd,
+    /// A socket backed by `NetState::socks[idx]`.
+    Socket {
+        /// Index into the instance socket table.
+        idx: usize,
+    },
+    /// An epoll instance (readiness polling over the slot's fds).
+    Epoll,
     /// Closed / free slot.
     Closed,
 }
@@ -173,6 +180,85 @@ pub struct IpcState {
     pub pipes: u64,
 }
 
+/// One simulated socket.
+#[derive(Debug, Clone, Default)]
+pub struct SockState {
+    /// Bound local port, if any.
+    pub port: Option<u64>,
+    /// Listening socket (accepts connections).
+    pub listening: bool,
+    /// Accept-queue capacity once listening.
+    pub backlog_cap: u64,
+    /// Pending connections: socket indices awaiting `accept`.
+    pub backlog: Vec<usize>,
+    /// Connected peer socket index.
+    pub peer: Option<usize>,
+    /// Bytes buffered for `recvfrom`, bounded by the cost model's
+    /// `sock_buf_bytes` (backpressure → `EAGAIN` on the sender).
+    pub rx_bytes: u64,
+    /// Still usable (false after `shutdown`).
+    pub open: bool,
+}
+
+/// Networking state (socket/port tables plus the NIC rings).
+#[derive(Debug, Clone)]
+pub struct NetState {
+    /// All sockets ever created in this instance.
+    pub socks: Vec<SockState>,
+    /// Port table: `(port, socket index)`, instance-global.
+    pub ports: Vec<(u64, usize)>,
+    /// The instance NIC (virtio-net in VMs, the shared host NIC
+    /// otherwise).
+    pub nic: ksa_desim::NicState,
+    /// Extra per-packet stack cost (netfilter/conntrack chains); grows
+    /// with tenant count on shared container hosts.
+    pub stack_extra_ns: u64,
+    /// Payload bytes accepted by `sendto` (delivered into an rx buffer).
+    pub sent_bytes: u64,
+    /// Payload bytes returned by `recvfrom`.
+    pub recv_bytes: u64,
+    /// Payload bytes discarded by `shutdown` while still buffered.
+    pub flushed_bytes: u64,
+}
+
+/// Number of distinct port values the simulated port space can address.
+pub const NET_PORT_SPACE: u64 = 512;
+
+impl NetState {
+    /// Creates networking state for an instance with `n_slots` cores:
+    /// the NIC gets `min(8, n_slots)` queue pairs, so a wide shared
+    /// kernel funnels many cores through few rings while small VM
+    /// instances see proportionally private ones.
+    pub fn init(n_slots: usize) -> Self {
+        let queues = n_slots.clamp(1, 8) as u32;
+        Self {
+            socks: Vec::new(),
+            ports: Vec::new(),
+            nic: ksa_desim::NicState::new(ksa_desim::NicModel::virtio(queues)),
+            stack_extra_ns: 0,
+            sent_bytes: 0,
+            recv_bytes: 0,
+            flushed_bytes: 0,
+        }
+    }
+
+    /// Socket index bound to `port`, if any.
+    pub fn lookup_port(&self, port: u64) -> Option<usize> {
+        self.ports.iter().find(|&&(p, _)| p == port).map(|&(_, s)| s)
+    }
+
+    /// Payload bytes still sitting in socket receive buffers.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.socks.iter().map(|s| s.rx_bytes).sum()
+    }
+}
+
+impl Default for NetState {
+    fn default() -> Self {
+        Self::init(1)
+    }
+}
+
 /// Cross-cutting tenancy counters.
 #[derive(Debug, Clone, Default)]
 pub struct TenancyState {
@@ -191,6 +277,8 @@ pub struct SubsysState {
     pub sched: SchedState,
     /// IPC.
     pub ipc: IpcState,
+    /// Networking.
+    pub net: NetState,
     /// Tenancy counters.
     pub tenancy: TenancyState,
     /// Per-core-slot application process state.
@@ -214,6 +302,7 @@ impl SubsysState {
         s.sched.rq_len = vec![1; n_slots];
         s.sched.nr_tasks = n_slots as u64 + 16; // app procs + kthreads
         s.fs.dentries = 1_000 + 64 * n_slots as u64; // boot filesystem
+        s.net = NetState::init(n_slots);
         for _ in 0..n_slots {
             s.slots.push(SlotState {
                 fds: Vec::new(),
@@ -243,6 +332,15 @@ mod tests {
         assert_eq!(s.mm.total_pages, 1_000_000);
         assert!(s.mm.free_pages < s.mm.total_pages);
         assert!(s.mm.free_pages > s.mm.total_pages / 2);
+    }
+
+    #[test]
+    fn net_nic_queues_scale_with_cores() {
+        assert_eq!(SubsysState::init(2, 1_000).net.nic.pending.len(), 2);
+        assert_eq!(SubsysState::init(64, 1_000).net.nic.pending.len(), 8);
+        let s = SubsysState::init(4, 1_000);
+        assert!(s.net.socks.is_empty());
+        assert_eq!(s.net.lookup_port(80), None);
     }
 
     #[test]

@@ -45,6 +45,17 @@ pub fn sys_read(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
             h.cover("io.read.eventfd");
             h.cpu(cost.pipe_op / 2);
         }
+        FdKind::Socket { idx } => {
+            // read(2) on a socket goes down the same receive path as
+            // recvfrom (sock_read_iter → recvmsg in Linux).
+            h.cover("io.read.socket");
+            crate::subsystems::net::sock_recv(h, idx, bytes);
+        }
+        FdKind::Epoll => {
+            h.cover("io.read.epoll");
+            h.cpu(120);
+            h.seq.error = Some(Errno::EINVAL);
+        }
         FdKind::Closed => {
             h.cover("io.read.ebadf");
             h.cpu(120);
@@ -123,6 +134,17 @@ pub fn sys_write(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
         FdKind::EventFd => {
             h.cover("io.write.eventfd");
             h.cpu(cost.pipe_op / 2);
+        }
+        FdKind::Socket { idx } => {
+            // write(2) on a connected socket is the send path without an
+            // explicit destination (peer routing only).
+            h.cover("io.write.socket");
+            crate::subsystems::net::sock_send(h, idx, bytes, None);
+        }
+        FdKind::Epoll => {
+            h.cover("io.write.epoll");
+            h.cpu(120);
+            h.seq.error = Some(Errno::EINVAL);
         }
         FdKind::Closed => {
             h.cover("io.write.ebadf");

@@ -1,4 +1,5 @@
-//! The six kernel subsystems, one module per paper category.
+//! The kernel subsystems, one module per syscall category: the paper's
+//! six plus networking.
 //!
 //! Each handler compiles one system call into micro-ops via the
 //! [`crate::dispatch::HCtx`] helpers, mutating the instance's logical
@@ -11,5 +12,6 @@ pub mod fileio;
 pub mod fs;
 pub mod ipc;
 pub mod mm;
+pub mod net;
 pub mod perms;
 pub mod sched;

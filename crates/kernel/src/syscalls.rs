@@ -4,7 +4,7 @@
 use crate::category::Category;
 
 /// Every system call the simulated kernel implements, spanning the paper's
-/// six categories. Names match the Linux calls they model.
+/// six categories plus networking. Names match the Linux calls they model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum SysNo {
@@ -84,11 +84,24 @@ pub enum SysNo {
     Umask,
     Setgroups,
     Prctl,
+
+    // (g) networking — appended after the first six categories so
+    // corpus JSON indices of older calls stay stable.
+    Socket,
+    Bind,
+    Listen,
+    Accept,
+    Connect,
+    Sendto,
+    Recvfrom,
+    ShutdownSock,
+    EpollCreate,
+    EpollWait,
 }
 
 impl SysNo {
     /// Every implemented call, in a stable order.
-    pub const ALL: [SysNo; 65] = [
+    pub const ALL: [SysNo; 75] = [
         SysNo::Getpid,
         SysNo::SchedYield,
         SysNo::Clone,
@@ -154,6 +167,16 @@ impl SysNo {
         SysNo::Umask,
         SysNo::Setgroups,
         SysNo::Prctl,
+        SysNo::Socket,
+        SysNo::Bind,
+        SysNo::Listen,
+        SysNo::Accept,
+        SysNo::Connect,
+        SysNo::Sendto,
+        SysNo::Recvfrom,
+        SysNo::ShutdownSock,
+        SysNo::EpollCreate,
+        SysNo::EpollWait,
     ];
 
     /// The Linux-style name of the call.
@@ -224,6 +247,16 @@ impl SysNo {
             SysNo::Umask => "umask",
             SysNo::Setgroups => "setgroups",
             SysNo::Prctl => "prctl",
+            SysNo::Socket => "socket",
+            SysNo::Bind => "bind",
+            SysNo::Listen => "listen",
+            SysNo::Accept => "accept4",
+            SysNo::Connect => "connect",
+            SysNo::Sendto => "sendto",
+            SysNo::Recvfrom => "recvfrom",
+            SysNo::ShutdownSock => "shutdown",
+            SysNo::EpollCreate => "epoll_create1",
+            SysNo::EpollWait => "epoll_wait",
         }
     }
 
@@ -293,6 +326,16 @@ impl SysNo {
             | SysNo::Umask
             | SysNo::Setgroups
             | SysNo::Prctl => &[Permissions],
+            SysNo::Socket
+            | SysNo::Bind
+            | SysNo::Listen
+            | SysNo::Accept
+            | SysNo::Connect
+            | SysNo::Sendto
+            | SysNo::Recvfrom
+            | SysNo::ShutdownSock
+            | SysNo::EpollCreate
+            | SysNo::EpollWait => &[Network],
         }
     }
 

@@ -17,6 +17,10 @@ pub enum Resource {
     Shm,
     /// A child process id (clone).
     ChildPid,
+    /// A socket fd (socket, accept4).
+    Sock,
+    /// An epoll instance fd (epoll_create1).
+    Epoll,
 }
 
 /// What one argument position means.
@@ -94,6 +98,19 @@ pub fn arg_spec(no: SysNo) -> &'static [ArgSpec] {
         SysNo::Umask => &[Range(0, 0o777)],
         SysNo::Setgroups => &[Range(1, 32)],
         SysNo::Prctl => &[Range(0, 16)],
+
+        // Ports draw from a handful of values so generated bind/connect
+        // pairs actually collide and connections form under fuzzing.
+        SysNo::Socket => &[Flags(&[0, 1])],
+        SysNo::Bind => &[Res(Sock), Range(0, 8)],
+        SysNo::Listen => &[Res(Sock), Range(1, 64)],
+        SysNo::Accept => &[Res(Sock)],
+        SysNo::Connect => &[Res(Sock), Range(0, 8)],
+        SysNo::Sendto => &[Res(Sock), Len(65_536), Range(0, 8)],
+        SysNo::Recvfrom => &[Res(Sock), Len(65_536)],
+        SysNo::ShutdownSock => &[Res(Sock)],
+        SysNo::EpollCreate => &[],
+        SysNo::EpollWait => &[Res(Epoll), Range(1, 64)],
     }
 }
 
@@ -106,6 +123,8 @@ pub fn produces(no: SysNo) -> Option<Resource> {
         SysNo::Semget => Some(Resource::Sem),
         SysNo::Shmget => Some(Resource::Shm),
         SysNo::Clone => Some(Resource::ChildPid),
+        SysNo::Socket | SysNo::Accept => Some(Resource::Sock),
+        SysNo::EpollCreate => Some(Resource::Epoll),
         _ => None,
     }
 }
@@ -120,6 +139,8 @@ pub fn constructor(res: Resource) -> SysNo {
         Resource::Sem => SysNo::Semget,
         Resource::Shm => SysNo::Shmget,
         Resource::ChildPid => SysNo::Clone,
+        Resource::Sock => SysNo::Socket,
+        Resource::Epoll => SysNo::EpollCreate,
     }
 }
 
@@ -145,6 +166,8 @@ mod tests {
             Resource::Sem,
             Resource::Shm,
             Resource::ChildPid,
+            Resource::Sock,
+            Resource::Epoll,
         ] {
             let c = constructor(res);
             assert_eq!(produces(c), Some(res), "constructor of {res:?}");

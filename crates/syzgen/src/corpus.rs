@@ -104,10 +104,17 @@ impl GenStats {
     }
 }
 
+/// Corpus JSON schema version. Version 2 added the networking syscalls
+/// (socket..epoll_wait), which extended the `SysNo` index space; corpora
+/// written before the version key existed cannot be decoded safely
+/// because program call indices are only meaningful per schema.
+pub const CORPUS_SCHEMA_VERSION: u64 = 2;
+
 impl GeneratedCorpus {
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
         Value::object([
+            ("version", Value::UInt(CORPUS_SCHEMA_VERSION)),
             ("corpus", self.corpus.to_value()),
             ("config", self.config.to_value()),
             ("stats", self.stats.to_value()),
@@ -115,9 +122,29 @@ impl GeneratedCorpus {
         .render()
     }
 
-    /// Deserializes from JSON.
+    /// Deserializes from JSON. Rejects corpora from other schema
+    /// versions with a structured error instead of misinterpreting (or
+    /// panicking on) stale syscall indices.
     pub fn from_json(s: &str) -> Result<Self, ksa_json::Error> {
         let v = ksa_json::parse(s)?;
+        match v.opt("version") {
+            None => {
+                return Err(ksa_json::Error::shape(
+                    "corpus has no schema version (pre-networking corpus); \
+                     regenerate it with this build",
+                ));
+            }
+            Some(ver) => {
+                let ver = ver.as_u64()?;
+                if ver != CORPUS_SCHEMA_VERSION {
+                    return Err(ksa_json::Error::shape(format!(
+                        "corpus schema version {ver} unsupported \
+                         (this build reads version {CORPUS_SCHEMA_VERSION}); \
+                         regenerate the corpus"
+                    )));
+                }
+            }
+        }
         Ok(Self {
             corpus: Corpus::from_value(v.get("corpus")?)?,
             config: GenConfig::from_value(v.get("config")?)?,
@@ -284,5 +311,44 @@ mod tests {
         let a = generate(small_cfg(5));
         let b = generate(small_cfg(5));
         assert_eq!(a.corpus.programs, b.corpus.programs);
+    }
+
+    #[test]
+    fn json_carries_schema_version() {
+        let out = generate(small_cfg(6));
+        let v = ksa_json::parse(&out.to_json()).unwrap();
+        assert_eq!(
+            v.get("version").unwrap().as_u64().unwrap(),
+            CORPUS_SCHEMA_VERSION
+        );
+    }
+
+    #[test]
+    fn unversioned_corpus_is_rejected_with_clear_error() {
+        // A pre-networking corpus: structurally valid, but no version key.
+        let out = generate(small_cfg(7));
+        let old = Value::object([
+            ("corpus", out.corpus.to_value()),
+            ("config", out.config.to_value()),
+            ("stats", out.stats.to_value()),
+        ])
+        .render();
+        let err = GeneratedCorpus::from_json(&old).unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("pre-networking") && msg.contains("regenerate"),
+            "error should explain the failure: {msg}"
+        );
+    }
+
+    #[test]
+    fn future_corpus_version_is_rejected() {
+        let out = generate(small_cfg(8));
+        let json = out
+            .to_json()
+            .replace(&format!("\"version\":{CORPUS_SCHEMA_VERSION}"), "\"version\":99");
+        let err = GeneratedCorpus::from_json(&json).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("99"), "mentions the offending version: {msg}");
     }
 }

@@ -69,14 +69,22 @@ impl ServerWorker {
     }
 
     /// Builds the warm-up sequence: open a data file, prime its cache,
-    /// create the loopback socket (a pipe pair).
+    /// and establish the loopback connection through the simulated net
+    /// stack. Resulting fd layout: 0 = data file, 1 = listening socket,
+    /// 2 = client socket, 3 = accepted (server-side) connection.
     fn build_setup(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> OpRunner {
         let (world, faults) = ctx.world_and_faults();
         let inst = &mut world.kernel.instances[self.instance];
+        let port = self.slot as u64;
         let mut seq = OpSeq::new();
         for (no, a0, a1) in [
             (SysNo::Open, self.slot as u64, 1),
-            (SysNo::Pipe2, 0, 0),
+            (SysNo::Socket, 1, 0),
+            (SysNo::Bind, 1, port),
+            (SysNo::Listen, 1, 8),
+            (SysNo::Socket, 1, 0),
+            (SysNo::Connect, 2, port),
+            (SysNo::Accept, 1, 0),
             (SysNo::Pwrite, 0, 32_000),
             (SysNo::Pwrite, 0, 32_000),
             (SysNo::Pread, 0, 32_000),
@@ -87,16 +95,21 @@ impl ServerWorker {
         OpRunner::new(&seq, inst, self.core)
     }
 
-    /// Builds one request's full execution: socket receive, the app's
-    /// kernel-call template, the (virtualization-sensitive) service
-    /// compute, socket reply.
+    /// Builds one request's full execution: loopback send + socket
+    /// receive through the simulated net stack, the app's kernel-call
+    /// template, the (virtualization-sensitive) service compute, and the
+    /// socket reply.
     fn build_request(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> OpRunner {
         let (world, faults) = ctx.world_and_faults();
         let inst = &mut world.kernel.instances[self.instance];
         let mut seq = OpSeq::new();
 
-        // Loopback socket receive (read on the pipe).
-        let sub = dispatch(inst, self.slot, SysNo::Read, &[1, 768], &mut self.rng, &mut self.cover, faults);
+        // Client half of the loopback: push the request payload through
+        // the simulated stack (skb alloc, demux, NIC doorbell) into the
+        // server connection's receive buffer, then drain it server-side.
+        let sub = dispatch(inst, self.slot, SysNo::Sendto, &[2, 768, 0], &mut self.rng, &mut self.cover, faults);
+        seq.ops.extend(sub.ops);
+        let sub = dispatch(inst, self.slot, SysNo::Recvfrom, &[3, 768], &mut self.rng, &mut self.cover, faults);
         seq.ops.extend(sub.ops);
 
         // The app's kernel footprint.
@@ -117,8 +130,11 @@ impl ServerWorker {
         seq.mem(mem);
         seq.push(ksa_kernel::ops::KOp::UserCpu(total - mem));
 
-        // Reply.
-        let sub = dispatch(inst, self.slot, SysNo::Write, &[1, 256], &mut self.rng, &mut self.cover, faults);
+        // Reply: server send (peer-routed to the client socket), then
+        // the client drains it so buffers stay bounded across requests.
+        let sub = dispatch(inst, self.slot, SysNo::Sendto, &[3, 256, 0], &mut self.rng, &mut self.cover, faults);
+        seq.ops.extend(sub.ops);
+        let sub = dispatch(inst, self.slot, SysNo::Recvfrom, &[2, 256], &mut self.rng, &mut self.cover, faults);
         seq.ops.extend(sub.ops);
 
         debug_assert!(seq.locks_balanced());

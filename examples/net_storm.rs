@@ -1,0 +1,70 @@
+//! Net storm: barrier-synced socket pressure across the VM ladder.
+//!
+//! Every core runs the same networking-heavy program under barrier
+//! synchronization, so all sockets hammer the kernel's softirq path,
+//! NIC rings, and socket-table buckets at once — the worst case for a
+//! shared stack. Sweeping 1 → 64 VMs over the same 64 cores splits
+//! those structures into ever-smaller surfaces; the Network-category
+//! tail should fall as the ladder descends, while per-packet virtio
+//! exits keep the VM medians above bare-metal cost.
+//!
+//! Run with: `cargo run --release --example net_storm`
+
+use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
+use ksa_core::experiments::{net_corpus, Scale};
+use ksa_core::kernel::Category;
+use ksa_core::varbench::{run, RunConfig};
+use ksa_core::KernelSurfaceArea;
+
+fn main() {
+    let machine = Machine {
+        cores: 64,
+        mem_mib: 64 * 1024,
+    };
+    let corpus = net_corpus(Scale::Tiny);
+    println!(
+        "net storm: {} programs on {} cores, barrier-synced\n",
+        corpus.len(),
+        machine.cores
+    );
+
+    println!(
+        "{:>6}  {:>22}  {:>12}  {:>12}  softirq contention",
+        "VMs", "surface per kernel", "net med-p99", "net max-p99"
+    );
+    for count in [1usize, 4, 16, 64] {
+        let spec = EnvSpec::new(machine, EnvKind::Vm(count));
+        let surface = KernelSurfaceArea::of(&spec);
+        let mut res = run(
+            &RunConfig {
+                env: spec,
+                iterations: 2,
+                sync: true,
+                seed: 42,
+                max_events: 0,
+            },
+            &corpus,
+        )
+        .expect("net storm trial failed");
+        let mut p99s = res.per_site(Some(Category::Network), |s| s.p99());
+        p99s.sort_unstable();
+        let med = p99s.get(p99s.len() / 2).copied().unwrap_or(0);
+        let max = p99s.last().copied().unwrap_or(0);
+        let softirq = res
+            .contention
+            .by_label
+            .get("softirq")
+            .map(|c| format!("{}/{} ({:.1}%)", c.contended, c.acquisitions, 100.0 * c.contention_rate()))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{count:>6}  {surface:>22}  {med:>10}ns  {max:>10}ns  {softirq}",
+            surface = surface.to_string()
+        );
+    }
+
+    println!(
+        "\nshared-kernel hotspots at 1 VM come from the softirq, \
+         nic_queue, and sock_bucket locks; at 64 VMs each kernel owns a \
+         single queue and bucket set, so the storm stays local"
+    );
+}

@@ -183,6 +183,137 @@ fn engine_clock_is_monotone() {
     });
 }
 
+/// A net-heavy trial replays bit-identically under the same seed: same
+/// sites, same sample vectors, same simulated clock. Softirq/NAPI
+/// deferral and NIC queue hashing must not introduce nondeterminism.
+#[test]
+fn net_trial_replays_bit_identically() {
+    use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
+    use ksa_core::experiments::{net_corpus, Scale};
+    use ksa_core::varbench::{run, RunConfig};
+    let corpus = net_corpus(Scale::Tiny);
+    for seed in [3u64, 0x77, 0xdead_beef] {
+        let cfg = RunConfig {
+            env: EnvSpec::new(
+                Machine {
+                    cores: 4,
+                    mem_mib: 2 * 1024,
+                },
+                EnvKind::Vm(2),
+            ),
+            iterations: 3,
+            sync: true,
+            seed,
+            max_events: 0,
+        };
+        let a = run(&cfg, &corpus).expect("net trial failed");
+        let b = run(&cfg, &corpus).expect("net replay failed");
+        assert_eq!(a.sim_ns, b.sim_ns, "seed {seed:#x}: clocks differ");
+        assert_eq!(a.sites.len(), b.sites.len());
+        for (sa, sb) in a.sites.iter().zip(b.sites.iter()) {
+            assert_eq!(sa.sysno, sb.sysno);
+            assert_eq!(
+                sa.samples.raw(),
+                sb.samples.raw(),
+                "seed {seed:#x}: {} samples differ",
+                sa.sysno.name()
+            );
+        }
+    }
+}
+
+/// Bounded socket buffers push back with EAGAIN and never lose or
+/// duplicate payload bytes: at every step,
+/// `sent == received + buffered + flushed`.
+#[test]
+fn socket_buffers_bound_and_conserve_bytes() {
+    use ksa_core::desim::DeviceModel;
+    use ksa_core::kernel::Errno;
+    for_each_case("socket_buffers_bound_and_conserve_bytes", |seed, rng| {
+        let mut eng: Engine<()> = Engine::new((), EngineParams::default(), 1);
+        let disk = eng.add_device(DeviceModel::nvme_ssd());
+        let cores = vec![eng.add_core(CoreConfig::default())];
+        let mut inst = KernelInstance::build(
+            &mut eng,
+            0,
+            InstanceConfig {
+                cores,
+                mem_mib: 256,
+                virt: VirtProfile::native(),
+                tenancy: TenancyProfile::none(),
+                cost: CostModel::default(),
+                disk,
+            },
+        );
+        let mut call_rng = SmallRng::seed_from_u64(seed);
+        let invariant = |inst: &KernelInstance, at: &str| {
+            let net = &inst.state.net;
+            assert_eq!(
+                net.sent_bytes,
+                net.recv_bytes + net.buffered_bytes() + net.flushed_bytes,
+                "seed {seed:#x}: bytes lost or duplicated ({at})"
+            );
+        };
+        // fd0: receiver socket bound to port 3; fd1: sender socket.
+        let port = rng.gen_range(0u64..8);
+        for (no, args) in [
+            (SysNo::Socket, vec![1u64]),
+            (SysNo::Bind, vec![0, port]),
+            (SysNo::Socket, vec![1]),
+        ] {
+            let seq = dispatch_simple(&mut inst, 0, no, &args, &mut call_rng);
+            assert!(seq.error.is_none(), "seed {seed:#x}: setup {no:?} failed");
+        }
+        // Send until backpressure. The ring has 256 descriptors and the
+        // receive buffer 256 KiB, and nothing drains either, so EAGAIN
+        // must arrive within a bounded number of sends.
+        let mut saw_eagain = false;
+        for i in 0..300 {
+            let len = rng.gen_range(4_096u64..65_536);
+            let seq = dispatch_simple(&mut inst, 0, SysNo::Sendto, &[1, len, port], &mut call_rng);
+            invariant(&inst, "after send");
+            match seq.error {
+                None => {}
+                Some(Errno::EAGAIN) => {
+                    saw_eagain = true;
+                    break;
+                }
+                Some(e) => panic!("seed {seed:#x}: unexpected send error {e:?} at {i}"),
+            }
+        }
+        assert!(saw_eagain, "seed {seed:#x}: full buffers never pushed back");
+        assert!(
+            inst.state.net.buffered_bytes() <= inst.cost.sock_buf_bytes,
+            "seed {seed:#x}: receive buffer exceeded its bound"
+        );
+        // Drain the receiver; every buffered byte comes back exactly once.
+        for _ in 0..300 {
+            let seq =
+                dispatch_simple(&mut inst, 0, SysNo::Recvfrom, &[0, 60_000], &mut call_rng);
+            invariant(&inst, "after recv");
+            if seq.error == Some(Errno::EAGAIN) {
+                break;
+            }
+            assert!(seq.error.is_none(), "seed {seed:#x}: recv failed");
+        }
+        assert_eq!(
+            inst.state.net.buffered_bytes(),
+            0,
+            "seed {seed:#x}: drain left bytes behind"
+        );
+        // Shutdown flushes any remainder and keeps the ledger balanced.
+        for sel in [0u64, 1] {
+            dispatch_simple(&mut inst, 0, SysNo::ShutdownSock, &[sel], &mut call_rng);
+        }
+        invariant(&inst, "after shutdown");
+        assert_eq!(
+            inst.state.net.sent_bytes,
+            inst.state.net.recv_bytes + inst.state.net.flushed_bytes,
+            "seed {seed:#x}: final ledger unbalanced"
+        );
+    });
+}
+
 /// Coverage merging is idempotent and commutative on random sets.
 #[test]
 fn coverage_merge_laws() {
