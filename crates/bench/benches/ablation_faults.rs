@@ -131,6 +131,7 @@ fn main() {
             sync: true,
             seed: 13,
             max_events: 0,
+            trace: false,
         },
         &base,
         |engine| engine.set_fault_plan(plan),

@@ -27,6 +27,7 @@ fn trial(corpus: &ksa_kernel::prog::Corpus, kind: EnvKind) -> RunResult {
             sync: true,
             seed: 17,
             max_events: 0,
+            trace: false,
         },
         corpus,
     )

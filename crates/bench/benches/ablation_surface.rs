@@ -34,6 +34,7 @@ fn main() {
                     sync: true,
                     seed: 5,
                     max_events: 0,
+                    trace: false,
                 },
                 &corpus,
             )
@@ -48,6 +49,7 @@ fn main() {
                 sync: true,
                 seed: 5,
                 max_events: 0,
+                trace: false,
             },
             &corpus,
         )

@@ -26,6 +26,7 @@ fn main() {
                     sync,
                     seed: 3,
                     max_events: 0,
+                    trace: false,
                 },
                 &corpus,
             )
@@ -42,6 +43,7 @@ fn main() {
                 sync,
                 seed: 3,
                 max_events: 0,
+                trace: false,
             },
             &corpus,
         )

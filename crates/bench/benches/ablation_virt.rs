@@ -23,6 +23,7 @@ fn measure(free_hypervisor: bool, corpus: &ksa_kernel::prog::Corpus) -> RunResul
             sync: true,
             seed: 9,
             max_events: 0,
+            trace: false,
         },
         corpus,
         |engine| {

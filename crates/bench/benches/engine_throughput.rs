@@ -54,6 +54,7 @@ fn main() {
                         sync: true,
                         seed: 1,
                         max_events: 0,
+                        trace: false,
                     },
                     &corpus,
                 )

@@ -18,6 +18,7 @@ fn main() {
                 requests: 400,
                 warmup: 50,
                 util_pct: 10, // low load: sojourn ~= service demand
+                trace: false,
                 seed: 5,
             };
             let res = run_single_node(&app, &cfg, &noise);

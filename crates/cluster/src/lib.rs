@@ -59,6 +59,7 @@ impl ClusterConfig {
                 // servers near capacity, so service-time inflation from
                 // kernel interference directly becomes drain time.
                 util_pct: 92,
+                trace: false,
                 seed,
             },
             barrier_ns: 40_000, // ~40µs allreduce on a cluster fabric
@@ -83,6 +84,7 @@ impl ClusterConfig {
                 requests: 0,
                 warmup: 0,
                 util_pct: 92,
+                trace: false,
                 seed,
             },
             barrier_ns: 40_000,

@@ -222,6 +222,7 @@ pub fn table2(corpus: &Corpus, scale: Scale, seed: u64) -> Table2Result {
                 sync: true,
                 seed,
                 max_events: 0,
+                trace: false,
             },
             corpus,
         )
@@ -270,6 +271,7 @@ pub fn fig2(corpus: &Corpus, scale: Scale, seed: u64) -> Fig2Result {
             sync: true,
             seed,
             max_events: 0,
+            trace: false,
         },
         corpus,
     )
@@ -290,6 +292,7 @@ pub fn fig2(corpus: &Corpus, scale: Scale, seed: u64) -> Fig2Result {
                 sync: true,
                 seed,
                 max_events: 0,
+                trace: false,
             },
             corpus,
         )
@@ -341,6 +344,7 @@ pub fn table3(corpus: &Corpus, scale: Scale, seed: u64) -> BucketTable {
                 sync: true,
                 seed,
                 max_events: 0,
+                trace: false,
             },
             corpus,
         )
@@ -439,6 +443,7 @@ pub fn fig3(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig3Row> {
         requests: scale.requests(),
         warmup: (scale.requests() / 10) as usize,
         util_pct: 75,
+        trace: false,
         seed,
     };
     let reps = match scale {
@@ -516,6 +521,7 @@ pub fn fig4(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig4Row> {
             requests: 0,
             warmup: 0,
             util_pct: 92,
+            trace: false,
             seed,
         },
         barrier_ns: 40_000,

@@ -1,6 +1,30 @@
 //! Simulated CPU cores.
 
+use std::collections::VecDeque;
+
 use crate::time::{Ns, MS, US};
+
+/// Classification of charged core occupancy, used to attribute a
+/// queued process's run-queue wait to *who* was occupying the core:
+/// other application work, softirq polling, housekeeping daemons, or
+/// stolen interrupt-handler time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum OccClass {
+    /// Application / workload compute.
+    User = 0,
+    /// Softirq-context compute (NAPI polling).
+    Softirq = 1,
+    /// Housekeeping-daemon compute.
+    Daemon = 2,
+    /// Interrupt-handler time injected via [`CoreState::steal`].
+    Irq = 3,
+}
+
+impl OccClass {
+    /// Number of occupancy classes.
+    pub const COUNT: usize = 4;
+}
 
 /// Identifier of a simulated hardware thread within one engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,6 +74,11 @@ pub struct CoreState {
     /// Total CPU time stolen from this core by interrupt handlers — kept
     /// for diagnostics ("OS noise" accounting).
     pub stolen: Ns,
+    /// Recent charged-occupancy intervals `(start, end, class)`, ordered
+    /// and non-overlapping. Consumed by [`CoreState::queue_breakdown`] to
+    /// attribute run-queue waits; intervals entirely in the past are
+    /// pruned on each charge.
+    segments: VecDeque<(Ns, Ns, OccClass)>,
 }
 
 impl CoreState {
@@ -61,17 +90,32 @@ impl CoreState {
             irq_depth: 0,
             deferred_acks: Vec::new(),
             stolen: 0,
+            segments: VecDeque::new(),
         }
     }
 
-    /// Charges `work` ns of compute starting no earlier than `now`; returns
-    /// the completion time. Adds timer-tick overhead proportional to the
-    /// wall time spent computing.
-    pub fn charge_compute(&mut self, now: Ns, work: Ns) -> Ns {
+    fn push_segment(&mut self, now: Ns, start: Ns, end: Ns, class: OccClass) {
+        while let Some(&(_, e, _)) = self.segments.front() {
+            if e <= now {
+                self.segments.pop_front();
+            } else {
+                break;
+            }
+        }
+        if end > start {
+            self.segments.push_back((start, end, class));
+        }
+    }
+
+    /// Charges `work` ns of `class`-occupancy compute starting no earlier
+    /// than `now`; returns the completion time. Adds timer-tick overhead
+    /// proportional to the wall time spent computing.
+    pub fn charge_compute(&mut self, now: Ns, work: Ns, class: OccClass) -> Ns {
         let start = self.free_at.max(now);
         let ticks = work.checked_div(self.cfg.tick_period).unwrap_or(0);
         let end = start + work + ticks * self.cfg.tick_cost;
         self.free_at = end;
+        self.push_segment(now, start, end, class);
         end
     }
 
@@ -81,9 +125,35 @@ impl CoreState {
     /// what turns concurrent TLB-shootdown broadcasts into storms.
     pub fn steal(&mut self, now: Ns, ns: Ns) -> Ns {
         let start = self.free_at.max(now);
-        self.free_at = start + ns;
+        let end = start + ns;
+        self.free_at = end;
         self.stolen += ns;
-        self.free_at
+        self.push_segment(now, start, end, OccClass::Irq);
+        end
+    }
+
+    /// Decomposes the queue window `[now, free_at)` — the wait a process
+    /// charging compute at `now` would experience — by occupancy class.
+    /// The window is always fully tiled by retained segments: the core's
+    /// `free_at` only advances through charges, each of which records its
+    /// interval, and idle gaps necessarily end at or before `now` (a gap
+    /// is created by a charge arriving at a clock value ≤ `now` whose
+    /// start equals its arrival time). Returns per-class totals indexed
+    /// by `OccClass as usize`.
+    pub fn queue_breakdown(&self, now: Ns) -> [Ns; OccClass::COUNT] {
+        let mut out = [0; OccClass::COUNT];
+        for &(s, e, c) in &self.segments {
+            let lo = s.max(now);
+            if e > lo {
+                out[c as usize] += e - lo;
+            }
+        }
+        debug_assert_eq!(
+            out.iter().sum::<Ns>(),
+            self.free_at.saturating_sub(now),
+            "occupancy segments must tile the queue window"
+        );
+        out
     }
 }
 
@@ -97,13 +167,13 @@ mod tests {
             tick_period: MS,
             tick_cost: 0,
         });
-        let e1 = c.charge_compute(0, 100);
+        let e1 = c.charge_compute(0, 100, OccClass::User);
         assert_eq!(e1, 100);
         // Second request at t=50 queues behind the first.
-        let e2 = c.charge_compute(50, 100);
+        let e2 = c.charge_compute(50, 100, OccClass::User);
         assert_eq!(e2, 200);
         // Request after the core went idle starts immediately.
-        let e3 = c.charge_compute(500, 10);
+        let e3 = c.charge_compute(500, 10, OccClass::User);
         assert_eq!(e3, 510);
     }
 
@@ -114,7 +184,7 @@ mod tests {
             tick_cost: 10 * US,
         });
         // 5 ms of work crosses 5 tick boundaries -> +50us.
-        let end = c.charge_compute(0, 5 * MS);
+        let end = c.charge_compute(0, 5 * MS, OccClass::User);
         assert_eq!(end, 5 * MS + 50 * US);
     }
 
@@ -124,7 +194,7 @@ mod tests {
         c.steal(100, 40);
         assert_eq!(c.free_at, 140);
         assert_eq!(c.stolen, 40);
-        let end = c.charge_compute(100, 10);
+        let end = c.charge_compute(100, 10, OccClass::User);
         assert_eq!(end, 150, "compute queues behind stolen time");
     }
 
@@ -134,6 +204,48 @@ mod tests {
             tick_period: 0,
             tick_cost: 10,
         });
-        assert_eq!(c.charge_compute(0, 1000), 1000);
+        assert_eq!(c.charge_compute(0, 1000, OccClass::User), 1000);
+    }
+
+    #[test]
+    fn queue_breakdown_attributes_by_occupant_class() {
+        let mut c = CoreState::new(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        c.charge_compute(0, 100, OccClass::User); // [0, 100)
+        c.charge_compute(0, 50, OccClass::Softirq); // [100, 150)
+        c.steal(0, 30); // [150, 180)
+        c.charge_compute(0, 20, OccClass::Daemon); // [180, 200)
+        // A process arriving at t=120 waits until t=200.
+        let parts = c.queue_breakdown(120);
+        assert_eq!(parts[OccClass::User as usize], 0, "user work already past");
+        assert_eq!(parts[OccClass::Softirq as usize], 30);
+        assert_eq!(parts[OccClass::Irq as usize], 30);
+        assert_eq!(parts[OccClass::Daemon as usize], 20);
+        assert_eq!(parts.iter().sum::<Ns>(), 80);
+    }
+
+    #[test]
+    fn queue_breakdown_empty_window_is_zero() {
+        let mut c = CoreState::new(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        c.charge_compute(0, 100, OccClass::User);
+        assert_eq!(c.queue_breakdown(500), [0; OccClass::COUNT]);
+    }
+
+    #[test]
+    fn stale_segments_are_pruned_on_charge() {
+        let mut c = CoreState::new(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        for i in 0..10 {
+            c.charge_compute(i * 1000, 10, OccClass::User);
+        }
+        // Each charge found the core idle, so earlier segments are pruned.
+        assert!(c.segments.len() <= 1, "kept {} segments", c.segments.len());
     }
 }

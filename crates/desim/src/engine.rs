@@ -6,12 +6,16 @@ use std::collections::{BinaryHeap, HashMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::cpu::{CoreConfig, CoreId, CoreState};
+use crate::cpu::{CoreConfig, CoreId, CoreState, OccClass};
 use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::iodev::{DevId, DeviceModel, DeviceState};
-use crate::lock::{LockId, LockKind, LockMode, LockState};
+use crate::lock::{LockId, LockKind, LockMode, LockState, WAIT_HIST_BUCKETS};
 use crate::process::{Effect, Pid, Process, WakeReason};
 use crate::time::{Ns, US};
+use crate::trace::{
+    LatBreakdown, LatComp, LatSnapshot, ProcKind, TraceConfig, TraceEvent, TraceEventKind,
+    TraceLog, TraceRing,
+};
 
 /// Identifier of a wait queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -205,6 +209,17 @@ pub struct EngineState {
     proc_core: Vec<CoreId>,
     proc_daemon: Vec<bool>,
     live_users: usize,
+    proc_kind: Vec<ProcKind>,
+    /// Per-pid cumulative latency components (always on; pure
+    /// bookkeeping, never alters timing or RNG draws).
+    lat: Vec<LatBreakdown>,
+    /// Per-pid cumulative lock wait per label, in first-contended order.
+    lock_waits: Vec<Vec<(&'static str, Ns)>>,
+    /// Per-pid timestamp of the last unknown-duration block (lock, IPI,
+    /// barrier, wait queue); settled against the clock at resume.
+    blocked_since: Vec<Ns>,
+    trace_cfg: TraceConfig,
+    trace: TraceLog,
 }
 
 impl EngineState {
@@ -219,21 +234,74 @@ impl EngineState {
         self.schedule(t, EventKind::Wake(pid, reason));
     }
 
+    #[inline]
+    fn trace_on(&self) -> bool {
+        self.trace_cfg.enabled
+    }
+
+    /// Appends a trace event to the ring of `pid`'s core. Purely
+    /// observational: touches no clock, RNG or scheduling state.
+    fn trace_push(&mut self, pid: Pid, kind: TraceEventKind) {
+        let core = self.proc_core[pid.index()];
+        while self.trace.rings.len() <= core.index() {
+            self.trace
+                .rings
+                .push(TraceRing::new(self.trace_cfg.ring_capacity));
+        }
+        self.trace.rings[core.index()].push(TraceEvent {
+            t: self.clock,
+            pid,
+            core,
+            kind,
+        });
+    }
+
+    /// Accumulates `ns` of lock wait for `pid` under `label`.
+    fn add_lock_wait(&mut self, pid: Pid, label: &'static str, ns: Ns) {
+        let waits = &mut self.lock_waits[pid.index()];
+        if let Some(entry) = waits.iter_mut().find(|e| e.0 == label) {
+            entry.1 += ns;
+        } else {
+            waits.push((label, ns));
+        }
+    }
+
     /// Grants released-lock waiters: bookkeeping plus wake events.
-    fn grant(&mut self, lock: LockId, granted: Vec<(Pid, LockMode)>) {
+    fn grant(&mut self, lock: LockId, granted: Vec<(Pid, LockMode, Ns)>) {
         let kind = self.locks[lock.index()].kind;
+        let label = self.locks[lock.index()].label;
         let delay = match kind {
             LockKind::Spin => self.params.spin_handoff,
             LockKind::Mutex | LockKind::RwLock => {
                 self.params.spin_handoff + self.params.sched_wakeup
             }
         };
-        for (pid, _mode) in granted {
+        for (pid, mode, since) in granted {
             if kind == LockKind::Spin {
                 let core = self.proc_core[pid.index()];
                 self.cores[core.index()].irq_depth += 1;
             }
             let t = self.clock + delay;
+            // The waiter owns the lock from its wake time onward; its
+            // wait ran from enqueue to that wake (handoff included).
+            let wait = t - since;
+            let l = &mut self.locks[lock.index()];
+            l.record_wait(wait);
+            if mode == LockMode::Exclusive {
+                l.held_since = t;
+            }
+            self.add_lock_wait(pid, label, wait);
+            if self.trace_on() {
+                self.trace_push(
+                    pid,
+                    TraceEventKind::LockAcquired {
+                        lock,
+                        label,
+                        wait_ns: wait,
+                        contended: true,
+                    },
+                );
+            }
             self.wake_at(t, pid, WakeReason::LockGranted(lock));
         }
     }
@@ -242,6 +310,14 @@ impl EngineState {
     /// flushing IPI acknowledgements deferred by a spin section.
     fn do_release(&mut self, pid: Pid, lock: LockId) {
         let kind = self.locks[lock.index()].kind;
+        if self.trace_on() {
+            let l = &self.locks[lock.index()];
+            if l.holder == crate::lock::Holder::Exclusive(pid) {
+                let held_ns = self.clock.saturating_sub(l.held_since);
+                let label = l.label;
+                self.trace_push(pid, TraceEventKind::LockReleased { lock, label, held_ns });
+            }
+        }
         if kind == LockKind::Spin {
             let core = self.proc_core[pid.index()];
             let cs = &mut self.cores[core.index()];
@@ -339,7 +415,41 @@ impl<'a, W> SimCtx<'a, W> {
     /// Registers a hit of `(kind, site)` and asks the fault plan whether
     /// this hit should fail. Convenience over [`SimCtx::faults`].
     pub fn should_fail(&mut self, kind: FaultKind, site: &str) -> bool {
-        self.st.faults.should_fail(kind, site)
+        let fail = self.st.faults.should_fail(kind, site);
+        if fail && self.st.trace_on() {
+            let pid = self.pid;
+            let site = site.to_string();
+            self.st
+                .trace_push(pid, TraceEventKind::FaultInjected { kind, site });
+        }
+        fail
+    }
+
+    /// True when trace-event recording is enabled. Use to skip building
+    /// event payloads that would otherwise allocate.
+    pub fn trace_enabled(&self) -> bool {
+        self.st.trace_on()
+    }
+
+    /// Records a trace event on this process's core ring (no-op when
+    /// tracing is disabled). Kernel layers use this for syscall and
+    /// VM-exit marks the engine cannot see.
+    pub fn trace_mark(&mut self, kind: TraceEventKind) {
+        if self.st.trace_on() {
+            let pid = self.pid;
+            self.st.trace_push(pid, kind);
+        }
+    }
+
+    /// A consistent snapshot of this process's cumulative latency
+    /// components and per-label lock waits. Two snapshots bracketing a
+    /// stretch of work decompose exactly the virtual time elapsed
+    /// between them ([`LatBreakdown::since`]).
+    pub fn lat_snapshot(&self) -> LatSnapshot {
+        LatSnapshot {
+            comps: self.st.lat[self.pid.index()],
+            lock_waits: self.st.lock_waits[self.pid.index()].clone(),
+        }
     }
 
     /// Splits the context into the world and the fault state, so code that
@@ -387,6 +497,12 @@ impl<W> Engine<W> {
                 proc_core: Vec::new(),
                 proc_daemon: Vec::new(),
                 live_users: 0,
+                proc_kind: Vec::new(),
+                lat: Vec::new(),
+                lock_waits: Vec::new(),
+                blocked_since: Vec::new(),
+                trace_cfg: TraceConfig::disabled(),
+                trace: TraceLog::default(),
             },
             procs: Vec::new(),
             world,
@@ -446,6 +562,7 @@ impl<W> Engine<W> {
         assert!(core.index() < self.st.cores.len(), "unknown core");
         let pid = Pid(self.procs.len() as u32);
         let daemon = proc.is_daemon();
+        let kind = proc.kind();
         self.procs.push(ProcSlot {
             proc: Some(proc),
             done: false,
@@ -453,6 +570,10 @@ impl<W> Engine<W> {
         });
         self.st.proc_core.push(core);
         self.st.proc_daemon.push(daemon);
+        self.st.proc_kind.push(kind);
+        self.st.lat.push(LatBreakdown::default());
+        self.st.lock_waits.push(Vec::new());
+        self.st.blocked_since.push(0);
         if !daemon {
             self.st.live_users += 1;
         }
@@ -498,6 +619,68 @@ impl<W> Engine<W> {
             .locks
             .iter()
             .map(|l| (l.label, l.acquisitions, l.contended))
+    }
+
+    /// `(total_wait_ns, max_wait_ns)` for a lock (contended waits only).
+    pub fn lock_wait_stats(&self, lock: LockId) -> (Ns, Ns) {
+        let l = &self.st.locks[lock.index()];
+        (l.total_wait_ns, l.max_wait_ns)
+    }
+
+    /// Iterates `(label, acquisitions, contended, total_wait_ns,
+    /// max_wait_ns, wait_hist)` over every registered lock — the lockstat
+    /// analogue's raw material (durations, not just rates).
+    #[allow(clippy::type_complexity)]
+    pub fn all_lock_wait_stats(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, u64, u64, Ns, Ns, &[u64; WAIT_HIST_BUCKETS])> + '_
+    {
+        self.st.locks.iter().map(|l| {
+            (
+                l.label,
+                l.acquisitions,
+                l.contended,
+                l.total_wait_ns,
+                l.max_wait_ns,
+                &l.wait_hist,
+            )
+        })
+    }
+
+    /// A process's cumulative latency components.
+    pub fn lat_breakdown(&self, pid: Pid) -> LatBreakdown {
+        self.st.lat[pid.index()]
+    }
+
+    /// A process's cumulative per-label lock waits.
+    pub fn proc_lock_waits(&self, pid: Pid) -> &[(&'static str, Ns)] {
+        &self.st.lock_waits[pid.index()]
+    }
+
+    /// Installs a tracing configuration and resets any previously
+    /// recorded trace. With tracing disabled (the default) no events are
+    /// recorded; either way, simulated results are bit-identical —
+    /// recording is purely observational.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.st.trace_cfg = cfg;
+        self.st.trace = TraceLog {
+            enabled: cfg.enabled,
+            rings: Vec::new(),
+        };
+    }
+
+    /// The trace recorded so far.
+    pub fn trace_log(&self) -> &TraceLog {
+        &self.st.trace
+    }
+
+    /// Takes ownership of the recorded trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> TraceLog {
+        let enabled = self.st.trace_cfg.enabled;
+        let mut taken = std::mem::take(&mut self.st.trace);
+        taken.enabled = enabled;
+        self.st.trace.enabled = enabled;
+        taken
     }
 
     /// Installs a fault plan, clearing any previous hit counters. Call
@@ -605,6 +788,24 @@ impl<W> Engine<W> {
         if self.procs[pid.index()].done {
             return;
         }
+        // Settle unknown-duration blocks now that the wake time is known.
+        // (Timer, I/O and RCU waits were settled when the effect was
+        // issued, because their end time was already known then.)
+        let settle = match wake {
+            WakeReason::LockGranted(_) => Some(LatComp::LockWait),
+            WakeReason::IpiDone => Some(LatComp::IpiWait),
+            WakeReason::BarrierReleased => Some(LatComp::BarrierWait),
+            WakeReason::Signaled(_) => Some(LatComp::QueueWait),
+            _ => None,
+        };
+        if let Some(comp) = settle {
+            let dt = self.st.clock - self.st.blocked_since[pid.index()];
+            self.st.lat[pid.index()].add(comp, dt);
+        }
+        if self.st.trace_on() {
+            self.st
+                .trace_push(pid, TraceEventKind::Wake { reason: wake.tag() });
+        }
         let mut proc = self.procs[pid.index()]
             .proc
             .take()
@@ -623,12 +824,51 @@ impl<W> Engine<W> {
             let now = st.clock;
             match effect {
                 Effect::Delay(n) => {
-                    let end = st.cores[core.index()].charge_compute(now, n);
+                    let class = match st.proc_kind[pid.index()] {
+                        ProcKind::User => OccClass::User,
+                        ProcKind::Softirq => OccClass::Softirq,
+                        ProcKind::Daemon => OccClass::Daemon,
+                    };
+                    let (queued, ticks, tick_cost, end) = {
+                        let cs = &mut st.cores[core.index()];
+                        let queued = if cs.free_at > now {
+                            cs.queue_breakdown(now)
+                        } else {
+                            [0; OccClass::COUNT]
+                        };
+                        let ticks = n.checked_div(cs.cfg.tick_period).unwrap_or(0);
+                        let tick_cost = ticks * cs.cfg.tick_cost;
+                        let end = cs.charge_compute(now, n, class);
+                        (queued, ticks, tick_cost, end)
+                    };
+                    let lat = &mut st.lat[pid.index()];
+                    lat.add(LatComp::OnCpu, n);
+                    lat.add(LatComp::TickIrq, tick_cost);
+                    lat.add(LatComp::RunqWait, queued[OccClass::User as usize]);
+                    lat.add(LatComp::SoftirqWait, queued[OccClass::Softirq as usize]);
+                    lat.add(LatComp::DaemonWait, queued[OccClass::Daemon as usize]);
+                    lat.add(LatComp::IrqWait, queued[OccClass::Irq as usize]);
+                    if st.trace_on() {
+                        if ticks > 0 {
+                            st.trace_push(
+                                pid,
+                                TraceEventKind::TimerTicks {
+                                    n: ticks,
+                                    cost_ns: tick_cost,
+                                },
+                            );
+                        }
+                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::OnCpu });
+                    }
                     st.wake_at(end, pid, WakeReason::Timer);
                     self.procs[pid.index()].blocked_on = "delay";
                     break;
                 }
                 Effect::Sleep(n) => {
+                    st.lat[pid.index()].add(LatComp::Sleep, n);
+                    if st.trace_on() {
+                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::Sleep });
+                    }
                     st.wake_at(now + n, pid, WakeReason::Timer);
                     self.procs[pid.index()].blocked_on = "sleep";
                     break;
@@ -638,10 +878,31 @@ impl<W> Engine<W> {
                         if st.locks[lock.index()].kind == LockKind::Spin {
                             st.cores[core.index()].irq_depth += 1;
                         }
+                        if mode == LockMode::Exclusive {
+                            st.locks[lock.index()].held_since = now;
+                        }
+                        if st.trace_on() {
+                            let label = st.locks[lock.index()].label;
+                            st.trace_push(
+                                pid,
+                                TraceEventKind::LockAcquired {
+                                    lock,
+                                    label,
+                                    wait_ns: 0,
+                                    contended: false,
+                                },
+                            );
+                        }
                         wake = WakeReason::LockGranted(lock);
                         continue;
                     }
-                    st.locks[lock.index()].enqueue(pid, mode);
+                    st.locks[lock.index()].enqueue(pid, mode, now);
+                    st.blocked_since[pid.index()] = now;
+                    if st.trace_on() {
+                        let label = st.locks[lock.index()].label;
+                        st.trace_push(pid, TraceEventKind::LockContend { lock, label });
+                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::LockWait });
+                    }
                     self.procs[pid.index()].blocked_on = st.locks[lock.index()].label;
                     break;
                 }
@@ -652,6 +913,17 @@ impl<W> Engine<W> {
                     if targets.is_empty() {
                         wake = WakeReason::IpiDone;
                         continue;
+                    }
+                    st.blocked_since[pid.index()] = now;
+                    if st.trace_on() {
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::IpiBroadcast {
+                                targets: targets.len() as u32,
+                                handler_ns,
+                            },
+                        );
+                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::IpiWait });
                     }
                     let token = st.next_ipi;
                     st.next_ipi += 1;
@@ -684,6 +956,17 @@ impl<W> Engine<W> {
                         st.rng.gen_range(0..jitter_max)
                     };
                     let done = st.devices[dev.index()].submit(now, bytes, jitter);
+                    st.lat[pid.index()].add(LatComp::IoWait, done - now);
+                    if st.trace_on() {
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::IoSubmit {
+                                bytes,
+                                dur_ns: done - now,
+                            },
+                        );
+                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::IoWait });
+                    }
                     st.wake_at(done, pid, WakeReason::IoDone);
                     self.procs[pid.index()].blocked_on = "io";
                     break;
@@ -694,6 +977,15 @@ impl<W> Engine<W> {
                         bs.waiting.push(pid);
                         bs.waiting.len() as u32 == bs.size
                     };
+                    st.blocked_since[pid.index()] = now;
+                    if st.trace_on() {
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::Block {
+                                comp: LatComp::BarrierWait,
+                            },
+                        );
+                    }
                     if full {
                         let release = now + st.params.barrier_release;
                         let waiters =
@@ -707,6 +999,15 @@ impl<W> Engine<W> {
                 }
                 Effect::Wait(q) => {
                     st.queues[q.0 as usize].waiting.push_back(pid);
+                    st.blocked_since[pid.index()] = now;
+                    if st.trace_on() {
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::Block {
+                                comp: LatComp::QueueWait,
+                            },
+                        );
+                    }
                     self.procs[pid.index()].blocked_on = "queue";
                     break;
                 }
@@ -719,6 +1020,11 @@ impl<W> Engine<W> {
                     } else {
                         st.rng.gen_range(0..st.params.rcu_jitter)
                     };
+                    st.lat[pid.index()].add(LatComp::RcuWait, gp + jitter);
+                    if st.trace_on() {
+                        st.trace_push(pid, TraceEventKind::RcuSync { dur_ns: gp + jitter });
+                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::RcuWait });
+                    }
                     st.wake_at(now + gp + jitter, pid, WakeReason::RcuDone);
                     self.procs[pid.index()].blocked_on = "rcu";
                     break;
@@ -1321,6 +1627,132 @@ mod tests {
         // Engine stops when the user process finishes, not at the daemon's
         // endless sleeps.
         assert!(res.clock >= 10_000 && res.clock < 20_000, "clock={}", res.clock);
+    }
+
+    #[test]
+    fn lock_wait_durations_are_accounted() {
+        let params = EngineParams::default();
+        let mut eng = engine();
+        let c0 = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let c1 = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let l = eng.add_lock(LockKind::Spin, "test");
+        eng.spawn(
+            c0,
+            Box::new(
+                Scripted::new(vec![
+                    Effect::Acquire(l, LockMode::Exclusive),
+                    Effect::Delay(1000),
+                ])
+                .with_release(2, l),
+            ),
+            0,
+        );
+        let waiter = eng.spawn(
+            c1,
+            Box::new(
+                Scripted::new(vec![
+                    Effect::Acquire(l, LockMode::Exclusive),
+                    Effect::Delay(10),
+                ])
+                .with_release(2, l),
+            ),
+            10,
+        );
+        eng.run().unwrap();
+        // Waiter enqueued at t=10, granted wake at t=1000+handoff.
+        let expected = 1000 + params.spin_handoff - 10;
+        let (total, max) = eng.lock_wait_stats(l);
+        assert_eq!(total, expected);
+        assert_eq!(max, expected);
+        assert_eq!(eng.lat_breakdown(waiter).get(LatComp::LockWait), expected);
+        assert_eq!(eng.proc_lock_waits(waiter), &[("test", expected)]);
+        let (_, _, contended, total_w, _, hist) =
+            eng.all_lock_wait_stats().next().unwrap();
+        assert_eq!(contended, 1);
+        assert_eq!(total_w, expected);
+        assert_eq!(hist.iter().sum::<u64>(), 1, "one contended acquisition");
+    }
+
+    #[test]
+    fn breakdown_components_tile_elapsed_time() {
+        // Two processes on one core: P2's breakdown must decompose its
+        // entire lifetime (runq wait behind P1 + own work + sleep).
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let p1 = eng.spawn(c, Box::new(Scripted::new(vec![Effect::Delay(100)])), 0);
+        let probe = std::rc::Rc::new(std::cell::Cell::new(0));
+        let p2 = eng.spawn(
+            c,
+            Box::new(
+                Scripted::new(vec![Effect::Delay(50), Effect::Sleep(30)])
+                    .with_finish_probe(probe.clone()),
+            ),
+            0,
+        );
+        eng.run().unwrap();
+        assert_eq!(probe.get(), 180);
+        let b1 = eng.lat_breakdown(p1);
+        assert_eq!(b1.get(LatComp::OnCpu), 100);
+        assert_eq!(b1.total(), 100);
+        let b2 = eng.lat_breakdown(p2);
+        assert_eq!(b2.get(LatComp::RunqWait), 100, "queued behind p1");
+        assert_eq!(b2.get(LatComp::OnCpu), 50);
+        assert_eq!(b2.get(LatComp::Sleep), 30);
+        assert_eq!(b2.total(), 180, "components sum to lifetime");
+    }
+
+    #[test]
+    fn tracing_records_events_without_changing_results() {
+        fn run_once(trace: bool) -> (Ns, usize, u64) {
+            let mut eng = Engine::new((), EngineParams::default(), 7);
+            if trace {
+                eng.set_trace(TraceConfig::enabled());
+            }
+            let c = eng.add_core(CoreConfig::default());
+            let dev = eng.add_device(DeviceModel::nvme_ssd());
+            let mut script = Vec::new();
+            for _ in 0..10 {
+                script.push(Effect::Io { dev, bytes: 4096 });
+                script.push(Effect::Delay(500));
+            }
+            eng.spawn(c, Box::new(Scripted::new(script)), 0);
+            let clock = eng.run().unwrap().clock;
+            let log = eng.take_trace();
+            (clock, log.total_events(), log.total_dropped())
+        }
+        let (t_off, ev_off, _) = run_once(false);
+        let (t_on, ev_on, dropped) = run_once(true);
+        assert_eq!(t_off, t_on, "tracing must not perturb the simulation");
+        assert_eq!(ev_off, 0, "disabled tracing records nothing");
+        assert!(ev_on > 0, "enabled tracing records events");
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn trace_ring_overflow_keeps_newest() {
+        let mut eng = engine();
+        eng.set_trace(TraceConfig::with_capacity(8));
+        let c = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        let script = vec![Effect::Delay(10); 100];
+        eng.spawn(c, Box::new(Scripted::new(script)), 0);
+        eng.run().unwrap();
+        let log = eng.take_trace();
+        assert_eq!(log.rings[0].len(), 8);
+        assert!(log.total_dropped() > 0);
+        let last = log.merged().last().unwrap().t;
+        assert_eq!(last, 1000, "newest events survive overflow");
     }
 
     #[test]

@@ -50,14 +50,19 @@ pub mod lock;
 pub mod netdev;
 pub mod process;
 pub mod time;
+pub mod trace;
 
-pub use cpu::{CoreConfig, CoreId, CoreState};
+pub use cpu::{CoreConfig, CoreId, CoreState, OccClass};
 pub use engine::{
     BarrierId, Engine, EngineParams, QueueId, RcuId, Record, SimCtx, SimError, SimResult,
 };
 pub use fault::{FaultKind, FaultPlan, FaultSchedule, FaultState, InjectedFault};
 pub use iodev::{DevId, DeviceModel};
-pub use lock::{LockId, LockKind, LockMode};
+pub use lock::{LockId, LockKind, LockMode, WAIT_HIST_BUCKETS};
 pub use netdev::{NicModel, NicState};
 pub use process::{Effect, Pid, Process, WakeReason};
 pub use time::{Ns, MS, SEC, US};
+pub use trace::{
+    LatBreakdown, LatComp, LatSnapshot, ProcKind, TraceConfig, TraceEvent, TraceEventKind,
+    TraceLog, TraceRing,
+};

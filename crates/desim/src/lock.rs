@@ -3,6 +3,10 @@
 use std::collections::VecDeque;
 
 use crate::process::Pid;
+use crate::time::Ns;
+
+/// Number of log2 buckets in a per-lock wait-time histogram.
+pub const WAIT_HIST_BUCKETS: usize = 64;
 
 /// Identifier of a simulated lock within one engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,14 +65,26 @@ pub struct LockState {
     pub kind: LockKind,
     /// Current holder(s).
     pub holder: Holder,
-    /// FIFO queue of waiters.
-    pub waiters: VecDeque<(Pid, LockMode)>,
+    /// FIFO queue of waiters: `(pid, mode, enqueue time)`. The enqueue
+    /// timestamp is what turns contention *counts* into wait *durations*
+    /// (the lockstat analogue).
+    pub waiters: VecDeque<(Pid, LockMode, Ns)>,
     /// Debug label for stall diagnostics.
     pub label: &'static str,
     /// Total number of acquisitions (contention accounting).
     pub acquisitions: u64,
     /// Number of acquisitions that had to wait.
     pub contended: u64,
+    /// Total enqueue → grant wait across all contended acquisitions.
+    pub total_wait_ns: Ns,
+    /// Longest single enqueue → grant wait.
+    pub max_wait_ns: Ns,
+    /// Log2 histogram of contended waits: bucket `b` counts waits with
+    /// `floor(log2(ns)) == b` (bucket 0 also holds zero-ns waits).
+    pub wait_hist: [u64; WAIT_HIST_BUCKETS],
+    /// When the current exclusive holder took ownership (hold-time
+    /// tracing; meaningless while free or reader-held).
+    pub held_since: Ns,
 }
 
 impl LockState {
@@ -81,7 +97,25 @@ impl LockState {
             label,
             acquisitions: 0,
             contended: 0,
+            total_wait_ns: 0,
+            max_wait_ns: 0,
+            wait_hist: [0; WAIT_HIST_BUCKETS],
+            held_since: 0,
         }
+    }
+
+    /// Accounts one contended acquisition's enqueue → grant wait.
+    pub fn record_wait(&mut self, wait: Ns) {
+        self.total_wait_ns += wait;
+        if wait > self.max_wait_ns {
+            self.max_wait_ns = wait;
+        }
+        let bucket = if wait == 0 {
+            0
+        } else {
+            63 - wait.leading_zeros() as usize
+        };
+        self.wait_hist[bucket] += 1;
     }
 
     /// Attempts an immediate acquisition for `pid`. Returns `true` when
@@ -116,9 +150,9 @@ impl LockState {
     }
 
     /// Releases the lock held by `pid` (or one reader reference). Returns
-    /// the set of waiters to grant now: either one exclusive waiter or a
-    /// leading batch of shared waiters.
-    pub fn release(&mut self, pid: Pid) -> Vec<(Pid, LockMode)> {
+    /// the set of waiters to grant now — `(pid, mode, enqueue time)` —
+    /// either one exclusive waiter or a leading batch of shared waiters.
+    pub fn release(&mut self, pid: Pid) -> Vec<(Pid, LockMode, Ns)> {
         match &mut self.holder {
             Holder::Exclusive(owner) => {
                 assert_eq!(*owner, pid, "{}: release by non-owner", self.label);
@@ -138,23 +172,23 @@ impl LockState {
     }
 
     /// Pops the waiters that can run now that the lock is free.
-    fn grant_waiters(&mut self) -> Vec<(Pid, LockMode)> {
+    fn grant_waiters(&mut self) -> Vec<(Pid, LockMode, Ns)> {
         let mut granted = Vec::new();
         match self.waiters.front() {
             None => {}
-            Some((_, LockMode::Exclusive)) => {
-                let (p, m) = self.waiters.pop_front().unwrap();
+            Some((_, LockMode::Exclusive, _)) => {
+                let (p, m, since) = self.waiters.pop_front().unwrap();
                 self.holder = Holder::Exclusive(p);
                 self.acquisitions += 1;
-                granted.push((p, m));
+                granted.push((p, m, since));
             }
-            Some((_, LockMode::Shared)) => {
+            Some((_, LockMode::Shared, _)) => {
                 let mut n = 0;
-                while matches!(self.waiters.front(), Some((_, LockMode::Shared))) {
-                    let (p, m) = self.waiters.pop_front().unwrap();
+                while matches!(self.waiters.front(), Some((_, LockMode::Shared, _))) {
+                    let (p, m, since) = self.waiters.pop_front().unwrap();
                     n += 1;
                     self.acquisitions += 1;
-                    granted.push((p, m));
+                    granted.push((p, m, since));
                 }
                 self.holder = Holder::Shared(n);
             }
@@ -162,10 +196,10 @@ impl LockState {
         granted
     }
 
-    /// Enqueues `pid` as a waiter.
-    pub fn enqueue(&mut self, pid: Pid, mode: LockMode) {
+    /// Enqueues `pid` as a waiter arriving at virtual time `now`.
+    pub fn enqueue(&mut self, pid: Pid, mode: LockMode, now: Ns) {
         self.contended += 1;
-        self.waiters.push_back((pid, mode));
+        self.waiters.push_back((pid, mode, now));
     }
 }
 
@@ -182,13 +216,13 @@ mod tests {
         let mut l = LockState::new(LockKind::Spin, "t");
         assert!(l.try_acquire(pid(1), LockMode::Exclusive));
         assert!(!l.try_acquire(pid(2), LockMode::Exclusive));
-        l.enqueue(pid(2), LockMode::Exclusive);
+        l.enqueue(pid(2), LockMode::Exclusive, 10);
         assert!(!l.try_acquire(pid(3), LockMode::Exclusive));
-        l.enqueue(pid(3), LockMode::Exclusive);
+        l.enqueue(pid(3), LockMode::Exclusive, 20);
         let g = l.release(pid(1));
-        assert_eq!(g, vec![(pid(2), LockMode::Exclusive)]);
+        assert_eq!(g, vec![(pid(2), LockMode::Exclusive, 10)]);
         let g = l.release(pid(2));
-        assert_eq!(g, vec![(pid(3), LockMode::Exclusive)]);
+        assert_eq!(g, vec![(pid(3), LockMode::Exclusive, 20)]);
         assert!(l.release(pid(3)).is_empty());
         assert_eq!(l.holder, Holder::Free);
     }
@@ -200,21 +234,21 @@ mod tests {
         assert!(l.try_acquire(pid(2), LockMode::Shared));
         // Writer waits behind 2 readers.
         assert!(!l.try_acquire(pid(3), LockMode::Exclusive));
-        l.enqueue(pid(3), LockMode::Exclusive);
+        l.enqueue(pid(3), LockMode::Exclusive, 5);
         // New reader cannot barge past the queued writer.
         assert!(!l.try_acquire(pid(4), LockMode::Shared));
-        l.enqueue(pid(4), LockMode::Shared);
+        l.enqueue(pid(4), LockMode::Shared, 6);
         assert!(!l.try_acquire(pid(5), LockMode::Shared));
-        l.enqueue(pid(5), LockMode::Shared);
+        l.enqueue(pid(5), LockMode::Shared, 7);
 
         assert!(l.release(pid(1)).is_empty(), "still one reader left");
         let g = l.release(pid(2));
-        assert_eq!(g, vec![(pid(3), LockMode::Exclusive)]);
+        assert_eq!(g, vec![(pid(3), LockMode::Exclusive, 5)]);
         // Writer release grants the reader batch at once.
         let g = l.release(pid(3));
         assert_eq!(
             g,
-            vec![(pid(4), LockMode::Shared), (pid(5), LockMode::Shared)]
+            vec![(pid(4), LockMode::Shared, 6), (pid(5), LockMode::Shared, 7)]
         );
         assert_eq!(l.holder, Holder::Shared(2));
     }
@@ -223,11 +257,33 @@ mod tests {
     fn contention_counters() {
         let mut l = LockState::new(LockKind::Mutex, "m");
         assert!(l.try_acquire(pid(1), LockMode::Exclusive));
-        l.enqueue(pid(2), LockMode::Exclusive);
+        l.enqueue(pid(2), LockMode::Exclusive, 0);
         l.release(pid(1));
         l.release(pid(2));
         assert_eq!(l.acquisitions, 2);
         assert_eq!(l.contended, 1);
+    }
+
+    #[test]
+    fn wait_accounting_totals_max_and_buckets() {
+        let mut l = LockState::new(LockKind::Spin, "w");
+        l.record_wait(0);
+        l.record_wait(1);
+        l.record_wait(1000); // floor(log2(1000)) = 9
+        l.record_wait(1 << 20);
+        assert_eq!(l.total_wait_ns, 1 + 1000 + (1 << 20));
+        assert_eq!(l.max_wait_ns, 1 << 20);
+        assert_eq!(l.wait_hist[0], 2, "zero and 1ns waits share bucket 0");
+        assert_eq!(l.wait_hist[9], 1);
+        assert_eq!(l.wait_hist[20], 1);
+        assert_eq!(l.wait_hist.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn huge_wait_lands_in_top_bucket() {
+        let mut l = LockState::new(LockKind::Spin, "w");
+        l.record_wait(u64::MAX);
+        assert_eq!(l.wait_hist[63], 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::engine::{BarrierId, QueueId, RcuId, SimCtx};
 use crate::iodev::DevId;
 use crate::lock::{LockId, LockMode};
 use crate::time::Ns;
+use crate::trace::ProcKind;
 
 /// Identifier of a simulated process within one engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,6 +37,22 @@ pub enum WakeReason {
     Signaled(QueueId),
     /// The requested RCU grace period elapsed.
     RcuDone,
+}
+
+impl WakeReason {
+    /// Stable short tag for trace events.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WakeReason::Start => "start",
+            WakeReason::Timer => "timer",
+            WakeReason::LockGranted(_) => "lock",
+            WakeReason::IpiDone => "ipi",
+            WakeReason::IoDone => "io",
+            WakeReason::BarrierReleased => "barrier",
+            WakeReason::Signaled(_) => "queue",
+            WakeReason::RcuDone => "rcu",
+        }
+    }
 }
 
 /// The single blocking action a process requests from the engine per resume.
@@ -94,6 +111,18 @@ pub trait Process<W> {
     /// non-daemon processes are `Done`.
     fn is_daemon(&self) -> bool {
         false
+    }
+
+    /// How this process's compute is classified for *other* processes'
+    /// run-queue-wait attribution. Defaults to following
+    /// [`Process::is_daemon`]; softirq-context processes (the NAPI
+    /// poller) should override to [`ProcKind::Softirq`].
+    fn kind(&self) -> ProcKind {
+        if self.is_daemon() {
+            ProcKind::Daemon
+        } else {
+            ProcKind::User
+        }
     }
 
     /// Debug label used in stall diagnostics.

@@ -402,6 +402,12 @@ impl<W: HasKernel> Process<W> for NapiPoller {
     fn label(&self) -> &str {
         "napi"
     }
+
+    fn kind(&self) -> ksa_desim::ProcKind {
+        // Softirq-context work: queueing behind the poller is reported
+        // as softirq interference, not generic daemon wait.
+        ksa_desim::ProcKind::Softirq
+    }
 }
 
 /// Spawns the standard daemon set for instance `idx` of `world`,

@@ -379,10 +379,11 @@ pub fn dispatch(
 
     h.k.syscalls += 1;
     h.cpu(h.cost().syscall_entry);
-    // Bounded guest-side overhead every virtualized syscall pays.
-    let virt_overhead = h.k.virt.syscall_overhead;
-    if virt_overhead > 0 {
-        h.cpu(virt_overhead);
+    // Bounded guest-side overhead every virtualized syscall pays,
+    // compiled as a VM-exit op so attribution can separate it from
+    // productive kernel work.
+    if h.k.virt.syscall_overhead > 0 {
+        h.seq.push(KOp::VmExit(crate::ops::VmExitKind::GuestSyscall));
     }
 
     // Container tenancy: cgroup accounting on resource-consuming classes.

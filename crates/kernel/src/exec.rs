@@ -26,12 +26,23 @@ enum RunStep {
 pub struct OpRunner {
     steps: Vec<RunStep>,
     at: usize,
+    /// Virtualization exit overhead folded into the lowered delays,
+    /// known statically at lowering time. The attribution layer
+    /// subtracts this from the engine's on-CPU delta so "VM exit" is a
+    /// first-class latency component despite delay merging.
+    exit_ns: Ns,
+    /// Per-exit `(kind tag, cost)` marks, emitted to the trace when the
+    /// runner starts (exit costs are merged into delays, so individual
+    /// exits have no timestamps of their own).
+    exits: Vec<(&'static str, Ns)>,
 }
 
 impl OpRunner {
     /// Lowers `seq` for execution on `self_core` of `inst`.
     pub fn new(seq: &OpSeq, inst: &KernelInstance, self_core: CoreId) -> Self {
         let mut steps = Vec::with_capacity(seq.ops.len());
+        let mut exit_ns: Ns = 0;
+        let mut exits: Vec<(&'static str, Ns)> = Vec::new();
         let virt = inst.virt;
         let delay = |steps: &mut Vec<RunStep>, ns: Ns| {
             if ns == 0 {
@@ -63,10 +74,12 @@ impl OpRunner {
                     }
                     // Each remote kick is an APIC access: a VM exit per
                     // target under virtualization.
-                    delay(
-                        &mut steps,
-                        virt.exit_apic.saturating_mul(targets.len() as Ns),
-                    );
+                    let kick_ns = virt.exit_apic.saturating_mul(targets.len() as Ns);
+                    if kick_ns > 0 {
+                        exit_ns += kick_ns;
+                        exits.push((VmExitKind::Apic.tag(), kick_ns));
+                    }
+                    delay(&mut steps, kick_ns);
                     let handler_ns = virt.scale_cpu(
                         inst.cost.tlb_handler
                             + inst.cost.tlb_handler_per_page * pages.min(512),
@@ -91,13 +104,43 @@ impl OpRunner {
                         VmExitKind::Apic => virt.exit_apic,
                         VmExitKind::Msr => virt.exit_msr,
                         VmExitKind::Halt => virt.exit_halt,
+                        // Scaled like the kernel CPU work it displaces.
+                        VmExitKind::GuestSyscall => virt.scale_cpu(virt.syscall_overhead),
                     };
+                    if cost > 0 {
+                        exit_ns += cost;
+                        exits.push((kind.tag(), cost));
+                    }
                     delay(&mut steps, cost);
                 }
                 KOp::Nop => {}
             }
         }
-        Self { steps, at: 0 }
+        Self {
+            steps,
+            at: 0,
+            exit_ns,
+            exits,
+        }
+    }
+
+    /// Total virtualization-exit nanoseconds folded into this call's
+    /// delays (zero on bare metal). Exact: delays always run to
+    /// completion, so a finished call paid exactly this much.
+    pub fn vm_exit_ns(&self) -> Ns {
+        self.exit_ns
+    }
+
+    /// Emits one trace mark per VM exit in this call (timestamped at the
+    /// current clock, since exit costs are merged into compute delays).
+    /// No-op when tracing is disabled.
+    pub fn trace_exits<W>(&self, ctx: &mut SimCtx<'_, W>) {
+        if !ctx.trace_enabled() {
+            return;
+        }
+        for &(kind, cost_ns) in &self.exits {
+            ctx.trace_mark(ksa_desim::TraceEventKind::VmExit { kind, cost_ns });
+        }
     }
 
     /// Advances the runner: performs pending non-blocking steps and

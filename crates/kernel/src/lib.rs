@@ -43,6 +43,7 @@ pub mod dispatch;
 pub mod errno;
 pub mod exec;
 pub mod instance;
+pub mod latency;
 pub mod ops;
 pub mod params;
 pub mod prog;
@@ -57,6 +58,7 @@ pub use dispatch::dispatch;
 pub use errno::Errno;
 pub use exec::OpRunner;
 pub use instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
+pub use latency::{Attribution, AttributionTable, RawCall};
 pub use params::CostModel;
 pub use prog::{Arg, Call, Program};
 pub use ops::{KOp, OpSeq, VmExitKind};

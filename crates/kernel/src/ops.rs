@@ -64,6 +64,24 @@ pub enum VmExitKind {
     Msr,
     /// Halt/idle exit (wakeup path of sleeping syscalls).
     Halt,
+    /// Bounded guest-side cost every virtualized syscall pays on kernel
+    /// entry (nested-paging walks, polluted TLB/caches from world
+    /// switches). Scaled like kernel CPU work; zero on bare metal.
+    GuestSyscall,
+}
+
+impl VmExitKind {
+    /// Stable short tag for trace events and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            VmExitKind::IoKick => "io_kick",
+            VmExitKind::IoIrq => "io_irq",
+            VmExitKind::Apic => "apic",
+            VmExitKind::Msr => "msr",
+            VmExitKind::Halt => "halt",
+            VmExitKind::GuestSyscall => "guest_syscall",
+        }
+    }
 }
 
 /// A compiled system call: micro-ops plus its result value (fd, address,

@@ -4,6 +4,7 @@
 use ksa_desim::CoreId;
 
 use crate::instance::KernelInstance;
+use crate::latency::AttributionTable;
 
 /// All kernel instances in one simulated machine.
 #[derive(Debug, Default)]
@@ -12,6 +13,9 @@ pub struct KernelWorld {
     pub instances: Vec<KernelInstance>,
     /// `core_owner[core.index()]` = index of the owning instance.
     pub core_owner: Vec<usize>,
+    /// Per-syscall latency attribution accumulated by the executors;
+    /// the harness drains it (`std::mem::take`) after the run.
+    pub attrib: AttributionTable,
 }
 
 impl KernelWorld {

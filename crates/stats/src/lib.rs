@@ -9,7 +9,9 @@
 //!   (Tables 2 and 3),
 //! * **violin summaries** — quartiles, confidence interval and a kernel
 //!   density estimate of the distribution of per-site p99s (Figure 2),
-//! * **max-of-n combinators** for BSP straggler analysis (Figure 4), and
+//! * **max-of-n combinators** for BSP straggler analysis (Figure 4),
+//! * **log2 duration histograms** aggregating the engine's lock
+//!   wait-time buckets (the lockstat view), and
 //! * simple correlation measures used to relate kernel surface area to
 //!   variability.
 //!
@@ -20,6 +22,7 @@
 pub mod buckets;
 pub mod correlation;
 pub mod density;
+pub mod histogram;
 pub mod quantile;
 pub mod samples;
 pub mod summary;
@@ -28,6 +31,7 @@ pub mod violin;
 pub use buckets::{BucketRow, BucketTable, LATENCY_BUCKET_EDGES_NS};
 pub use correlation::{pearson, spearman};
 pub use density::kernel_density;
+pub use histogram::{Log2Histogram, LOG2_BUCKETS};
 pub use quantile::{percentile_ns, quantile_sorted};
 pub use samples::Samples;
 pub use summary::SummaryStats;

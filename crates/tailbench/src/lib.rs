@@ -27,4 +27,4 @@ pub mod world;
 
 pub use apps::{suite, AppProfile};
 pub use single_node::{run_single_node, SingleNodeConfig, TailResult};
-pub use world::{Request, TbWorld};
+pub use world::{Request, RequestAttribution, TbWorld};

@@ -1,17 +1,17 @@
 //! Server workers: pull requests, execute their kernel template plus the
 //! service compute, record sojourn times.
 
-use ksa_desim::{CoreId, Effect, Process, QueueId, SimCtx, WakeReason};
+use ksa_desim::{CoreId, Effect, LatSnapshot, Ns, Process, QueueId, SimCtx, WakeReason};
 use ksa_kernel::coverage::CoverageSet;
 use ksa_kernel::dispatch::dispatch;
 use ksa_kernel::exec::OpRunner;
 use ksa_kernel::ops::OpSeq;
-use ksa_kernel::SysNo;
+use ksa_kernel::{Attribution, SysNo};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::apps::AppProfile;
-use crate::world::TbWorld;
+use crate::world::{RequestAttribution, TbWorld};
 
 /// Record key under which sojourn (request latency) samples are logged.
 pub const SOJOURN_KEY: u64 = 0;
@@ -37,6 +37,9 @@ pub struct ServerWorker {
     state: State,
     runner: Option<OpRunner>,
     arrival: u64,
+    queue_ns: Ns,
+    lat_before: LatSnapshot,
+    vm_exit: Ns,
 }
 
 impl ServerWorker {
@@ -65,6 +68,9 @@ impl ServerWorker {
             state: State::Setup,
             runner: None,
             arrival: 0,
+            queue_ns: 0,
+            lat_before: LatSnapshot::default(),
+            vm_exit: 0,
         }
     }
 
@@ -145,6 +151,23 @@ impl ServerWorker {
     fn complete_and_next(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> Effect {
         let sojourn = ctx.now() - self.arrival;
         ctx.record(SOJOURN_KEY, sojourn);
+        let after = ctx.lat_snapshot();
+        let service =
+            Attribution::from_delta(&after.comps.since(&self.lat_before.comps), self.vm_exit);
+        // Decomposition must tile the sojourn exactly: time in queue plus
+        // every attributed service nanosecond.
+        debug_assert_eq!(self.queue_ns + service.total, sojourn);
+        if ctx.trace_enabled() {
+            ctx.trace_mark(ksa_desim::TraceEventKind::Mark {
+                label: "request_done",
+                a: sojourn,
+                b: self.queue_ns,
+            });
+        }
+        ctx.world.request_attrib.push(RequestAttribution {
+            queue_ns: self.queue_ns,
+            service,
+        });
         let q = &mut ctx.world.queues[self.app_id];
         q.completed += 1;
         if q.completed == q.batch_target {
@@ -158,7 +181,13 @@ impl ServerWorker {
         match ctx.world.queues[self.app_id].pending.pop_front() {
             Some(req) => {
                 self.arrival = req.arrival;
-                self.runner = Some(self.build_request(ctx));
+                self.queue_ns = ctx.now() - req.arrival;
+                self.lat_before = ctx.lat_snapshot();
+                let runner = self.build_request(ctx);
+                if ctx.trace_enabled() {
+                    runner.trace_exits(ctx);
+                }
+                self.runner = Some(runner);
                 self.state = State::Running;
                 self.step(ctx)
             }
@@ -175,7 +204,7 @@ impl ServerWorker {
                 return e;
             }
         }
-        self.runner = None;
+        self.vm_exit = self.runner.take().map(|r| r.vm_exit_ns()).unwrap_or(0);
         self.complete_and_next(ctx)
     }
 }

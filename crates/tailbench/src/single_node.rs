@@ -8,16 +8,17 @@
 
 use std::rc::Rc;
 
-use ksa_desim::{Engine, EngineParams, Ns};
+use ksa_desim::{Engine, EngineParams, Ns, TraceConfig, TraceLog};
 use ksa_envsim::{build_env, EnvKind, EnvSpec, Machine};
 use ksa_kernel::prog::Corpus;
+use ksa_kernel::AttributionTable;
 use ksa_stats::Samples;
 use ksa_varbench::worker::{site_bases, CorpusWorker};
 
 use crate::apps::AppProfile;
 use crate::client::{Client, ClientMode, ITER_KEY_BASE};
 use crate::server::{ServerWorker, SOJOURN_KEY};
-use crate::world::TbWorld;
+use crate::world::{RequestAttribution, TbWorld};
 
 /// Configuration of one single-node run.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +39,9 @@ pub struct SingleNodeConfig {
     pub util_pct: u64,
     /// Seed.
     pub seed: u64,
+    /// Record per-core trace rings during the run (observationally
+    /// neutral; attribution is always collected).
+    pub trace: bool,
 }
 
 impl SingleNodeConfig {
@@ -55,6 +59,7 @@ impl SingleNodeConfig {
             warmup: 200,
             util_pct: 75,
             seed,
+            trace: false,
         }
     }
 
@@ -72,6 +77,7 @@ impl SingleNodeConfig {
             warmup: 30,
             util_pct: 75,
             seed,
+            trace: false,
         }
     }
 }
@@ -89,6 +95,14 @@ pub struct TailResult {
     pub batch_durations: Vec<Ns>,
     /// Final virtual time.
     pub sim_ns: Ns,
+    /// Per-request latency decompositions (all requests, completion
+    /// order; `queue_ns + service.total` equals the sojourn exactly).
+    pub request_attrib: Vec<RequestAttribution>,
+    /// Syscall attribution from the noise co-runners (empty when
+    /// `noise` is off).
+    pub noise_attrib: AttributionTable,
+    /// The recorded trace (empty rings unless tracing was enabled).
+    pub trace: TraceLog,
 }
 
 /// Runs one app under `cfg` (Figure 3 point). `noise_corpus` is only
@@ -131,6 +145,9 @@ fn run_node(
     };
     let spec = EnvSpec::new(cfg.machine, kind);
     let built = build_env(&mut engine, &spec, cfg.seed);
+    if cfg.trace {
+        engine.set_trace(TraceConfig::enabled());
+    }
 
     // The app owns the first group of cores (instance 0 under KVM; the
     // first container's share under Docker).
@@ -217,12 +234,18 @@ fn run_node(
         .collect();
     let mut samples = Samples::from_values(kept);
     let p99 = samples.p99().unwrap_or(0);
+    let trace = engine.take_trace();
+    let request_attrib = std::mem::take(&mut engine.world_mut().request_attrib);
+    let noise_attrib = std::mem::take(&mut engine.world_mut().kernel.attrib);
     TailResult {
         app: app.name.to_string(),
         sojourns: samples,
         p99,
         batch_durations,
         sim_ns: res.clock,
+        request_attrib,
+        noise_attrib,
+        trace,
     }
 }
 
@@ -310,6 +333,41 @@ mod tests {
         let res = run_node_batched(app, &cfg, &noise_corpus(), 5, 40);
         assert_eq!(res.batch_durations.len(), 5);
         assert!(res.batch_durations.iter().all(|&d| d > 0));
+    }
+
+    #[test]
+    fn request_attribution_decomposes_every_request() {
+        let app = &suite()[1];
+        let cfg = SingleNodeConfig::quick(true, false, 13);
+        let res = run_single_node(app, &cfg, &noise_corpus());
+        assert_eq!(res.request_attrib.len() as u64, cfg.requests);
+        for r in &res.request_attrib {
+            assert!(r.service.is_exact(), "components must sum to total");
+        }
+        // Under KVM the requests pay virtualization exits.
+        let vm_exit: u64 = res.request_attrib.iter().map(|r| r.service.vm_exit).sum();
+        assert!(vm_exit > 0, "VM requests must show exit overhead");
+        // Noise off ⇒ no corpus syscalls attributed.
+        assert_eq!(res.noise_attrib.calls(), 0);
+    }
+
+    #[test]
+    fn noise_attribution_and_tracing_are_neutral() {
+        let app = &suite()[0];
+        let cfg = SingleNodeConfig::quick(false, true, 17);
+        let plain = run_single_node(app, &cfg, &noise_corpus());
+        let traced = run_single_node(
+            app,
+            &SingleNodeConfig { trace: true, ..cfg },
+            &noise_corpus(),
+        );
+        assert_eq!(plain.p99, traced.p99, "tracing must not move the tail");
+        assert_eq!(plain.sim_ns, traced.sim_ns);
+        assert_eq!(plain.trace.total_events(), 0);
+        assert!(traced.trace.total_events() > 0);
+        // The noise co-runners' syscalls are attributed.
+        assert!(plain.noise_attrib.calls() > 0);
+        assert!(plain.noise_attrib.grand_total().is_exact());
     }
 
     #[test]

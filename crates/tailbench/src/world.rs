@@ -4,6 +4,25 @@ use std::collections::VecDeque;
 
 use ksa_desim::Ns;
 use ksa_kernel::world::{HasKernel, KernelWorld};
+use ksa_kernel::Attribution;
+
+/// One completed request's latency decomposition: queueing before a
+/// server picked it up, then the decomposed service interval. The
+/// invariant `queue_ns + service.total == sojourn` holds exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestAttribution {
+    /// Arrival → dequeue (no server was free).
+    pub queue_ns: Ns,
+    /// Dequeue → completion, decomposed into latency components.
+    pub service: Attribution,
+}
+
+impl RequestAttribution {
+    /// The request's full sojourn time.
+    pub fn sojourn_ns(&self) -> Ns {
+        self.queue_ns + self.service.total
+    }
+}
 
 /// One in-flight request.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +63,9 @@ pub struct TbWorld {
     pub kernel: KernelWorld,
     /// One queue per application (index = app id).
     pub queues: Vec<AppQueue>,
+    /// Per-request latency decompositions, in completion order; the
+    /// harness drains this after the run.
+    pub request_attrib: Vec<RequestAttribution>,
 }
 
 impl TbWorld {

@@ -36,6 +36,7 @@ fn main() {
                 sync: true,
                 seed: 7,
                 max_events: 0,
+                trace: false,
             },
             &gen.corpus,
         )
@@ -69,6 +70,7 @@ fn main() {
             sync: true,
             seed: 7,
             max_events: 0,
+            trace: false,
         },
         &gen.corpus,
     )

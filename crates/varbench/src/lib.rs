@@ -14,6 +14,7 @@
 
 pub mod contention;
 pub mod run;
+pub mod traceout;
 pub mod worker;
 
 pub use contention::{ContentionProfile, LockContention};
@@ -21,4 +22,5 @@ pub use run::{
     outcomes_to_json, run, run_configs, run_configs_retry, run_hooked, run_isolated, RunConfig,
     RunError, RunResult, SiteResult, TrialOutcome,
 };
+pub use traceout::{attribution_json, chrome_trace_json};
 pub use worker::CorpusWorker;

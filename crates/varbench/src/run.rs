@@ -10,11 +10,11 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
-use ksa_desim::{Engine, EngineParams, SimError};
+use ksa_desim::{Engine, EngineParams, SimError, TraceConfig, TraceLog};
 use ksa_envsim::{build_env, EnvSpec};
 use ksa_kernel::prog::Corpus;
 use ksa_kernel::world::{HasKernel, KernelWorld};
-use ksa_kernel::{Category, SysNo};
+use ksa_kernel::{AttributionTable, Category, SysNo};
 use ksa_stats::Samples;
 
 use crate::contention::ContentionProfile;
@@ -36,6 +36,12 @@ pub struct RunConfig {
     /// events (0 = unlimited). Converts a never-terminating simulation
     /// into a reportable [`RunError::Sim`] instead of a hung campaign.
     pub max_events: u64,
+    /// Record a trace (per-core event rings) during the run. Strictly
+    /// observational: enabling it cannot change any measured latency
+    /// (the zero-observer-effect property test pins this). Latency
+    /// *attribution* is always collected; this switch only governs the
+    /// event rings exported as Chrome trace JSON.
+    pub trace: bool,
 }
 
 /// Why a trial failed.
@@ -112,8 +118,13 @@ pub struct RunResult {
     pub sites: Vec<SiteResult>,
     /// Final virtual clock (run length in simulated time).
     pub sim_ns: u64,
-    /// Which kernel locks were contended during the run.
+    /// Which kernel locks were contended during the run, with wait
+    /// durations.
     pub contention: ContentionProfile,
+    /// Per-syscall / per-category latency attribution (always collected).
+    pub attrib: AttributionTable,
+    /// The recorded trace (empty rings unless [`RunConfig::trace`]).
+    pub trace: TraceLog,
 }
 
 impl RunResult {
@@ -158,6 +169,9 @@ pub fn run_hooked(
     let built = build_env(&mut engine, &cfg.env, cfg.seed);
     if cfg.max_events > 0 {
         engine.set_event_budget(cfg.max_events);
+    }
+    if cfg.trace {
+        engine.set_trace(TraceConfig::enabled());
     }
     hook(&mut engine);
 
@@ -209,14 +223,18 @@ pub fn run_hooked(
         s.samples.freeze();
     }
     let mut contention = ContentionProfile::default();
-    for (label, acq, cont) in engine.all_lock_stats() {
-        contention.add(label, acq, cont);
+    for (label, acq, cont, total_wait, max_wait, _hist) in engine.all_lock_wait_stats() {
+        contention.add_waits(label, acq, cont, total_wait, max_wait);
     }
+    let trace = engine.take_trace();
+    let attrib = std::mem::take(&mut engine.world_mut().kernel_mut().attrib);
     Ok(RunResult {
         config: *cfg,
         sites,
         sim_ns: res.clock,
         contention,
+        attrib,
+        trace,
     })
 }
 
@@ -402,6 +420,7 @@ mod tests {
             sync: true,
             seed: 99,
             max_events: 0,
+            trace: false,
         }
     }
 
@@ -471,6 +490,75 @@ mod tests {
         assert_eq!(mm.len(), 2, "mmap + munmap");
         let all = res.per_site(None, |s| s.median());
         assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn attribution_is_collected_and_exact() {
+        let corpus = tiny_corpus();
+        let res = run(&cfg(EnvKind::Native, 3), &corpus).unwrap();
+        // 8 sites × 4 cores × 3 iterations.
+        assert_eq!(res.attrib.calls(), 8 * 4 * 3);
+        let grand = res.attrib.grand_total();
+        assert!(grand.total > 0);
+        assert!(grand.is_exact(), "components must sum to total");
+        for (no, (calls, agg)) in &res.attrib.by_sysno {
+            assert!(*calls > 0);
+            assert!(agg.is_exact(), "{}: inexact aggregate", no.name());
+        }
+        // fsync under sync pressure contends the journal; wait durations
+        // must show up both per label and in the component totals.
+        assert!(res.attrib.grand_total().lock_wait > 0);
+        assert!(!res.attrib.lock_wait_by_label.is_empty());
+    }
+
+    #[test]
+    fn contention_profile_reports_wait_durations() {
+        let corpus = tiny_corpus();
+        let res = run(&cfg(EnvKind::Native, 5), &corpus).unwrap();
+        assert!(
+            res.contention.total_wait_ns() > 0,
+            "4 synced cores must queue somewhere"
+        );
+        let hot = res.contention.hotspots();
+        // Worst-first by duration.
+        for w in hot.windows(2) {
+            assert!(
+                (w[0].1.total_wait_ns, w[0].1.contended)
+                    >= (w[1].1.total_wait_ns, w[1].1.contended)
+            );
+        }
+        // Per-label waits in the attribution table agree with the
+        // engine-level profile in aggregate: both came from the same
+        // grants.
+        let attrib_wait: u64 = res.attrib.lock_wait_by_label.values().sum();
+        assert_eq!(attrib_wait, res.attrib.grand_total().lock_wait);
+    }
+
+    #[test]
+    fn tracing_is_observationally_neutral_and_records() {
+        let corpus = tiny_corpus();
+        let off = run(&cfg(EnvKind::Vm(2), 2), &corpus).unwrap();
+        let on = run(
+            &RunConfig {
+                trace: true,
+                ..cfg(EnvKind::Vm(2), 2)
+            },
+            &corpus,
+        )
+        .unwrap();
+        assert_eq!(off.sim_ns, on.sim_ns, "tracing must not perturb timing");
+        for (a, b) in off.sites.iter().zip(&on.sites) {
+            assert_eq!(a.samples.raw(), b.samples.raw());
+        }
+        assert_eq!(off.trace.total_events(), 0);
+        assert!(on.trace.total_events() > 0);
+        // The rings carry kernel-layer syscall marks, not just engine
+        // events.
+        assert!(on
+            .trace
+            .merged()
+            .iter()
+            .any(|e| matches!(e.kind, ksa_desim::TraceEventKind::Syscall { .. })));
     }
 
     #[test]

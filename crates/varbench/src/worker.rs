@@ -2,7 +2,9 @@
 
 use std::rc::Rc;
 
-use ksa_desim::{BarrierId, CoreId, Effect, Ns, Process, SimCtx, WakeReason};
+use ksa_desim::{
+    BarrierId, CoreId, Effect, LatSnapshot, Ns, Process, SimCtx, TraceEventKind, WakeReason,
+};
 use ksa_kernel::coverage::CoverageSet;
 use ksa_kernel::dispatch::dispatch;
 use ksa_kernel::exec::OpRunner;
@@ -59,6 +61,7 @@ pub struct CorpusWorker {
     results: Vec<u64>,
     runner: Option<OpRunner>,
     call_start: Ns,
+    lat_before: LatSnapshot,
     pending_result: u64,
 }
 
@@ -94,6 +97,7 @@ impl CorpusWorker {
             results: Vec::new(),
             runner: None,
             call_start: 0,
+            lat_before: LatSnapshot::default(),
             pending_result: 0,
         }
     }
@@ -107,6 +111,10 @@ impl CorpusWorker {
         }
         let call = program.calls[self.call].clone();
         let args: Vec<u64> = call.args.iter().map(|a| a.resolve(&self.results)).collect();
+        // Snapshot the engine's latency accounting before the call so the
+        // snapshot pair brackets exactly this call's interval (dispatch
+        // and lowering consume no virtual time).
+        self.lat_before = ctx.lat_snapshot();
         let (world, faults) = ctx.world_and_faults();
         let inst = &mut world.kernel_mut().instances[self.instance];
         let seq = dispatch(
@@ -119,8 +127,16 @@ impl CorpusWorker {
             faults,
         );
         self.pending_result = seq.result;
-        self.runner = Some(OpRunner::new(&seq, inst, self.core));
+        let runner = OpRunner::new(&seq, inst, self.core);
         self.call_start = ctx.now();
+        if ctx.trace_enabled() {
+            ctx.trace_mark(TraceEventKind::Syscall {
+                no: call.no as u16,
+                enter: true,
+            });
+            runner.trace_exits(ctx);
+        }
+        self.runner = Some(runner);
         true
     }
 
@@ -129,8 +145,26 @@ impl CorpusWorker {
         let key = site_key(&self.site_base, self.prog, self.call);
         let latency = ctx.now() - self.call_start;
         ctx.record(key, latency);
+        if let Some(runner) = self.runner.take() {
+            let no = self.corpus.programs[self.prog].calls[self.call].no;
+            let after = ctx.lat_snapshot();
+            if ctx.trace_enabled() {
+                ctx.trace_mark(TraceEventKind::Syscall {
+                    no: no as u16,
+                    enter: false,
+                });
+            }
+            let (world, _faults) = ctx.world_and_faults();
+            let attrib =
+                world
+                    .kernel_mut()
+                    .attrib
+                    .record(no, &self.lat_before, &after, runner.vm_exit_ns());
+            // The components-tile-the-timeline invariant: the decomposed
+            // call must account for every recorded nanosecond.
+            debug_assert_eq!(attrib.total, latency, "attribution must sum to latency");
+        }
         self.results.push(self.pending_result);
-        self.runner = None;
         self.call += 1;
         if self.call < self.corpus.programs[self.prog].len() {
             self.phase = Phase::Glue;

@@ -46,6 +46,7 @@ fn cfg(seed: u64) -> RunConfig {
         sync: true,
         seed,
         max_events: 0,
+        trace: false,
     }
 }
 

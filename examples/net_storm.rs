@@ -9,14 +9,44 @@
 //! exits keep the VM medians above bare-metal cost.
 //!
 //! Run with: `cargo run --release --example net_storm`
+//!
+//! Pass `--trace-out <path>` to record the shared-kernel (1 VM) run
+//! with the deterministic tracer and write a Chrome trace-event file
+//! (loadable in Perfetto / `chrome://tracing`) to `<path>`, plus the
+//! machine-readable attribution summary next to it.
 
 use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
 use ksa_core::experiments::{net_corpus, Scale};
 use ksa_core::kernel::Category;
-use ksa_core::varbench::{run, RunConfig};
+use ksa_core::varbench::{attribution_json, chrome_trace_json, run, RunConfig};
 use ksa_core::KernelSurfaceArea;
 
+/// `<path>.json` → `<path>.attrib.json`; anything else gets the suffix
+/// appended.
+fn attrib_path(trace_path: &str) -> String {
+    match trace_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.attrib.json"),
+        None => format!("{trace_path}.attrib.json"),
+    }
+}
+
 fn main() {
+    let mut trace_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: net_storm [--trace-out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
     let machine = Machine {
         cores: 64,
         mem_mib: 64 * 1024,
@@ -35,6 +65,9 @@ fn main() {
     for count in [1usize, 4, 16, 64] {
         let spec = EnvSpec::new(machine, EnvKind::Vm(count));
         let surface = KernelSurfaceArea::of(&spec);
+        // Tracing is strictly observational, so turning it on for the
+        // shared-kernel run leaves every printed number unchanged.
+        let trace = count == 1 && trace_out.is_some();
         let mut res = run(
             &RunConfig {
                 env: spec,
@@ -42,10 +75,24 @@ fn main() {
                 sync: true,
                 seed: 42,
                 max_events: 0,
+                trace,
             },
             &corpus,
         )
         .expect("net storm trial failed");
+        if trace {
+            let path = trace_out.as_deref().unwrap();
+            std::fs::write(path, chrome_trace_json(&res.trace)).expect("write trace");
+            let apath = attrib_path(path);
+            std::fs::write(&apath, attribution_json(&res.attrib)).expect("write attribution");
+            println!(
+                "wrote shared-kernel Chrome trace ({} events, {} dropped) to {path}\n\
+                 wrote attribution summary ({} calls) to {apath}\n",
+                res.trace.total_events(),
+                res.trace.total_dropped(),
+                res.attrib.calls(),
+            );
+        }
         let mut p99s = res.per_site(Some(Category::Network), |s| s.p99());
         p99s.sort_unstable();
         let med = p99s.get(p99s.len() / 2).copied().unwrap_or(0);

@@ -25,6 +25,7 @@ fn main() {
                 sync: true,
                 seed: 77,
                 max_events: 0,
+                trace: false,
             },
             &corpus.corpus,
         )

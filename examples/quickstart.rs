@@ -41,6 +41,7 @@ fn main() {
                 sync: true,
                 seed: 42,
                 max_events: 0,
+                trace: false,
             },
             &generated.corpus,
         )

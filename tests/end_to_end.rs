@@ -24,6 +24,7 @@ fn corpus_to_measurement_pipeline() {
             sync: true,
             seed: 1,
             max_events: 0,
+            trace: false,
         },
         &corpus.corpus,
     )
@@ -56,6 +57,7 @@ fn isolation_bounds_the_tail() {
                 sync: true,
                 seed: 3,
                 max_events: 0,
+                trace: false,
             },
             &corpus.corpus,
         )
@@ -89,6 +91,7 @@ fn virtualization_costs_at_the_median() {
                 sync: true,
                 seed: 4,
                 max_events: 0,
+                trace: false,
             },
             &corpus.corpus,
         )

@@ -205,6 +205,7 @@ fn net_trial_replays_bit_identically() {
             sync: true,
             seed,
             max_events: 0,
+            trace: false,
         };
         let a = run(&cfg, &corpus).expect("net trial failed");
         let b = run(&cfg, &corpus).expect("net replay failed");
@@ -311,6 +312,170 @@ fn socket_buffers_bound_and_conserve_bytes() {
             inst.state.net.recv_bytes + inst.state.net.flushed_bytes,
             "seed {seed:#x}: final ledger unbalanced"
         );
+    });
+}
+
+/// Turning the tracer on is strictly observational: for the same seed,
+/// a traced run and an untraced run produce the same clock, the same
+/// latency samples, the same contention profile, and the same
+/// attribution — across environment kinds.
+#[test]
+fn tracing_has_zero_observer_effect() {
+    use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
+    use ksa_core::experiments::{net_corpus, Scale};
+    use ksa_core::varbench::{run, RunConfig};
+    let corpus = net_corpus(Scale::Tiny);
+    let machine = Machine {
+        cores: 4,
+        mem_mib: 2 * 1024,
+    };
+    for (seed, kind) in [
+        (11u64, EnvKind::Native),
+        (12, EnvKind::Vm(2)),
+        (13, EnvKind::Container(2)),
+    ] {
+        let cfg = |trace| RunConfig {
+            env: EnvSpec::new(machine, kind),
+            iterations: 2,
+            sync: true,
+            seed,
+            max_events: 0,
+            trace,
+        };
+        let off = run(&cfg(false), &corpus).expect("untraced run failed");
+        let on = run(&cfg(true), &corpus).expect("traced run failed");
+        assert_eq!(off.sim_ns, on.sim_ns, "{kind:?}: tracing moved the clock");
+        for (a, b) in off.sites.iter().zip(on.sites.iter()) {
+            assert_eq!(a.samples.raw(), b.samples.raw(), "{kind:?}: samples differ");
+        }
+        assert_eq!(
+            off.contention.total_wait_ns(),
+            on.contention.total_wait_ns(),
+            "{kind:?}: contention differs"
+        );
+        assert_eq!(off.attrib.calls(), on.attrib.calls());
+        assert_eq!(
+            off.attrib.grand_total().values(),
+            on.attrib.grand_total().values(),
+            "{kind:?}: attribution differs"
+        );
+        assert_eq!(off.trace.total_events(), 0, "untraced run recorded events");
+        assert!(on.trace.total_events() > 0, "traced run recorded nothing");
+    }
+}
+
+/// Two traced runs under the same seed replay the trace bit-identically:
+/// the merged event streams (and drop counters) are equal element by
+/// element.
+#[test]
+fn traced_runs_replay_bit_identically() {
+    use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
+    use ksa_core::experiments::{net_corpus, Scale};
+    use ksa_core::varbench::{run, RunConfig};
+    let corpus = net_corpus(Scale::Tiny);
+    for seed in [5u64, 0xfeed] {
+        let cfg = RunConfig {
+            env: EnvSpec::new(
+                Machine {
+                    cores: 4,
+                    mem_mib: 2 * 1024,
+                },
+                EnvKind::Vm(2),
+            ),
+            iterations: 2,
+            sync: true,
+            seed,
+            max_events: 0,
+            trace: true,
+        };
+        let a = run(&cfg, &corpus).expect("traced run failed");
+        let b = run(&cfg, &corpus).expect("traced replay failed");
+        assert_eq!(a.trace.total_dropped(), b.trace.total_dropped());
+        let ea = a.trace.merged();
+        let eb = b.trace.merged();
+        assert_eq!(ea.len(), eb.len(), "seed {seed:#x}: event counts differ");
+        for (x, y) in ea.iter().zip(eb.iter()) {
+            assert_eq!(x, y, "seed {seed:#x}: trace diverged");
+        }
+    }
+}
+
+/// Attribution is exact at every level: each per-syscall row's components
+/// sum to its total, the rows sum to the grand total, and the primary-
+/// category view re-partitions the same mass.
+#[test]
+fn attribution_components_sum_exactly() {
+    use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
+    use ksa_core::experiments::{net_corpus, Scale};
+    use ksa_core::varbench::{run, RunConfig};
+    let corpus = net_corpus(Scale::Tiny);
+    for (seed, kind) in [(21u64, EnvKind::Native), (22, EnvKind::Vm(4))] {
+        let res = run(
+            &RunConfig {
+                env: EnvSpec::new(
+                    Machine {
+                        cores: 4,
+                        mem_mib: 2 * 1024,
+                    },
+                    kind,
+                ),
+                iterations: 2,
+                sync: true,
+                seed,
+                max_events: 0,
+                trace: false,
+            },
+            &corpus,
+        )
+        .expect("attribution run failed");
+        let grand = res.attrib.grand_total();
+        assert!(grand.is_exact(), "{kind:?}: grand total not exact");
+        assert!(grand.total > 0, "{kind:?}: nothing attributed");
+        let mut sysno_sum = 0u64;
+        for (no, (calls, a)) in &res.attrib.by_sysno {
+            assert!(a.is_exact(), "{kind:?}: {} row not exact", no.name());
+            assert!(*calls > 0);
+            sysno_sum += a.total;
+        }
+        assert_eq!(sysno_sum, grand.total, "{kind:?}: rows lost mass");
+        let cat_sum: u64 = res.attrib.by_category.values().map(|(_, a)| a.total).sum();
+        assert_eq!(cat_sum, grand.total, "{kind:?}: categories lost mass");
+    }
+}
+
+/// A trace ring under arbitrary pressure keeps the *newest* `cap` events
+/// in order, counts every eviction, and never panics — including the
+/// zero-capacity ring, which drops everything.
+#[test]
+fn trace_ring_overflow_drops_oldest() {
+    use ksa_core::desim::{CoreId, Pid, TraceEvent, TraceEventKind, TraceRing};
+    for_each_case("trace_ring_overflow_drops_oldest", |seed, rng| {
+        let cap = rng.gen_range(0usize..50);
+        let n = rng.gen_range(0usize..200);
+        let mut ring = TraceRing::new(cap);
+        for i in 0..n {
+            ring.push(TraceEvent {
+                t: i as u64,
+                pid: Pid(0),
+                core: CoreId(0),
+                kind: TraceEventKind::Wake { reason: "prop" },
+            });
+        }
+        let kept = n.min(cap);
+        assert_eq!(ring.len(), kept, "seed {seed:#x}: wrong retained count");
+        assert_eq!(
+            ring.dropped,
+            (n - kept) as u64,
+            "seed {seed:#x}: evictions miscounted"
+        );
+        // The survivors are exactly the newest `kept` events, oldest first.
+        for (offset, ev) in ring.events().enumerate() {
+            assert_eq!(
+                ev.t,
+                (n - kept + offset) as u64,
+                "seed {seed:#x}: ring did not drop oldest-first"
+            );
+        }
     });
 }
 
