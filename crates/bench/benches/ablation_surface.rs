@@ -26,10 +26,7 @@ fn main() {
         group.bench(label, || {
             run(
                 &RunConfig {
-                    env: EnvSpec::new(
-                        Machine { cores: 8, mem_mib },
-                        EnvKind::Vm(8),
-                    ),
+                    env: EnvSpec::new(Machine { cores: 8, mem_mib }, EnvKind::Vm(8)),
                     iterations: 4,
                     sync: true,
                     seed: 5,
@@ -44,7 +41,13 @@ fn main() {
     for (label, mem) in [("proportional-4G", 4096u64), ("memory-rich-16G", 16_384)] {
         let mut res = run(
             &RunConfig {
-                env: EnvSpec::new(Machine { cores: 8, mem_mib: mem }, EnvKind::Vm(8)),
+                env: EnvSpec::new(
+                    Machine {
+                        cores: 8,
+                        mem_mib: mem,
+                    },
+                    EnvKind::Vm(8),
+                ),
                 iterations: 6,
                 sync: true,
                 seed: 5,

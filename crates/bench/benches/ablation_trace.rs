@@ -128,5 +128,8 @@ fn main() {
 
     // The attribution table renders the paste-ready category view.
     let res = trial(&corpus, EnvKind::Vm(1));
-    eprintln!("shared-kernel attribution:\n{}", res.attrib.render_by_category());
+    eprintln!(
+        "shared-kernel attribution:\n{}",
+        res.attrib.render_by_category()
+    );
 }

@@ -4,16 +4,14 @@
 
 use ksa_bench::Cli;
 use ksa_core::analysis::{render_trends, surface_trends};
-use ksa_core::experiments::{default_corpus, fig2};
+use ksa_core::experiments::{default_corpus, fig2_jobs};
 
 fn main() {
     let cli = Cli::parse();
     let corpus = default_corpus(cli.scale);
-    let result = fig2(&corpus.corpus, cli.scale, cli.seed);
+    let result = fig2_jobs(&corpus.corpus, cli.scale, cli.seed, cli.jobs);
 
-    let mut csv = String::from(
-        "category,vms,count,min,whisker_lo,q1,median,q3,whisker_hi,max\n",
-    );
+    let mut csv = String::from("category,vms,count,min,whisker_lo,q1,median,q3,whisker_hi,max\n");
     for cat in &result.categories {
         println!(
             "Figure 2({}): {} — per-site p99 distribution by VM count",

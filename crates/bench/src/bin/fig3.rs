@@ -2,12 +2,12 @@
 //! versus with a 48-core syscall-noise corpus, KVM versus Docker.
 
 use ksa_bench::{cell_ns, Cli};
-use ksa_core::experiments::{fig3, noise_corpus};
+use ksa_core::experiments::{fig3_jobs, noise_corpus};
 
 fn main() {
     let cli = Cli::parse();
     let noise = noise_corpus(cli.scale);
-    let rows = fig3(&noise, cli.scale, cli.seed);
+    let rows = fig3_jobs(&noise, cli.scale, cli.seed, cli.jobs);
 
     println!("Figure 3(a): 99th percentile latency, isolated");
     println!("{:<12}{:>14}{:>14}", "app", "KVM", "Docker");
@@ -52,8 +52,7 @@ fn main() {
             r.docker_increase_pct()
         ));
     }
-    let avg_kvm: f64 =
-        rows.iter().map(|r| r.kvm_increase_pct()).sum::<f64>() / rows.len() as f64;
+    let avg_kvm: f64 = rows.iter().map(|r| r.kvm_increase_pct()).sum::<f64>() / rows.len() as f64;
     let avg_docker: f64 =
         rows.iter().map(|r| r.docker_increase_pct()).sum::<f64>() / rows.len() as f64;
     println!("\naverage increase: KVM {avg_kvm:.1}%  Docker {avg_docker:.1}%");

@@ -2,12 +2,12 @@
 //! multi-tenant, KVM versus Docker.
 
 use ksa_bench::{cell_ns, Cli};
-use ksa_core::experiments::{fig4, noise_corpus};
+use ksa_core::experiments::{fig4_jobs, noise_corpus};
 
 fn main() {
     let cli = Cli::parse();
     let noise = noise_corpus(cli.scale);
-    let rows = fig4(&noise, cli.scale, cli.seed);
+    let rows = fig4_jobs(&noise, cli.scale, cli.seed, cli.jobs);
 
     println!("Figure 4(a): cluster runtime, isolated");
     println!("{:<12}{:>14}{:>14}", "app", "KVM", "Docker");
@@ -20,10 +20,13 @@ fn main() {
         );
     }
     println!("\nFigure 4(b): cluster runtime, multi-tenant");
-    println!("{:<12}{:>14}{:>14}{:>12}", "app", "KVM", "Docker", "KVM adv %");
+    println!(
+        "{:<12}{:>14}{:>14}{:>12}",
+        "app", "KVM", "Docker", "KVM adv %"
+    );
     for r in &rows {
-        let adv = 100.0 * (r.docker_noise as f64 - r.kvm_noise as f64)
-            / r.docker_noise.max(1) as f64;
+        let adv =
+            100.0 * (r.docker_noise as f64 - r.kvm_noise as f64) / r.docker_noise.max(1) as f64;
         println!(
             "{:<12}{:>14}{:>14}{:>12.1}",
             r.app,

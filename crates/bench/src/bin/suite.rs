@@ -1,0 +1,513 @@
+//! `suite` — the benchmark-regression gate.
+//!
+//! Runs a pinned-seed micro version of every experiment in the pipeline
+//! (Table 1–3, Figure 2–4, calibrate), each twice: once sequentially
+//! (`jobs = 1`) and once on the parallel pool. For each experiment it
+//! records
+//!
+//! * sequential and parallel **wall-clock** time,
+//! * total **simulated time** and **engine events** (with derived
+//!   events/second throughput for both passes),
+//! * a **digest** of the simulated results — an FNV-1a fold over every
+//!   latency sample / duration the experiment produced.
+//!
+//! Digest, simulated time and event counts are *machine-independent*:
+//! the simulation is deterministic, so any change to them is a real
+//! behavioural change of the system, not noise. They are the gated
+//! metrics the CI regression job compares against the committed
+//! baseline (`BENCH_baseline.json`). Wall-clock is machine-dependent;
+//! CI gates only the *ratio* (parallel speedup), and only on machines
+//! with at least 4 hardware threads.
+//!
+//! The suite also hard-fails (exit 4) if any experiment's parallel
+//! digest differs from its sequential digest — the determinism
+//! acceptance criterion, checked on every run.
+//!
+//! ```text
+//! suite [--jobs N] [--out PATH] [--baseline PATH] [--write-baseline PATH]
+//!       [--min-speedup F]
+//! ```
+//!
+//! Exit codes: 0 ok · 2 baseline drift · 3 speedup below gate ·
+//! 4 parallel/sequential divergence.
+
+use std::time::Instant;
+
+use ksa_cluster::{run_cluster, ClusterConfig};
+use ksa_core::experiments::{default_corpus, noise_corpus, table1, Scale};
+use ksa_core::KernelSurfaceArea;
+use ksa_envsim::{container_sweep, vm_sweep, EnvKind, EnvSpec, Machine};
+use ksa_json::Value;
+use ksa_kernel::prog::Corpus;
+use ksa_tailbench::apps::{cluster_suite, suite as app_suite};
+use ksa_tailbench::single_node::{run_points, SingleNodeConfig};
+use ksa_varbench::{run_configs_jobs, RunConfig};
+
+/// The pinned suite seed: the committed baseline is only valid for this
+/// seed, so it is not a CLI knob.
+const SEED: u64 = 42;
+
+/// FNV-1a over a stream of u64s — the digest the drift gate compares.
+#[derive(Clone, Copy)]
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf29ce484222325)
+    }
+    fn fold(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// What one pass (sequential or parallel) of one experiment produced.
+struct Pass {
+    wall_ns: u64,
+    sim_ns: u64,
+    events: u64,
+    digest: String,
+}
+
+/// Simulated outputs of one experiment run (wall time added by `timed`).
+struct SimOut {
+    sim_ns: u64,
+    events: u64,
+    digest: Digest,
+}
+
+fn timed(f: impl FnOnce() -> SimOut) -> Pass {
+    let t0 = Instant::now();
+    let out = f();
+    Pass {
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        sim_ns: out.sim_ns,
+        events: out.events,
+        digest: out.digest.hex(),
+    }
+}
+
+/// Runs a varbench campaign and folds every trial's samples into the
+/// digest (trial order is input order, so the fold is stable).
+fn varbench_case(configs: &[RunConfig], corpus: &Corpus, jobs: usize) -> SimOut {
+    let results = run_configs_jobs(configs, corpus, jobs);
+    let mut d = Digest::new();
+    let (mut sim_ns, mut events) = (0u64, 0u64);
+    for r in results {
+        let res = r.unwrap_or_else(|e| panic!("suite trial failed: {e}"));
+        sim_ns += res.sim_ns;
+        events += res.events;
+        d.fold(res.sim_ns);
+        for site in &res.sites {
+            for &v in site.samples.raw() {
+                d.fold(v);
+            }
+        }
+    }
+    SimOut {
+        sim_ns,
+        events,
+        digest: d,
+    }
+}
+
+fn base_cfg(machine: Machine, kind: EnvKind) -> RunConfig {
+    RunConfig {
+        env: EnvSpec::new(machine, kind),
+        iterations: Scale::Tiny.iterations(),
+        sync: true,
+        seed: SEED,
+        max_events: 0,
+        trace: false,
+    }
+}
+
+fn main() {
+    let mut jobs = 0usize;
+    let mut out_path = String::from("BENCH_suite.json");
+    let mut baseline: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut min_speedup = 1.5f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--jobs" => jobs = val("--jobs").parse().expect("--jobs: not a number"),
+            "--out" => out_path = val("--out"),
+            "--baseline" => baseline = Some(val("--baseline")),
+            "--write-baseline" => write_baseline = Some(val("--write-baseline")),
+            "--min-speedup" => {
+                min_speedup = val("--min-speedup")
+                    .parse()
+                    .expect("--min-speedup: not a number")
+            }
+            other => {
+                eprintln!("usage: suite [--jobs N] [--out PATH] [--baseline PATH] [--write-baseline PATH] [--min-speedup F]");
+                eprintln!("error: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let resolved = ksa_desim::pool::resolve_jobs(jobs);
+    eprintln!(
+        "suite: seed {SEED}, {threads} hardware threads, parallel pass on {resolved} workers"
+    );
+
+    let corpus = default_corpus(Scale::Tiny).corpus;
+    let noise = noise_corpus(Scale::Tiny);
+    let machine = Scale::Tiny.machine();
+
+    // Each experiment is `fn(jobs) -> SimOut`; the harness runs it at
+    // jobs=1 and jobs=<requested> and compares.
+    type Case<'a> = (&'a str, Box<dyn Fn(usize) -> SimOut + 'a>);
+    let cases: Vec<Case> = vec![
+        (
+            "table1",
+            Box::new(|_jobs| {
+                // Machine-defined, no simulation: digest pins the surface-
+                // area ladder itself.
+                let mut d = Digest::new();
+                for row in table1(Scale::Full) {
+                    let spec = EnvSpec::new(Scale::Full.machine(), EnvKind::Vm(row.count));
+                    d.fold(row.count as u64);
+                    d.fold(row.cores_per as u64);
+                    d.fold(row.mib_per);
+                    d.fold(KernelSurfaceArea::of(&spec).scalar().to_bits());
+                }
+                SimOut {
+                    sim_ns: 0,
+                    events: 0,
+                    digest: d,
+                }
+            }),
+        ),
+        (
+            "table2",
+            Box::new(|jobs| {
+                let kinds = [
+                    EnvKind::Native,
+                    EnvKind::Vm(machine.cores),
+                    EnvKind::Container(machine.cores),
+                ];
+                let configs: Vec<RunConfig> = kinds.iter().map(|&k| base_cfg(machine, k)).collect();
+                varbench_case(&configs, &corpus, jobs)
+            }),
+        ),
+        (
+            "fig2",
+            Box::new(|jobs| {
+                let mut configs = vec![base_cfg(machine, EnvKind::Native)];
+                configs.extend(
+                    vm_sweep(machine)
+                        .iter()
+                        .map(|row| base_cfg(machine, EnvKind::Vm(row.count))),
+                );
+                varbench_case(&configs, &corpus, jobs)
+            }),
+        ),
+        (
+            "table3",
+            Box::new(|jobs| {
+                let configs: Vec<RunConfig> = container_sweep(machine)
+                    .iter()
+                    .map(|row| base_cfg(machine, EnvKind::Container(row.count)))
+                    .collect();
+                varbench_case(&configs, &corpus, jobs)
+            }),
+        ),
+        (
+            "fig3",
+            Box::new(|jobs| {
+                let node_machine = Machine {
+                    cores: 8,
+                    mem_mib: 8 * 1024,
+                };
+                let mut points = Vec::new();
+                for app in app_suite() {
+                    for (virt, with_noise) in
+                        [(true, false), (false, false), (true, true), (false, true)]
+                    {
+                        points.push((
+                            app.clone(),
+                            SingleNodeConfig {
+                                machine: node_machine,
+                                groups: 4,
+                                virt,
+                                noise: with_noise,
+                                requests: 120,
+                                warmup: 12,
+                                util_pct: 75,
+                                trace: false,
+                                seed: SEED,
+                            },
+                        ));
+                    }
+                }
+                let results = run_points(&points, &noise, jobs);
+                let mut d = Digest::new();
+                let (mut sim_ns, mut events) = (0u64, 0u64);
+                for t in &results {
+                    sim_ns += t.sim_ns;
+                    events += t.events;
+                    d.fold(t.sim_ns);
+                    d.fold(t.p99);
+                    for &v in t.sojourns.raw() {
+                        d.fold(v);
+                    }
+                }
+                SimOut {
+                    sim_ns,
+                    events,
+                    digest: d,
+                }
+            }),
+        ),
+        (
+            "fig4",
+            Box::new(|jobs| {
+                let apps = cluster_suite();
+                let mut d = Digest::new();
+                let mut sim_ns = 0u64;
+                for app in apps.iter().take(2) {
+                    for (virt, with_noise) in [(true, false), (false, true)] {
+                        let cfg = ClusterConfig {
+                            nodes: 4,
+                            iterations: 3,
+                            requests_per_iter: 20,
+                            node: SingleNodeConfig {
+                                machine: Machine {
+                                    cores: 8,
+                                    mem_mib: 8 * 1024,
+                                },
+                                groups: 2,
+                                virt,
+                                noise: with_noise,
+                                requests: 0,
+                                warmup: 0,
+                                util_pct: 92,
+                                trace: false,
+                                seed: SEED,
+                            },
+                            barrier_ns: 40_000,
+                            threads: jobs,
+                        };
+                        let res = run_cluster(app, &cfg, &noise);
+                        sim_ns += res.total_ns;
+                        for &it in &res.iteration_ns {
+                            d.fold(it);
+                        }
+                        d.fold(res.mean_node_ns);
+                    }
+                }
+                SimOut {
+                    sim_ns,
+                    events: 0,
+                    digest: d,
+                }
+            }),
+        ),
+        (
+            "calibrate",
+            Box::new(|jobs| {
+                let mut points = Vec::new();
+                for app in app_suite() {
+                    for virt in [false, true] {
+                        points.push((
+                            app.clone(),
+                            SingleNodeConfig {
+                                machine: Machine {
+                                    cores: 16,
+                                    mem_mib: 16 * 1024,
+                                },
+                                groups: 4,
+                                virt,
+                                noise: false,
+                                requests: 100,
+                                warmup: 10,
+                                util_pct: 10,
+                                trace: false,
+                                seed: SEED,
+                            },
+                        ));
+                    }
+                }
+                let results = run_points(&points, &noise, jobs);
+                let mut d = Digest::new();
+                let (mut sim_ns, mut events) = (0u64, 0u64);
+                for t in &results {
+                    sim_ns += t.sim_ns;
+                    events += t.events;
+                    d.fold(t.sim_ns);
+                    for &v in t.sojourns.raw() {
+                        d.fold(v);
+                    }
+                }
+                SimOut {
+                    sim_ns,
+                    events,
+                    digest: d,
+                }
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut diverged = false;
+    let (mut total_seq, mut total_par) = (0u64, 0u64);
+    for (name, case) in &cases {
+        let seq = timed(|| case(1));
+        let par = timed(|| case(jobs));
+        if seq.digest != par.digest || seq.sim_ns != par.sim_ns || seq.events != par.events {
+            eprintln!(
+                "suite: {name}: parallel run diverged from sequential \
+                 (digest {} vs {}, sim_ns {} vs {})",
+                seq.digest, par.digest, seq.sim_ns, par.sim_ns
+            );
+            diverged = true;
+        }
+        total_seq += seq.wall_ns;
+        total_par += par.wall_ns;
+        let speedup = seq.wall_ns as f64 / par.wall_ns.max(1) as f64;
+        let eps = |p: &Pass| p.events as f64 / (p.wall_ns.max(1) as f64 / 1e9);
+        eprintln!(
+            "suite: {name:<10} seq {:>8.1}ms  par {:>8.1}ms  speedup {speedup:>5.2}x  \
+             sim {:>6.1}ms  {:>9.0} ev/s par",
+            seq.wall_ns as f64 / 1e6,
+            par.wall_ns as f64 / 1e6,
+            seq.sim_ns as f64 / 1e6,
+            eps(&par),
+        );
+        rows.push(Value::object([
+            ("name", Value::str(*name)),
+            ("seq_wall_ns", Value::from(seq.wall_ns)),
+            ("par_wall_ns", Value::from(par.wall_ns)),
+            ("speedup", Value::from(speedup)),
+            ("sim_ns", Value::from(seq.sim_ns)),
+            ("events", Value::from(seq.events)),
+            ("events_per_sec_seq", Value::from(eps(&seq))),
+            ("events_per_sec_par", Value::from(eps(&par))),
+            ("digest", Value::str(seq.digest.clone())),
+        ]));
+    }
+
+    let overall = total_seq as f64 / total_par.max(1) as f64;
+    eprintln!(
+        "suite: total seq {:.1}ms  par {:.1}ms  overall speedup {overall:.2}x",
+        total_seq as f64 / 1e6,
+        total_par as f64 / 1e6
+    );
+
+    let report = Value::object([
+        ("version", Value::from(1u64)),
+        ("seed", Value::from(SEED)),
+        ("hardware_threads", Value::from(threads)),
+        ("parallel_jobs", Value::from(resolved)),
+        ("total_seq_wall_ns", Value::from(total_seq)),
+        ("total_par_wall_ns", Value::from(total_par)),
+        ("overall_speedup", Value::from(overall)),
+        ("experiments", Value::array(rows)),
+    ]);
+    std::fs::write(&out_path, report.render()).expect("write suite report");
+    eprintln!("suite: wrote {out_path}");
+
+    if let Some(path) = write_baseline {
+        // The baseline is the gated (machine-independent) subset only.
+        let gated = Value::object([
+            ("version", Value::from(1u64)),
+            ("seed", Value::from(SEED)),
+            (
+                "experiments",
+                Value::array(
+                    report
+                        .get("experiments")
+                        .unwrap()
+                        .as_array()
+                        .unwrap()
+                        .iter()
+                        .map(|e| {
+                            Value::object([
+                                ("name", e.get("name").unwrap().clone()),
+                                ("sim_ns", e.get("sim_ns").unwrap().clone()),
+                                ("events", e.get("events").unwrap().clone()),
+                                ("digest", e.get("digest").unwrap().clone()),
+                            ])
+                        }),
+                ),
+            ),
+        ]);
+        std::fs::write(&path, gated.render()).expect("write baseline");
+        eprintln!("suite: wrote baseline {path}");
+    }
+
+    if diverged {
+        std::process::exit(4);
+    }
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("suite: cannot read baseline {path}: {e}"));
+        let base = ksa_json::parse(&text).expect("baseline: invalid JSON");
+        let mut drift = false;
+        for be in base.get("experiments").unwrap().as_array().unwrap() {
+            let name = be.get("name").unwrap().as_str().unwrap();
+            let Some(now) = report
+                .get("experiments")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str().unwrap() == name)
+            else {
+                eprintln!("suite: baseline experiment {name} missing from this run");
+                drift = true;
+                continue;
+            };
+            for key in ["digest", "sim_ns", "events"] {
+                let want = be.get(key).unwrap();
+                let got = now.get(key).unwrap();
+                if want.render() != got.render() {
+                    eprintln!(
+                        "suite: {name}: gated metric {key} drifted from baseline: \
+                         {} -> {}",
+                        want.render(),
+                        got.render()
+                    );
+                    drift = true;
+                }
+            }
+        }
+        if drift {
+            eprintln!("suite: simulated metrics drifted — if intentional, regenerate the baseline with --write-baseline");
+            std::process::exit(2);
+        }
+        eprintln!("suite: all gated metrics match {path}");
+    }
+
+    // The speedup gate only means something with real parallelism
+    // underneath; the CI job runs on >= 4-thread runners.
+    if threads >= 4 && resolved >= 2 {
+        if overall < min_speedup {
+            eprintln!(
+                "suite: overall parallel speedup {overall:.2}x is below the {min_speedup:.2}x gate \
+                 on {threads} hardware threads"
+            );
+            std::process::exit(3);
+        }
+        eprintln!("suite: speedup gate passed ({overall:.2}x >= {min_speedup:.2}x)");
+    } else {
+        eprintln!("suite: speedup gate skipped ({threads} hardware threads, {resolved} workers)");
+    }
+}

@@ -9,7 +9,10 @@ fn main() {
     let cli = Cli::parse();
     let rows = table1(Scale::Full); // Table 1 is machine-defined, not sampled
     println!("Table 1: VM configurations (64-core / 32 GB machine)");
-    println!("{:<8}{:>12}{:>12}{:>18}", "# VMs", "cores/VM", "GiB/VM", "surface scalar");
+    println!(
+        "{:<8}{:>12}{:>12}{:>18}",
+        "# VMs", "cores/VM", "GiB/VM", "surface scalar"
+    );
     let machine = Scale::Full.machine();
     let mut csv = String::from("vms,cores_per,mib_per,surface_scalar\n");
     for r in &rows {
@@ -22,7 +25,13 @@ fn main() {
             r.mib_per as f64 / 1024.0,
             s.scalar()
         );
-        csv.push_str(&format!("{},{},{},{:.3}\n", r.count, r.cores_per, r.mib_per, s.scalar()));
+        csv.push_str(&format!(
+            "{},{},{},{:.3}\n",
+            r.count,
+            r.cores_per,
+            r.mib_per,
+            s.scalar()
+        ));
     }
     cli.write_csv("table1", &csv);
 }

@@ -3,7 +3,7 @@
 //! containers.
 
 use ksa_bench::Cli;
-use ksa_core::experiments::{default_corpus, table2};
+use ksa_core::experiments::{default_corpus, table2_jobs};
 
 fn main() {
     let cli = Cli::parse();
@@ -16,7 +16,7 @@ fn main() {
         corpus.stats.blocks,
         t0.elapsed()
     );
-    let result = table2(&corpus.corpus, cli.scale, cli.seed);
+    let result = table2_jobs(&corpus.corpus, cli.scale, cli.seed, cli.jobs);
     println!("{}", result.median.render());
     println!("{}", result.p99.render());
     println!("{}", result.max.render());

@@ -2,12 +2,12 @@
 //! container count grows.
 
 use ksa_bench::Cli;
-use ksa_core::experiments::{default_corpus, table3};
+use ksa_core::experiments::{default_corpus, table3_jobs};
 
 fn main() {
     let cli = Cli::parse();
     let corpus = default_corpus(cli.scale);
-    let table = table3(&corpus.corpus, cli.scale, cli.seed);
+    let table = table3_jobs(&corpus.corpus, cli.scale, cli.seed, cli.jobs);
     println!("{}", table.render());
     cli.write_csv("table3", &table.to_csv());
 }

@@ -4,6 +4,9 @@
 //!
 //! * `--tiny` / `--quick` / `--full` — experiment scale (default quick),
 //! * `--seed <n>` — trial seed (default 42),
+//! * `--jobs <n>` — pool workers for independent trials (default 0 =
+//!   auto: `KSA_JOBS` or available parallelism; 1 = sequential; results
+//!   are bit-identical for every value),
 //! * `--csv <dir>` — also write CSV artifacts into `dir`.
 
 use ksa_core::experiments::Scale;
@@ -16,6 +19,8 @@ pub struct Cli {
     pub scale: Scale,
     /// Trial seed.
     pub seed: u64,
+    /// Pool workers for independent trials (0 = auto).
+    pub jobs: usize,
     /// CSV output directory.
     pub csv: Option<PathBuf>,
 }
@@ -25,6 +30,7 @@ impl Cli {
     pub fn parse() -> Self {
         let mut scale = Scale::Quick;
         let mut seed = 42;
+        let mut jobs = 0;
         let mut csv = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -38,6 +44,12 @@ impl Cli {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs a number"));
                 }
+                "--jobs" => {
+                    jobs = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--jobs needs a number"));
+                }
                 "--csv" => {
                     csv = Some(PathBuf::from(
                         args.next().unwrap_or_else(|| usage("--csv needs a dir")),
@@ -47,7 +59,12 @@ impl Cli {
                 other => usage(&format!("unknown argument: {other}")),
             }
         }
-        Cli { scale, seed, csv }
+        Cli {
+            scale,
+            seed,
+            jobs,
+            csv,
+        }
     }
 
     /// Writes `content` as `<name>.csv` when `--csv` was given.
@@ -65,7 +82,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--tiny|--quick|--full] [--seed N] [--csv DIR]");
+    eprintln!("usage: <bin> [--tiny|--quick|--full] [--seed N] [--jobs N] [--csv DIR]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -89,7 +106,10 @@ pub mod microbench {
 
     /// Opens a group with the default sample count.
     pub fn group(name: &str) -> Group {
-        Group { name: name.to_string(), samples: 10 }
+        Group {
+            name: name.to_string(),
+            samples: 10,
+        }
     }
 
     impl Group {

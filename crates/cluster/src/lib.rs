@@ -10,8 +10,11 @@
 //! heavy per-node tail makes `max` over 64 nodes land in the tail almost
 //! every iteration.
 //!
-//! Node simulations run in parallel OS threads; with identical seeds the
-//! whole experiment is deterministic.
+//! Node simulations run concurrently on the deterministic work-stealing
+//! pool (`ksa_desim::pool`); each node is one single-threaded engine run
+//! with a seed derived from the node index, so the whole experiment is
+//! bit-identical for every worker count, including the sequential
+//! (`threads == 1`) baseline.
 
 use ksa_desim::Ns;
 use ksa_kernel::prog::Corpus;
@@ -32,7 +35,8 @@ pub struct ClusterConfig {
     /// Per-iteration barrier cost added after the max (network
     /// allreduce latency).
     pub barrier_ns: Ns,
-    /// Worker threads used to simulate nodes.
+    /// Pool workers used to simulate nodes (0 = auto: `KSA_JOBS` or
+    /// available parallelism; 1 = sequential).
     pub threads: usize,
 }
 
@@ -63,7 +67,7 @@ impl ClusterConfig {
                 seed,
             },
             barrier_ns: 40_000, // ~40µs allreduce on a cluster fabric
-            threads: 4,
+            threads: 0,         // auto: results are thread-count-invariant
         }
     }
 
@@ -88,7 +92,7 @@ impl ClusterConfig {
                 seed,
             },
             barrier_ns: 40_000,
-            threads: 2,
+            threads: 0,
         }
     }
 }
@@ -147,51 +151,26 @@ pub fn run_cluster(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus)
     }
 }
 
-/// Simulates every node (in parallel threads), returning per-node
-/// iteration durations.
+/// Simulates every node on the work-stealing pool, returning per-node
+/// iteration durations in node order. Node seeds derive from the node
+/// *index*, so scheduling cannot reach the simulated results.
 fn run_nodes(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus) -> Vec<Vec<Ns>> {
-    let mut out: Vec<Option<Vec<Ns>>> = Vec::new();
-    out.resize_with(cfg.nodes, || None);
-    let threads = cfg.threads.max(1);
-    std::thread::scope(|s| {
-        let chunks: Vec<Vec<usize>> = (0..threads)
-            .map(|t| (0..cfg.nodes).filter(|n| n % threads == t).collect())
-            .collect();
-        let mut handles = Vec::new();
-        for chunk in chunks {
-            let handle = s.spawn({
-                let chunk2 = chunk.clone();
-                move || {
-                    chunk2
-                        .iter()
-                        .map(|&node| {
-                            let mut node_cfg = cfg.node;
-                            node_cfg.seed = cfg
-                                .node
-                                .seed
-                                .wrapping_mul(0x9e3779b97f4a7c15)
-                                .wrapping_add(node as u64);
-                            let res = run_node_batched(
-                                app,
-                                &node_cfg,
-                                noise_corpus,
-                                cfg.iterations,
-                                cfg.requests_per_iter,
-                            );
-                            (node, res.batch_durations)
-                        })
-                        .collect::<Vec<_>>()
-                }
-            });
-            handles.push(handle);
-        }
-        for h in handles {
-            for (node, durs) in h.join().expect("node simulation panicked") {
-                out[node] = Some(durs);
-            }
-        }
-    });
-    out.into_iter().map(|o| o.unwrap()).collect()
+    ksa_desim::pool::parallel_indexed(cfg.threads, cfg.nodes, |node| {
+        let mut node_cfg = cfg.node;
+        node_cfg.seed = cfg
+            .node
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(node as u64);
+        let res = run_node_batched(
+            app,
+            &node_cfg,
+            noise_corpus,
+            cfg.iterations,
+            cfg.requests_per_iter,
+        );
+        res.batch_durations
+    })
 }
 
 #[cfg(test)]
@@ -260,5 +239,23 @@ mod tests {
         let a = run_cluster(app, &cfg, &corpus());
         let b = run_cluster(app, &cfg, &corpus());
         assert_eq!(a.iteration_ns, b.iteration_ns);
+    }
+
+    #[test]
+    fn worker_count_does_not_reach_the_simulation() {
+        // The Figure 4 acceptance shape: per-node results must be
+        // bit-identical whether nodes are simulated sequentially or on
+        // a pool wider than the node count.
+        let app = &suite()[1];
+        let mut cfg = ClusterConfig::quick(false, true, 13);
+        cfg.threads = 1;
+        let seq = run_cluster(app, &cfg, &corpus());
+        for threads in [3usize, 16] {
+            cfg.threads = threads;
+            let par = run_cluster(app, &cfg, &corpus());
+            assert_eq!(seq.iteration_ns, par.iteration_ns, "threads={threads}");
+            assert_eq!(seq.total_ns, par.total_ns, "threads={threads}");
+            assert_eq!(seq.mean_node_ns, par.mean_node_ns, "threads={threads}");
+        }
     }
 }

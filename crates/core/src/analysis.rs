@@ -121,6 +121,4 @@ mod tests {
         let t = &surface_trends(&fig2)[0];
         assert!(t.outlier_reduction < 1.2);
     }
-
-
 }

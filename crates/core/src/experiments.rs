@@ -5,15 +5,15 @@
 //! can run the same code paths in seconds while the full runs regenerate
 //! the paper-scale artifacts.
 
+use ksa_cluster::{run_cluster, ClusterConfig};
 use ksa_envsim::{container_sweep, vm_sweep, EnvKind, EnvSpec, Machine, SweepRow};
 use ksa_kernel::prog::Corpus;
 use ksa_kernel::Category;
 use ksa_stats::{BucketTable, ViolinSummary};
 use ksa_syzgen::{generate, GenConfig, GeneratedCorpus};
-use ksa_tailbench::apps::{cluster_suite, suite};
-use ksa_tailbench::single_node::{run_single_node, SingleNodeConfig};
-use ksa_cluster::{run_cluster, ClusterConfig};
-use ksa_varbench::{run, RunConfig};
+use ksa_tailbench::apps::{cluster_suite, suite, AppProfile};
+use ksa_tailbench::single_node::{run_points, SingleNodeConfig};
+use ksa_varbench::{run_configs_jobs, RunConfig, RunResult};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,30 +203,36 @@ pub struct Table2Result {
 }
 
 /// Runs Table 2: the corpus on all cores in the three headline
-/// environments.
+/// environments (trials in parallel on the auto worker count).
 pub fn table2(corpus: &Corpus, scale: Scale, seed: u64) -> Table2Result {
+    table2_jobs(corpus, scale, seed, 0)
+}
+
+/// [`table2`] with an explicit `--jobs` worker count (0 = auto,
+/// 1 = sequential); results are identical for every count.
+pub fn table2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Table2Result {
     let machine = scale.machine();
     let kinds = [
         EnvKind::Native,
         EnvKind::Vm(machine.cores),
         EnvKind::Container(machine.cores),
     ];
+    let configs: Vec<RunConfig> = kinds
+        .iter()
+        .map(|&kind| RunConfig {
+            env: EnvSpec::new(machine, kind),
+            iterations: scale.iterations(),
+            sync: true,
+            seed,
+            max_events: 0,
+            trace: false,
+        })
+        .collect();
+    let results = expect_trials("table2", run_configs_jobs(&configs, corpus, jobs));
     let mut median = BucketTable::new("Table 2a: median system call runtimes (cumulative %)");
     let mut p99 = BucketTable::new("Table 2b: 99th percentile system call runtimes (cumulative %)");
     let mut max = BucketTable::new("Table 2c: worst-case system call runtimes (cumulative %)");
-    for kind in kinds {
-        let mut res = run(
-            &RunConfig {
-                env: EnvSpec::new(machine, kind),
-                iterations: scale.iterations(),
-                sync: true,
-                seed,
-                max_events: 0,
-                trace: false,
-            },
-            corpus,
-        )
-        .expect("table2 trial failed");
+    for (kind, mut res) in kinds.into_iter().zip(results) {
         let meds = res.per_site(None, |s| s.median());
         let p99s = res.per_site(None, |s| s.p99());
         let maxes = res.per_site(None, |s| s.max());
@@ -235,6 +241,19 @@ pub fn table2(corpus: &Corpus, scale: Scale, seed: u64) -> Table2Result {
         max.push_values(kind.label(), &maxes);
     }
     Table2Result { median, p99, max }
+}
+
+/// Unwraps a campaign where every trial is expected to complete,
+/// panicking with the experiment name and trial index otherwise.
+fn expect_trials(
+    what: &str,
+    results: Vec<Result<RunResult, ksa_varbench::RunError>>,
+) -> Vec<RunResult> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("{what} trial {i} failed: {e}")))
+        .collect()
 }
 
 // ---------------------------------------------------------------- Figure 2
@@ -262,43 +281,40 @@ pub struct Fig2Result {
 /// least 10µs, as in the paper (shorter ones are mostly the tiny mmaps
 /// feeding other calls and show no trend).
 pub fn fig2(corpus: &Corpus, scale: Scale, seed: u64) -> Fig2Result {
+    fig2_jobs(corpus, scale, seed, 0)
+}
+
+/// [`fig2`] with an explicit `--jobs` worker count. The native filter
+/// run and the whole VM sweep go through the pool as one batch.
+pub fn fig2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Fig2Result {
     let machine = scale.machine();
-    // Native run decides the filter.
-    let mut native = run(
-        &RunConfig {
-            env: EnvSpec::new(machine, EnvKind::Native),
-            iterations: scale.iterations(),
-            sync: true,
-            seed,
-            max_events: 0,
-            trace: false,
-        },
-        corpus,
-    )
-    .expect("fig2 native trial failed");
+    let sweep = vm_sweep(machine);
+    // One batch: the native run (which decides the site filter) plus
+    // every VM-sweep point.
+    let mut configs = vec![RunConfig {
+        env: EnvSpec::new(machine, EnvKind::Native),
+        iterations: scale.iterations(),
+        sync: true,
+        seed,
+        max_events: 0,
+        trace: false,
+    }];
+    configs.extend(sweep.iter().map(|row| RunConfig {
+        env: EnvSpec::new(machine, EnvKind::Vm(row.count)),
+        iterations: scale.iterations(),
+        sync: true,
+        seed,
+        max_events: 0,
+        trace: false,
+    }));
+    let mut results = expect_trials("fig2", run_configs_jobs(&configs, corpus, jobs)).into_iter();
+    let mut native = results.next().expect("fig2 native trial missing");
     let keep: Vec<bool> = native
         .sites
         .iter_mut()
         .map(|s| s.samples.median().unwrap_or(0) >= 10_000)
         .collect();
-
-    let sweep = vm_sweep(machine);
-    let mut per_config = Vec::new();
-    for row in &sweep {
-        let res = run(
-            &RunConfig {
-                env: EnvSpec::new(machine, EnvKind::Vm(row.count)),
-                iterations: scale.iterations(),
-                sync: true,
-                seed,
-                max_events: 0,
-                trace: false,
-            },
-            corpus,
-        )
-        .expect("fig2 vm trial failed");
-        per_config.push(res);
-    }
+    let mut per_config: Vec<RunResult> = results.collect();
 
     let mut categories = Vec::new();
     for cat in Category::ALL {
@@ -311,9 +327,7 @@ pub fn fig2(corpus: &Corpus, scale: Scale, seed: u64) -> Fig2Result {
                 .filter(|(i, s)| keep[*i] && s.in_category(cat))
                 .filter_map(|(_, s)| s.samples.p99())
                 .collect();
-            if let Some(v) =
-                ViolinSummary::from_values(format!("{} VMs", row.count), &p99s, 64)
-            {
+            if let Some(v) = ViolinSummary::from_values(format!("{} VMs", row.count), &p99s, 64) {
                 violins.push(v);
             }
         }
@@ -333,22 +347,29 @@ pub fn fig2(corpus: &Corpus, scale: Scale, seed: u64) -> Fig2Result {
 /// Table 3: worst-case bucket percentages in Docker as the container
 /// count grows.
 pub fn table3(corpus: &Corpus, scale: Scale, seed: u64) -> BucketTable {
+    table3_jobs(corpus, scale, seed, 0)
+}
+
+/// [`table3`] with an explicit `--jobs` worker count: the container
+/// sweep runs as one parallel batch.
+pub fn table3_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> BucketTable {
     let machine = scale.machine();
+    let sweep = container_sweep(machine);
+    let configs: Vec<RunConfig> = sweep
+        .iter()
+        .map(|row| RunConfig {
+            env: EnvSpec::new(machine, EnvKind::Container(row.count)),
+            iterations: scale.iterations(),
+            sync: true,
+            seed,
+            max_events: 0,
+            trace: false,
+        })
+        .collect();
+    let results = expect_trials("table3", run_configs_jobs(&configs, corpus, jobs));
     let mut table =
         BucketTable::new("Table 3: worst-case (max) syscall runtimes in Docker (cumulative %)");
-    for row in container_sweep(machine) {
-        let mut res = run(
-            &RunConfig {
-                env: EnvSpec::new(machine, EnvKind::Container(row.count)),
-                iterations: scale.iterations(),
-                sync: true,
-                seed,
-                max_events: 0,
-                trace: false,
-            },
-            corpus,
-        )
-        .expect("table3 trial failed");
+    for (row, mut res) in sweep.iter().zip(results) {
         let maxes = res.per_site(None, |s| s.max());
         table.push_values(format!("{} ctnrs", row.count), &maxes);
     }
@@ -392,26 +413,18 @@ fn pct_increase(base: u64, now: u64) -> f64 {
     }
 }
 
-/// p99 averaged over repetition seeds (the paper runs each client twice
-/// and keeps the warmed run; we average to stabilize the tail estimate).
-fn mean_p99(
-    app: &ksa_tailbench::apps::AppProfile,
-    cfg: &SingleNodeConfig,
-    noise: &Corpus,
-    reps: u64,
-) -> u64 {
-    let total: u64 = (0..reps)
-        .map(|r| {
-            let mut c = *cfg;
-            c.seed = cfg.seed.wrapping_add(r * 0x1234_5678);
-            run_single_node(app, &c, noise).p99
-        })
-        .sum();
-    total / reps
+/// Runs Figure 3 over the full suite (grid points in parallel on the
+/// auto worker count).
+pub fn fig3(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig3Row> {
+    fig3_jobs(noise, scale, seed, 0)
 }
 
-/// Runs Figure 3 over the full suite.
-pub fn fig3(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig3Row> {
+/// [`fig3`] with an explicit `--jobs` worker count. The whole noise
+/// grid — apps × {KVM, Docker} × {isolated, noisy} × repetition seeds —
+/// is flattened into one batch of independent points for the pool;
+/// since point seeds are a pure function of grid position, the result
+/// rows are identical for every worker count.
+pub fn fig3_jobs(noise: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Vec<Fig3Row> {
     let (machine, groups) = match scale {
         Scale::Tiny => (
             Machine {
@@ -451,14 +464,41 @@ pub fn fig3(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig3Row> {
         Scale::Quick => 2,
         Scale::Full => 3,
     };
-    suite()
-        .iter()
-        .map(|app| Fig3Row {
-            app: app.name.to_string(),
-            kvm_isolated: mean_p99(app, &mk_cfg(true, false), noise, reps),
-            docker_isolated: mean_p99(app, &mk_cfg(false, false), noise, reps),
-            kvm_noise: mean_p99(app, &mk_cfg(true, true), noise, reps),
-            docker_noise: mean_p99(app, &mk_cfg(false, true), noise, reps),
+    // The four grid configurations per app, in row order.
+    const GRID: [(bool, bool); 4] = [(true, false), (false, false), (true, true), (false, true)];
+    let apps = suite();
+    let mut points: Vec<(AppProfile, SingleNodeConfig)> = Vec::new();
+    for app in &apps {
+        for (virt, with_noise) in GRID {
+            for r in 0..reps {
+                let mut c = mk_cfg(virt, with_noise);
+                // The paper runs each client twice and keeps the warmed
+                // run; we average over repetition seeds to stabilize the
+                // tail estimate.
+                c.seed = c.seed.wrapping_add(r * 0x1234_5678);
+                points.push((app.clone(), c));
+            }
+        }
+    }
+    let results = run_points(&points, noise, jobs);
+    let reps = reps as usize;
+    apps.iter()
+        .zip(results.chunks(GRID.len() * reps))
+        .map(|(app, chunk)| {
+            let mean_p99 = |g: usize| {
+                chunk[g * reps..(g + 1) * reps]
+                    .iter()
+                    .map(|t| t.p99)
+                    .sum::<u64>()
+                    / reps as u64
+            };
+            Fig3Row {
+                app: app.name.to_string(),
+                kvm_isolated: mean_p99(0),
+                docker_isolated: mean_p99(1),
+                kvm_noise: mean_p99(2),
+                docker_noise: mean_p99(3),
+            }
         })
         .collect()
 }
@@ -492,8 +532,15 @@ impl Fig4Row {
 }
 
 /// Runs Figure 4 over the cluster suite (no shore/specjbb, as in the
-/// paper).
+/// paper), simulating nodes in parallel on the auto worker count.
 pub fn fig4(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig4Row> {
+    fig4_jobs(noise, scale, seed, 0)
+}
+
+/// [`fig4`] with an explicit `--jobs` worker count for the per-node
+/// simulations (0 = auto, 1 = sequential); node seeds derive from node
+/// indices, so every count yields the same rows.
+pub fn fig4_jobs(noise: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Vec<Fig4Row> {
     let (nodes, iterations, per_iter) = scale.cluster();
     let node_machine = match scale {
         Scale::Tiny => Machine {
@@ -525,7 +572,7 @@ pub fn fig4(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig4Row> {
             seed,
         },
         barrier_ns: 40_000,
-        threads: 4,
+        threads: jobs,
     };
     cluster_suite()
         .iter()

@@ -217,7 +217,7 @@ mod tests {
         c.charge_compute(0, 50, OccClass::Softirq); // [100, 150)
         c.steal(0, 30); // [150, 180)
         c.charge_compute(0, 20, OccClass::Daemon); // [180, 200)
-        // A process arriving at t=120 waits until t=200.
+                                                   // A process arriving at t=120 waits until t=200.
         let parts = c.queue_breakdown(120);
         assert_eq!(parts[OccClass::User as usize], 0, "user work already past");
         assert_eq!(parts[OccClass::Softirq as usize], 30);

@@ -135,6 +135,10 @@ pub struct SimResult {
     pub clock: Ns,
     /// All samples recorded during the run, in record order.
     pub records: Vec<Record>,
+    /// Events processed by this `run`/`run_until` call — the engine's
+    /// unit of simulated work, used by the bench suite to report
+    /// events/second throughput.
+    pub events: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -315,7 +319,14 @@ impl EngineState {
             if l.holder == crate::lock::Holder::Exclusive(pid) {
                 let held_ns = self.clock.saturating_sub(l.held_since);
                 let label = l.label;
-                self.trace_push(pid, TraceEventKind::LockReleased { lock, label, held_ns });
+                self.trace_push(
+                    pid,
+                    TraceEventKind::LockReleased {
+                        lock,
+                        label,
+                        held_ns,
+                    },
+                );
             }
         }
         if kind == LockKind::Spin {
@@ -758,6 +769,7 @@ impl<W> Engine<W> {
         Ok(SimResult {
             clock: self.st.clock,
             records: std::mem::take(&mut self.st.records),
+            events: processed,
         })
     }
 
@@ -858,7 +870,12 @@ impl<W> Engine<W> {
                                 },
                             );
                         }
-                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::OnCpu });
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::Block {
+                                comp: LatComp::OnCpu,
+                            },
+                        );
                     }
                     st.wake_at(end, pid, WakeReason::Timer);
                     self.procs[pid.index()].blocked_on = "delay";
@@ -867,7 +884,12 @@ impl<W> Engine<W> {
                 Effect::Sleep(n) => {
                     st.lat[pid.index()].add(LatComp::Sleep, n);
                     if st.trace_on() {
-                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::Sleep });
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::Block {
+                                comp: LatComp::Sleep,
+                            },
+                        );
                     }
                     st.wake_at(now + n, pid, WakeReason::Timer);
                     self.procs[pid.index()].blocked_on = "sleep";
@@ -901,7 +923,12 @@ impl<W> Engine<W> {
                     if st.trace_on() {
                         let label = st.locks[lock.index()].label;
                         st.trace_push(pid, TraceEventKind::LockContend { lock, label });
-                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::LockWait });
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::Block {
+                                comp: LatComp::LockWait,
+                            },
+                        );
                     }
                     self.procs[pid.index()].blocked_on = st.locks[lock.index()].label;
                     break;
@@ -923,7 +950,12 @@ impl<W> Engine<W> {
                                 handler_ns,
                             },
                         );
-                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::IpiWait });
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::Block {
+                                comp: LatComp::IpiWait,
+                            },
+                        );
                     }
                     let token = st.next_ipi;
                     st.next_ipi += 1;
@@ -965,7 +997,12 @@ impl<W> Engine<W> {
                                 dur_ns: done - now,
                             },
                         );
-                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::IoWait });
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::Block {
+                                comp: LatComp::IoWait,
+                            },
+                        );
                     }
                     st.wake_at(done, pid, WakeReason::IoDone);
                     self.procs[pid.index()].blocked_on = "io";
@@ -988,8 +1025,7 @@ impl<W> Engine<W> {
                     }
                     if full {
                         let release = now + st.params.barrier_release;
-                        let waiters =
-                            std::mem::take(&mut st.barriers[b.0 as usize].waiting);
+                        let waiters = std::mem::take(&mut st.barriers[b.0 as usize].waiting);
                         for w in waiters {
                             st.wake_at(release, w, WakeReason::BarrierReleased);
                         }
@@ -1013,8 +1049,7 @@ impl<W> Engine<W> {
                 }
                 Effect::RcuSync(r) => {
                     let dom = &st.rcu[r.0 as usize];
-                    let gp = st.params.rcu_base
-                        + st.params.rcu_per_core * dom.n_cores as Ns;
+                    let gp = st.params.rcu_base + st.params.rcu_per_core * dom.n_cores as Ns;
                     let jitter = if st.params.rcu_jitter == 0 {
                         0
                     } else {
@@ -1022,8 +1057,18 @@ impl<W> Engine<W> {
                     };
                     st.lat[pid.index()].add(LatComp::RcuWait, gp + jitter);
                     if st.trace_on() {
-                        st.trace_push(pid, TraceEventKind::RcuSync { dur_ns: gp + jitter });
-                        st.trace_push(pid, TraceEventKind::Block { comp: LatComp::RcuWait });
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::RcuSync {
+                                dur_ns: gp + jitter,
+                            },
+                        );
+                        st.trace_push(
+                            pid,
+                            TraceEventKind::Block {
+                                comp: LatComp::RcuWait,
+                            },
+                        );
                     }
                     st.wake_at(now + gp + jitter, pid, WakeReason::RcuDone);
                     self.procs[pid.index()].blocked_on = "rcu";
@@ -1482,9 +1527,11 @@ mod tests {
         }
         let mut eng = engine();
         let c = eng.add_core(CoreConfig::default());
-        eng.set_fault_plan(
-            FaultPlan::new(9).site(FaultKind::AllocFail, "mm.alloc_pages", FaultSchedule::Nth(2)),
-        );
+        eng.set_fault_plan(FaultPlan::new(9).site(
+            FaultKind::AllocFail,
+            "mm.alloc_pages",
+            FaultSchedule::Nth(2),
+        ));
         let outcomes = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         eng.spawn(
             c,
@@ -1522,12 +1569,16 @@ mod tests {
         let p_large = std::rc::Rc::new(std::cell::Cell::new(0));
         eng.spawn(
             c,
-            Box::new(Scripted::new(vec![Effect::RcuSync(small)]).with_finish_probe(p_small.clone())),
+            Box::new(
+                Scripted::new(vec![Effect::RcuSync(small)]).with_finish_probe(p_small.clone()),
+            ),
             0,
         );
         eng.spawn(
             c,
-            Box::new(Scripted::new(vec![Effect::RcuSync(large)]).with_finish_probe(p_large.clone())),
+            Box::new(
+                Scripted::new(vec![Effect::RcuSync(large)]).with_finish_probe(p_large.clone()),
+            ),
             0,
         );
         eng.run().unwrap();
@@ -1605,7 +1656,11 @@ mod tests {
             eng.run().unwrap().clock
         }
         assert_eq!(run_once(7), run_once(7));
-        assert_ne!(run_once(7), run_once(8), "different seeds draw different jitter");
+        assert_ne!(
+            run_once(7),
+            run_once(8),
+            "different seeds draw different jitter"
+        );
     }
 
     #[test]
@@ -1626,7 +1681,11 @@ mod tests {
         let res = eng.run().unwrap();
         // Engine stops when the user process finishes, not at the daemon's
         // endless sleeps.
-        assert!(res.clock >= 10_000 && res.clock < 20_000, "clock={}", res.clock);
+        assert!(
+            res.clock >= 10_000 && res.clock < 20_000,
+            "clock={}",
+            res.clock
+        );
     }
 
     #[test]
@@ -1672,8 +1731,7 @@ mod tests {
         assert_eq!(max, expected);
         assert_eq!(eng.lat_breakdown(waiter).get(LatComp::LockWait), expected);
         assert_eq!(eng.proc_lock_waits(waiter), &[("test", expected)]);
-        let (_, _, contended, total_w, _, hist) =
-            eng.all_lock_wait_stats().next().unwrap();
+        let (_, _, contended, total_w, _, hist) = eng.all_lock_wait_stats().next().unwrap();
         assert_eq!(contended, 1);
         assert_eq!(total_w, expected);
         assert_eq!(hist.iter().sum::<u64>(), 1, "one contended acquisition");

@@ -135,10 +135,7 @@ impl FaultPlan {
         self.defaults
             .iter()
             .all(|(_, s)| s.0 == FaultSchedule::Never)
-            && self
-                .sites
-                .values()
-                .all(|s| *s == FaultSchedule::Never)
+            && self.sites.values().all(|s| *s == FaultSchedule::Never)
     }
 
     /// Sets the schedule for one site (builder style).
@@ -176,7 +173,9 @@ impl FaultPlan {
 
     /// Iterates the explicitly scheduled sites.
     pub fn scheduled_sites(&self) -> impl Iterator<Item = (FaultKind, &str, FaultSchedule)> {
-        self.sites.iter().map(|((k, s), sched)| (*k, s.as_str(), *sched))
+        self.sites
+            .iter()
+            .map(|((k, s), sched)| (*k, s.as_str(), *sched))
     }
 }
 
@@ -287,11 +286,7 @@ mod tests {
 
     #[test]
     fn nth_fails_exactly_once() {
-        let plan = FaultPlan::new(1).site(
-            FaultKind::IoError,
-            "fileio.read",
-            FaultSchedule::Nth(3),
-        );
+        let plan = FaultPlan::new(1).site(FaultKind::IoError, "fileio.read", FaultSchedule::Nth(3));
         let mut st = FaultState::new(plan);
         let verdicts: Vec<bool> = (0..6)
             .map(|_| st.should_fail(FaultKind::IoError, "fileio.read"))
@@ -303,11 +298,8 @@ mod tests {
 
     #[test]
     fn every_nth_recurs() {
-        let plan = FaultPlan::new(1).site(
-            FaultKind::AllocFail,
-            "mm.slab",
-            FaultSchedule::EveryNth(2),
-        );
+        let plan =
+            FaultPlan::new(1).site(FaultKind::AllocFail, "mm.slab", FaultSchedule::EveryNth(2));
         let mut st = FaultState::new(plan);
         let verdicts: Vec<bool> = (0..6)
             .map(|_| st.should_fail(FaultKind::AllocFail, "mm.slab"))

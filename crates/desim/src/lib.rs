@@ -40,7 +40,9 @@
 //! The engine is generic over a *world* type `W` — shared mutable state
 //! (e.g. a simulated kernel) that every process can inspect and mutate
 //! during its resume step. A single engine run is strictly single-threaded;
-//! callers parallelize across independent engine instances (trials, nodes).
+//! callers parallelize across independent engine instances (trials, nodes)
+//! through the deterministic work-stealing [`pool`], which pins output
+//! order so parallel campaigns stay bit-identical to sequential ones.
 
 pub mod cpu;
 pub mod engine;
@@ -48,6 +50,7 @@ pub mod fault;
 pub mod iodev;
 pub mod lock;
 pub mod netdev;
+pub mod pool;
 pub mod process;
 pub mod time;
 pub mod trace;
@@ -60,6 +63,7 @@ pub use fault::{FaultKind, FaultPlan, FaultSchedule, FaultState, InjectedFault};
 pub use iodev::{DevId, DeviceModel};
 pub use lock::{LockId, LockKind, LockMode, WAIT_HIST_BUCKETS};
 pub use netdev::{NicModel, NicState};
+pub use pool::{default_jobs, parallel_indexed, resolve_jobs, run_tasks, TaskResult};
 pub use process::{Effect, Pid, Process, WakeReason};
 pub use time::{Ns, MS, SEC, US};
 pub use trace::{

@@ -175,8 +175,7 @@ mod tests {
     #[test]
     fn queue_for_spreads_flows() {
         let n = NicState::new(NicModel::virtio(8));
-        let hits: std::collections::BTreeSet<usize> =
-            (0..64u64).map(|f| n.queue_for(f)).collect();
+        let hits: std::collections::BTreeSet<usize> = (0..64u64).map(|f| n.queue_for(f)).collect();
         assert!(hits.len() > 4, "flows spread over queues: {hits:?}");
         assert_eq!(n.queue_for(7), n.queue_for(7), "hash is deterministic");
     }

@@ -1,0 +1,280 @@
+//! Deterministic work-stealing thread pool for trial-level parallelism.
+//!
+//! A single [`Engine`](crate::Engine) run is strictly single-threaded —
+//! the determinism boundary of the whole system. What *is* parallel is
+//! the layer above: a measurement campaign is a bag of independent
+//! trials (one engine per trial), so executing them concurrently cannot
+//! change any simulated result as long as each trial's inputs (config +
+//! seed) are untouched and outputs land back in input order. This module
+//! provides that execution substrate to every harness in the workspace
+//! (varbench trials, tailbench sweep points, cluster nodes, the bench
+//! suite) without any external dependency: scoped `std::thread` workers
+//! over per-worker deques with LIFO-steal, the classic work-stealing
+//! shape.
+//!
+//! ## Guarantees
+//!
+//! * **Bit-identical to sequential.** Results are written to an
+//!   index-addressed slot per task; `run_tasks(jobs, tasks)` returns the
+//!   same vector for every `jobs`, including 1 (which runs inline on the
+//!   caller's thread with no pool at all).
+//! * **Panic isolation.** Every task runs under `catch_unwind`; a
+//!   poisoned task surfaces as `Err(payload)` in its own slot and the
+//!   worker moves on to the next task, so one bad trial never takes the
+//!   campaign (or its sibling worker's queue) down.
+//! * **No oversubscription of the scheduler's attention.** Worker count
+//!   defaults to `KSA_JOBS` or, failing that, the machine's available
+//!   parallelism, and is clamped to the task count.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Result of one pooled task: `Ok` on completion, `Err` with the panic
+/// payload if the task panicked.
+pub type TaskResult<T> = std::thread::Result<T>;
+
+/// The default worker count: `KSA_JOBS` if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 if even that is
+/// unknown).
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("KSA_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a `--jobs`-style knob: `0` means "auto" ([`default_jobs`]),
+/// anything else is taken literally.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        default_jobs()
+    } else {
+        jobs
+    }
+}
+
+/// Work-stealing state shared by the workers of one `run_tasks` call.
+struct Shared<F, T> {
+    /// The tasks, taken (once) by whichever worker claims the index.
+    tasks: Vec<Mutex<Option<F>>>,
+    /// Per-worker index deques; worker `w` pops its own front and steals
+    /// from other workers' backs.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Index-addressed result slots — this is what pins output order.
+    results: Vec<Mutex<Option<TaskResult<T>>>>,
+}
+
+impl<F: FnOnce() -> T, T> Shared<F, T> {
+    /// Claims and runs task `i`, storing its (panic-isolated) result.
+    fn execute(&self, i: usize) {
+        let task = self.tasks[i]
+            .lock()
+            .expect("task slot poisoned")
+            .take()
+            .expect("task executed twice");
+        // No pool lock is held across the task body, so a panicking
+        // trial cannot poison the scheduling state.
+        let result = catch_unwind(AssertUnwindSafe(task));
+        *self.results[i].lock().expect("result slot poisoned") = Some(result);
+    }
+
+    /// Next task index for worker `w`: own queue first (front), then a
+    /// steal sweep over the other workers' queues (back).
+    fn next_index(&self, w: usize) -> Option<usize> {
+        if let Some(i) = self.queues[w].lock().expect("queue poisoned").pop_front() {
+            return Some(i);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let v = (w + off) % n;
+            if let Some(i) = self.queues[v].lock().expect("queue poisoned").pop_back() {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Executes `tasks` on up to `jobs` workers (0 = auto) and returns their
+/// results **in input order**. Each task is panic-isolated; see the
+/// module docs for the full guarantees.
+///
+/// With `jobs == 1` (or a single task) everything runs inline on the
+/// calling thread — the sequential baseline the determinism property
+/// tests and the bench suite compare against.
+pub fn run_tasks<F, T>(jobs: usize, tasks: Vec<F>) -> Vec<TaskResult<T>>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let n_tasks = tasks.len();
+    let workers = resolve_jobs(jobs).min(n_tasks).max(1);
+    if workers == 1 {
+        return tasks
+            .into_iter()
+            .map(|t| catch_unwind(AssertUnwindSafe(t)))
+            .collect();
+    }
+
+    let shared = Shared {
+        tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+        queues: (0..workers)
+            .map(|w| {
+                // Round-robin seeding keeps early tasks spread across
+                // workers; stealing rebalances whatever the seeding got
+                // wrong about task durations.
+                Mutex::new((w..n_tasks).step_by(workers).collect())
+            })
+            .collect(),
+        results: (0..n_tasks).map(|_| Mutex::new(None)).collect(),
+    };
+
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let shared = &shared;
+            s.spawn(move || {
+                while let Some(i) = shared.next_index(w) {
+                    shared.execute(i);
+                }
+            });
+        }
+    });
+
+    shared
+        .results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("pool exited with an unexecuted task")
+        })
+        .collect()
+}
+
+/// Convenience wrapper: applies `f` to each item index (0..n) in
+/// parallel, unwrapping panics into a propagated panic on the caller's
+/// thread. For harnesses that want isolation instead, use [`run_tasks`]
+/// directly.
+pub fn parallel_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    F: Fn(usize) -> T + Sync,
+    T: Send,
+{
+    let f = &f;
+    run_tasks(jobs, (0..n).map(|i| move || f(i)).collect())
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for jobs in [1, 2, 3, 8] {
+            let tasks: Vec<_> = (0..23u64).map(|i| move || i * i).collect();
+            let out = run_tasks(jobs, tasks);
+            let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, (0..23u64).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        // A task whose output depends only on its input must produce
+        // the same vector under any worker count.
+        let mk = || {
+            (0..40u64)
+                .map(|i| move || i.wrapping_mul(0x9e3779b9) ^ i)
+                .collect()
+        };
+        let seq: Vec<u64> = run_tasks(1, mk()).into_iter().map(|r| r.unwrap()).collect();
+        for jobs in [2, 4, 7] {
+            let par: Vec<u64> = run_tasks(jobs, mk())
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(seq, par, "jobs={jobs} diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_take_down_siblings() {
+        for jobs in [1, 4] {
+            let done = AtomicUsize::new(0);
+            let tasks: Vec<_> = (0..10usize)
+                .map(|i| {
+                    let done = &done;
+                    move || {
+                        if i == 3 {
+                            panic!("poisoned trial {i}");
+                        }
+                        done.fetch_add(1, Ordering::Relaxed);
+                        i
+                    }
+                })
+                .collect();
+            let out = run_tasks(jobs, tasks);
+            assert_eq!(done.load(Ordering::Relaxed), 9, "jobs={jobs}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    assert!(r.is_err(), "jobs={jobs}: slot 3 should carry the panic");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i, "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_queues() {
+        // One long task pins a worker; the others must steal the rest.
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                    }
+                    i
+                }) as _
+            })
+            .collect();
+        let out = run_tasks(4, tasks);
+        assert_eq!(out.len(), 16);
+        assert!(out.into_iter().map(|r| r.unwrap()).eq(0..16));
+    }
+
+    #[test]
+    fn empty_and_single_task_edge_cases() {
+        let out: Vec<TaskResult<u32>> = run_tasks(8, Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+        let out = run_tasks(8, vec![|| 7u32]);
+        assert_eq!(out.into_iter().next().unwrap().unwrap(), 7);
+    }
+
+    #[test]
+    fn resolve_jobs_semantics() {
+        assert!(default_jobs() >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+        assert_eq!(resolve_jobs(0), default_jobs());
+    }
+
+    #[test]
+    fn parallel_indexed_maps_in_order() {
+        let out = parallel_indexed(4, 9, |i| i as u64 + 1);
+        assert_eq!(out, (1..=9u64).collect::<Vec<_>>());
+    }
+}

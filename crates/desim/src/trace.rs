@@ -158,7 +158,9 @@ impl LatBreakdown {
 
     /// Iterates `(component, ns)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (LatComp, Ns)> + '_ {
-        LatComp::ALL.iter().map(move |&c| (c, self.comps[c as usize]))
+        LatComp::ALL
+            .iter()
+            .map(move |&c| (c, self.comps[c as usize]))
     }
 }
 

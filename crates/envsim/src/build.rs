@@ -118,7 +118,13 @@ mod tests {
     #[test]
     fn native_builds_one_instance() {
         let mut eng = engine();
-        let spec = EnvSpec::new(Machine { cores: 8, mem_mib: 1024 }, EnvKind::Native);
+        let spec = EnvSpec::new(
+            Machine {
+                cores: 8,
+                mem_mib: 1024,
+            },
+            EnvKind::Native,
+        );
         let built = build_env(&mut eng, &spec, 1);
         assert_eq!(built.cores.len(), 8);
         assert_eq!(built.instances, 1);
@@ -133,7 +139,13 @@ mod tests {
     fn vm_sweep_divides_surface() {
         for n in [1usize, 2, 4, 8] {
             let mut eng = engine();
-            let spec = EnvSpec::new(Machine { cores: 8, mem_mib: 4096 }, EnvKind::Vm(n));
+            let spec = EnvSpec::new(
+                Machine {
+                    cores: 8,
+                    mem_mib: 4096,
+                },
+                EnvKind::Vm(n),
+            );
             let built = build_env(&mut eng, &spec, 1);
             let w = eng.world().kernel();
             assert_eq!(w.instances.len(), n);
@@ -153,7 +165,13 @@ mod tests {
     #[test]
     fn containers_share_one_kernel() {
         let mut eng = engine();
-        let spec = EnvSpec::new(Machine { cores: 4, mem_mib: 512 }, EnvKind::Container(16));
+        let spec = EnvSpec::new(
+            Machine {
+                cores: 4,
+                mem_mib: 512,
+            },
+            EnvKind::Container(16),
+        );
         build_env(&mut eng, &spec, 1);
         let w = eng.world().kernel();
         assert_eq!(w.instances.len(), 1);
@@ -166,7 +184,13 @@ mod tests {
         // An environment with daemons but no user processes must not
         // stall the engine (run_until with a deadline returns cleanly).
         let mut eng = engine();
-        let spec = EnvSpec::new(Machine { cores: 2, mem_mib: 256 }, EnvKind::Native);
+        let spec = EnvSpec::new(
+            Machine {
+                cores: 2,
+                mem_mib: 256,
+            },
+            EnvKind::Native,
+        );
         build_env(&mut eng, &spec, 1);
         // No user processes: run() exits immediately (live_users == 0).
         let res = eng.run().unwrap();
@@ -177,7 +201,13 @@ mod tests {
     #[should_panic(expected = "divide evenly")]
     fn uneven_division_is_rejected() {
         let mut eng = engine();
-        let spec = EnvSpec::new(Machine { cores: 6, mem_mib: 512 }, EnvKind::Vm(4));
+        let spec = EnvSpec::new(
+            Machine {
+                cores: 6,
+                mem_mib: 512,
+            },
+            EnvKind::Vm(4),
+        );
         build_env(&mut eng, &spec, 1);
     }
 }

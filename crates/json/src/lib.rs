@@ -45,12 +45,18 @@ pub struct Error {
 
 impl Error {
     fn new(msg: impl Into<String>, offset: usize) -> Self {
-        Error { msg: msg.into(), offset }
+        Error {
+            msg: msg.into(),
+            offset,
+        }
     }
 
     /// An access error not tied to an input position.
     pub fn shape(msg: impl Into<String>) -> Self {
-        Error { msg: msg.into(), offset: 0 }
+        Error {
+            msg: msg.into(),
+            offset: 0,
+        }
     }
 }
 
@@ -103,9 +109,7 @@ impl Value {
         match *self {
             Value::UInt(u) => Ok(u),
             Value::Int(i) if i >= 0 => Ok(i as u64),
-            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
-                Ok(f as u64)
-            }
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Ok(f as u64),
             _ => Err(Error::shape(format!("expected u64, got {self:?}"))),
         }
     }
@@ -279,7 +283,10 @@ fn write_escaped(s: &str, out: &mut String) {
 
 /// Parses one JSON document, requiring the input be fully consumed.
 pub fn parse(input: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -327,7 +334,10 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            Some(b) => Err(Error::new(format!("unexpected byte `{}`", b as char), self.pos)),
+            Some(b) => Err(Error::new(
+                format!("unexpected byte `{}`", b as char),
+                self.pos,
+            )),
             None => Err(Error::new("unexpected end of input", self.pos)),
         }
     }
@@ -509,7 +519,10 @@ mod tests {
         let rendered = v.render();
         assert_eq!(parse(&rendered).unwrap(), v);
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
-        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str().unwrap(), "hi\n");
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_str().unwrap(),
+            "hi\n"
+        );
     }
 
     #[test]

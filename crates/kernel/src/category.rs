@@ -1,6 +1,5 @@
 //! System-call categories (Section 5 of the paper).
 
-
 /// Broad purpose of a system call. The paper assigns each call one or more
 /// categories; Figure 2 is organized by these.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

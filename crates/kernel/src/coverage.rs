@@ -240,7 +240,11 @@ mod tests {
 
     #[test]
     fn iter_roundtrips() {
-        let ids = [block("cov.test.r1"), block("cov.test.r2"), block("cov.test.r3")];
+        let ids = [
+            block("cov.test.r1"),
+            block("cov.test.r2"),
+            block("cov.test.r3"),
+        ];
         let mut s = CoverageSet::new();
         for &i in &ids {
             s.insert(i);

@@ -68,8 +68,7 @@ impl<W: HasKernel> Process<W> for Flusher {
                 // correspondingly long journal-holding bursts.
                 let cap = (k.mem_pages / 64).clamp(4_096, 131_072);
                 self.pages = (backlog / 2).clamp(32, cap);
-                let cpu = k.cost.writeback_base
-                    + k.cost.writeback_per_page * self.pages;
+                let cpu = k.cost.writeback_base + k.cost.writeback_per_page * self.pages;
                 k.state.fs.commits += 1;
                 self.phase = FlusherPhase::IoDone;
                 Effect::Delay(cpu)

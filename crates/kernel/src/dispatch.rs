@@ -383,7 +383,8 @@ pub fn dispatch(
     // compiled as a VM-exit op so attribution can separate it from
     // productive kernel work.
     if h.k.virt.syscall_overhead > 0 {
-        h.seq.push(KOp::VmExit(crate::ops::VmExitKind::GuestSyscall));
+        h.seq
+            .push(KOp::VmExit(crate::ops::VmExitKind::GuestSyscall));
     }
 
     // Container tenancy: cgroup accounting on resource-consuming classes.

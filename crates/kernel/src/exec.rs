@@ -81,8 +81,7 @@ impl OpRunner {
                     }
                     delay(&mut steps, kick_ns);
                     let handler_ns = virt.scale_cpu(
-                        inst.cost.tlb_handler
-                            + inst.cost.tlb_handler_per_page * pages.min(512),
+                        inst.cost.tlb_handler + inst.cost.tlb_handler_per_page * pages.min(512),
                     );
                     steps.push(RunStep::Block(Effect::Ipi {
                         targets,
@@ -205,7 +204,9 @@ mod tests {
     fn build(n_cores: usize, virt: VirtProfile) -> (Engine<()>, KernelInstance, Vec<CoreId>) {
         let mut eng: Engine<()> = Engine::new((), EngineParams::default(), 3);
         let disk = eng.add_device(DeviceModel::nvme_ssd());
-        let cores: Vec<CoreId> = (0..n_cores).map(|_| eng.add_core(Default::default())).collect();
+        let cores: Vec<CoreId> = (0..n_cores)
+            .map(|_| eng.add_core(Default::default()))
+            .collect();
         let inst = KernelInstance::build(
             &mut eng,
             0,
@@ -268,17 +269,15 @@ mod tests {
     fn unlock_is_nonblocking() {
         let (mut eng, inst, cores) = build(1, VirtProfile::native());
         let mut seq = OpSeq::new();
-        seq.locked(inst.locks.zone, ksa_desim::LockMode::Exclusive, |s| s.cpu(100));
+        seq.locked(inst.locks.zone, ksa_desim::LockMode::Exclusive, |s| {
+            s.cpu(100)
+        });
 
         struct Runner {
             r: OpRunner,
         }
         impl ksa_desim::Process<()> for Runner {
-            fn resume(
-                &mut self,
-                ctx: &mut SimCtx<'_, ()>,
-                _w: ksa_desim::WakeReason,
-            ) -> Effect {
+            fn resume(&mut self, ctx: &mut SimCtx<'_, ()>, _w: ksa_desim::WakeReason) -> Effect {
                 self.r.step(ctx).unwrap_or(Effect::Done)
             }
         }

@@ -225,12 +225,20 @@ impl KernelInstance {
         let n = cfg.cores.len();
         let mem_pages = cfg.mem_mib * 256; // 4 KiB pages
         let locks = InstanceLocks {
-            runqueue: (0..n).map(|_| engine.add_lock(LockKind::Spin, "runqueue")).collect(),
+            runqueue: (0..n)
+                .map(|_| engine.add_lock(LockKind::Spin, "runqueue"))
+                .collect(),
             tasklist: engine.add_lock(LockKind::RwLock, "tasklist"),
             pidmap: engine.add_lock(LockKind::Spin, "pidmap"),
-            mmap_sem: (0..n).map(|_| engine.add_lock(LockKind::RwLock, "mmap_sem")).collect(),
-            page_table: (0..n).map(|_| engine.add_lock(LockKind::Spin, "page_table")).collect(),
-            fdtable: (0..n).map(|_| engine.add_lock(LockKind::Spin, "fdtable")).collect(),
+            mmap_sem: (0..n)
+                .map(|_| engine.add_lock(LockKind::RwLock, "mmap_sem"))
+                .collect(),
+            page_table: (0..n)
+                .map(|_| engine.add_lock(LockKind::Spin, "page_table"))
+                .collect(),
+            fdtable: (0..n)
+                .map(|_| engine.add_lock(LockKind::Spin, "fdtable"))
+                .collect(),
             zone: engine.add_lock(LockKind::Spin, "zone"),
             lru: engine.add_lock(LockKind::Spin, "lru"),
             slab_depot: engine.add_lock(LockKind::Spin, "slab_depot"),
@@ -238,9 +246,13 @@ impl KernelInstance {
             inode_sb: engine.add_lock(LockKind::Spin, "inode_sb"),
             rename: engine.add_lock(LockKind::Mutex, "rename"),
             journal: engine.add_lock(LockKind::Mutex, "journal"),
-            futex: (0..FUTEX_BUCKETS).map(|_| engine.add_lock(LockKind::Spin, "futex_bucket")).collect(),
+            futex: (0..FUTEX_BUCKETS)
+                .map(|_| engine.add_lock(LockKind::Spin, "futex_bucket"))
+                .collect(),
             ipc_ids: engine.add_lock(LockKind::RwLock, "ipc_ids"),
-            ipc_obj: (0..n).map(|_| engine.add_lock(LockKind::Mutex, "ipc_obj")).collect(),
+            ipc_obj: (0..n)
+                .map(|_| engine.add_lock(LockKind::Mutex, "ipc_obj"))
+                .collect(),
             cred: engine.add_lock(LockKind::Spin, "cred"),
             audit: engine.add_lock(LockKind::Spin, "audit"),
             cgroup: engine.add_lock(LockKind::Spin, "cgroup"),

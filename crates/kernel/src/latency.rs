@@ -286,7 +286,11 @@ mod tests {
         comps.add(LatComp::LockWait, lock);
         LatSnapshot {
             comps,
-            lock_waits: if zone > 0 { vec![("zone", zone)] } else { vec![] },
+            lock_waits: if zone > 0 {
+                vec![("zone", zone)]
+            } else {
+                vec![]
+            },
         }
     }
 

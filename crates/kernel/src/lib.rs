@@ -59,8 +59,8 @@ pub use errno::Errno;
 pub use exec::OpRunner;
 pub use instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
 pub use latency::{Attribution, AttributionTable, RawCall};
+pub use ops::{KOp, OpSeq, VmExitKind};
 pub use params::CostModel;
 pub use prog::{Arg, Call, Program};
-pub use ops::{KOp, OpSeq, VmExitKind};
 pub use syscalls::SysNo;
 pub use world::{HasKernel, KernelWorld};

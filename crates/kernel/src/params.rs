@@ -223,12 +223,21 @@ mod tests {
     #[test]
     fn defaults_are_plausible_magnitudes() {
         let cm = CostModel::default();
-        assert!(cm.syscall_entry < US, "syscall entry must be sub-microsecond");
+        assert!(
+            cm.syscall_entry < US,
+            "syscall entry must be sub-microsecond"
+        );
         assert!(cm.tlb_handler > cm.tlb_local, "remote flush dwarfs local");
         assert!(cm.journal_commit_base > cm.dentry_hop * 10);
         assert!(cm.dirty_throttle_pct < 100 && cm.min_free_pct < 100);
-        assert!(cm.napi_pkt < US, "per-packet softirq work is sub-microsecond");
+        assert!(
+            cm.napi_pkt < US,
+            "per-packet softirq work is sub-microsecond"
+        );
         assert!(cm.softirq_period >= 100 * US, "NAPI idles between polls");
-        assert!(cm.sock_buf_bytes >= 64 * 1024, "rx buffers hold many packets");
+        assert!(
+            cm.sock_buf_bytes >= 64 * 1024,
+            "rx buffers hold many packets"
+        );
     }
 }

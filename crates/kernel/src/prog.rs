@@ -8,7 +8,6 @@
 //! same program (file descriptors, mapping addresses, IPC ids) — exactly
 //! how Syzkaller programs thread resources.
 
-
 use crate::syscalls::SysNo;
 
 /// One argument of a call.
@@ -163,7 +162,10 @@ impl Arg {
 impl SysNo {
     /// Stable index of the call in [`SysNo::ALL`] (serialization id).
     pub fn index(self) -> usize {
-        SysNo::ALL.iter().position(|&n| n == self).expect("SysNo in ALL")
+        SysNo::ALL
+            .iter()
+            .position(|&n| n == self)
+            .expect("SysNo in ALL")
     }
 
     /// Inverse of [`SysNo::index`].
@@ -279,7 +281,11 @@ mod tests {
         let results = [7u64, 8, 9];
         assert_eq!(Arg::Const(42).resolve(&results), 42);
         assert_eq!(Arg::Ref(1).resolve(&results), 8);
-        assert_eq!(Arg::Ref(10).resolve(&results), 0, "missing ref defaults to 0");
+        assert_eq!(
+            Arg::Ref(10).resolve(&results),
+            0,
+            "missing ref defaults to 0"
+        );
     }
 
     #[test]

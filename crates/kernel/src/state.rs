@@ -244,7 +244,10 @@ impl NetState {
 
     /// Socket index bound to `port`, if any.
     pub fn lookup_port(&self, port: u64) -> Option<usize> {
-        self.ports.iter().find(|&&(p, _)| p == port).map(|&(_, s)| s)
+        self.ports
+            .iter()
+            .find(|&&(p, _)| p == port)
+            .map(|&(_, s)| s)
     }
 
     /// Payload bytes still sitting in socket receive buffers.

@@ -97,7 +97,11 @@ pub fn sys_open(h: &mut HCtx, path_sel: u64, flags: u64) {
     let Some((idx, created)) = lookup_or_create(h, path_sel, create) else {
         return;
     };
-    h.cover(if created { "fs.open.creat" } else { "fs.open.existing" });
+    h.cover(if created {
+        "fs.open.creat"
+    } else {
+        "fs.open.existing"
+    });
     h.seq.result = install_fd(h, FdKind::File { idx });
 }
 

@@ -214,7 +214,10 @@ pub fn sys_mremap(h: &mut HCtx, vma_sel: u64, new_len: u64) {
     let old_pages = h.k.state.slots[h.slot].vmas[vi].pages;
     let new_pages = (new_len % MAX_MAP_PAGES).max(1);
     h.cover("mm.mremap");
-    h.cover_bucket("mm.mremap.pages", crate::dispatch::HCtx::size_class(new_pages));
+    h.cover_bucket(
+        "mm.mremap.pages",
+        crate::dispatch::HCtx::size_class(new_pages),
+    );
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
     let ptl = h.k.locks.page_table[h.slot];
     h.lock(mmap_sem);
@@ -314,7 +317,6 @@ pub fn sys_msync(h: &mut HCtx, vma_sel: u64) {
 /// mincore: page-table walk under `mmap_sem` read — a reader that rwsem
 /// writers convoy behind.
 pub fn sys_mincore(h: &mut HCtx, vma_sel: u64) {
-
     let Some(vi) = h.pick_vma(vma_sel) else {
         h.cover("mm.mincore.efault");
         h.seq.error = Some(Errno::EFAULT);

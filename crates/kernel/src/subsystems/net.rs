@@ -66,7 +66,10 @@ fn install_fd(h: &mut HCtx, kind: FdKind) -> u64 {
     h.cpu(cost.slab_fast + 150);
     h.unlock(fdt);
     let fds = &mut h.k.state.slots[h.slot].fds;
-    fds.push(Fd { kind, offset_pages: 0 });
+    fds.push(Fd {
+        kind,
+        offset_pages: 0,
+    });
     (fds.len() - 1) as u64
 }
 
@@ -180,12 +183,11 @@ pub fn sys_connect(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
         return;
     }
     h.cpu(cost.proto_demux);
-    let listener = h
-        .k
-        .state
-        .net
-        .lookup_port(port)
-        .filter(|&l| h.k.state.net.socks[l].listening && h.k.state.net.socks[l].open);
+    let listener =
+        h.k.state
+            .net
+            .lookup_port(port)
+            .filter(|&l| h.k.state.net.socks[l].listening && h.k.state.net.socks[l].open);
     let Some(l) = listener else {
         h.unlock(bucket);
         h.cover("net.connect.refused");
@@ -202,7 +204,11 @@ pub fn sys_connect(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
         return;
     }
     // The SYN goes out over a NIC queue (virtio doorbell in guests).
-    let q = h.k.state.net.nic.queue_for(src as u64 ^ port.rotate_left(17));
+    let q =
+        h.k.state
+            .net
+            .nic
+            .queue_for(src as u64 ^ port.rotate_left(17));
     let nql = h.k.locks.nic_queue[q % h.k.locks.nic_queue.len()];
     h.lock(nql);
     h.cpu(100);
@@ -288,12 +294,11 @@ pub(crate) fn sock_send(h: &mut HCtx, src: usize, bytes: u64, port_sel: Option<u
     // The packet is transmitted whether or not anyone is listening —
     // delivery failures surface *after* the NIC post, as with real
     // datagram sends.
-    let q = h
-        .k
-        .state
-        .net
-        .nic
-        .queue_for(src as u64 ^ bucket_key.rotate_left(17));
+    let q =
+        h.k.state
+            .net
+            .nic
+            .queue_for(src as u64 ^ bucket_key.rotate_left(17));
     let nql = h.k.locks.nic_queue[q % h.k.locks.nic_queue.len()];
     h.lock(nql);
     h.cpu(100);

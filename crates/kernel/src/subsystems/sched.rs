@@ -57,7 +57,11 @@ pub fn sys_clone(h: &mut HCtx, _flags: u64) {
     }
 
     // Copy mm: cost scales with the address-space size built up so far.
-    let vmas = h.k.state.slots[h.slot].vmas.iter().filter(|v| v.mapped).count() as Ns;
+    let vmas = h.k.state.slots[h.slot]
+        .vmas
+        .iter()
+        .filter(|v| v.mapped)
+        .count() as Ns;
     if vmas > 8 {
         h.cover("sched.clone.large_mm");
     }
@@ -182,7 +186,10 @@ pub fn sys_nanosleep(h: &mut HCtx, ns: u64) {
     let cost = h.cost();
     let rq = h.k.locks.runqueue[h.slot];
     let dur = (ns % (50 * US)).max(1_000); // 1us ..= 50us
-    h.cover_bucket("sched.nanosleep.dur", crate::dispatch::HCtx::size_class(dur / 1_000));
+    h.cover_bucket(
+        "sched.nanosleep.dur",
+        crate::dispatch::HCtx::size_class(dur / 1_000),
+    );
     h.lock(rq);
     h.cpu(cost.rq_op);
     h.unlock(rq);

@@ -1,6 +1,5 @@
 //! The simulated system-call table.
 
-
 use crate::category::Category;
 
 /// Every system call the simulated kernel implements, spanning the paper's

@@ -13,7 +13,9 @@ use rand::{Rng, SeedableRng};
 fn build(n_cores: usize, virt: VirtProfile, tenancy: TenancyProfile) -> KernelInstance {
     let mut eng: Engine<()> = Engine::new((), EngineParams::default(), 5);
     let disk = eng.add_device(DeviceModel::nvme_ssd());
-    let cores: Vec<CoreId> = (0..n_cores).map(|_| eng.add_core(Default::default())).collect();
+    let cores: Vec<CoreId> = (0..n_cores)
+        .map(|_| eng.add_core(Default::default()))
+        .collect();
     KernelInstance::build(
         &mut eng,
         0,
@@ -76,14 +78,54 @@ fn coverage_grows_with_argument_diversity() {
     let mut faults = FaultState::default();
     let mut c1 = CoverageSet::new();
     // One getpid only covers a couple of blocks.
-    dispatch(&mut inst, 0, SysNo::Getpid, &[0], &mut rng, &mut c1, &mut faults);
+    dispatch(
+        &mut inst,
+        0,
+        SysNo::Getpid,
+        &[0],
+        &mut rng,
+        &mut c1,
+        &mut faults,
+    );
     let few = c1.len();
     let mut c2 = CoverageSet::new();
     for i in 0..50 {
-        dispatch(&mut inst, 0, SysNo::Open, &[i, i % 2], &mut rng, &mut c2, &mut faults);
-        dispatch(&mut inst, 0, SysNo::Write, &[i, i * 1000], &mut rng, &mut c2, &mut faults);
-        dispatch(&mut inst, 0, SysNo::Munmap, &[i], &mut rng, &mut c2, &mut faults);
-        dispatch(&mut inst, 0, SysNo::Mmap, &[i * 3, i % 2], &mut rng, &mut c2, &mut faults);
+        dispatch(
+            &mut inst,
+            0,
+            SysNo::Open,
+            &[i, i % 2],
+            &mut rng,
+            &mut c2,
+            &mut faults,
+        );
+        dispatch(
+            &mut inst,
+            0,
+            SysNo::Write,
+            &[i, i * 1000],
+            &mut rng,
+            &mut c2,
+            &mut faults,
+        );
+        dispatch(
+            &mut inst,
+            0,
+            SysNo::Munmap,
+            &[i],
+            &mut rng,
+            &mut c2,
+            &mut faults,
+        );
+        dispatch(
+            &mut inst,
+            0,
+            SysNo::Mmap,
+            &[i * 3, i % 2],
+            &mut rng,
+            &mut c2,
+            &mut faults,
+        );
     }
     assert!(
         c2.len() > few + 5,
@@ -100,34 +142,90 @@ fn state_effects_are_visible() {
     let mut cover = CoverageSet::new();
 
     // open(O_CREAT) installs an fd.
-    let seq = dispatch(&mut inst, 0, SysNo::Open, &[5, 1], &mut rng, &mut cover, &mut faults);
+    let seq = dispatch(
+        &mut inst,
+        0,
+        SysNo::Open,
+        &[5, 1],
+        &mut rng,
+        &mut cover,
+        &mut faults,
+    );
     let fd = seq.result;
     assert_eq!(inst.state.slots[0].fds.len(), 1);
     assert_eq!(fd, 0);
 
     // write dirties pages.
     let before = inst.state.mm.dirty_pages;
-    dispatch(&mut inst, 0, SysNo::Write, &[fd, 32_768], &mut rng, &mut cover, &mut faults);
+    dispatch(
+        &mut inst,
+        0,
+        SysNo::Write,
+        &[fd, 32_768],
+        &mut rng,
+        &mut cover,
+        &mut faults,
+    );
     assert!(inst.state.mm.dirty_pages > before);
 
     // fsync cleans the journal.
     inst.state.fs.journal_dirty += 100;
-    dispatch(&mut inst, 0, SysNo::Fsync, &[fd, 0], &mut rng, &mut cover, &mut faults);
+    dispatch(
+        &mut inst,
+        0,
+        SysNo::Fsync,
+        &[fd, 0],
+        &mut rng,
+        &mut cover,
+        &mut faults,
+    );
     assert_eq!(inst.state.fs.journal_dirty, 0);
 
     // mmap then munmap toggles the vma.
-    let seq = dispatch(&mut inst, 0, SysNo::Mmap, &[64, 1], &mut rng, &mut cover, &mut faults);
+    let seq = dispatch(
+        &mut inst,
+        0,
+        SysNo::Mmap,
+        &[64, 1],
+        &mut rng,
+        &mut cover,
+        &mut faults,
+    );
     assert!(seq.result >= 1);
     assert!(inst.state.slots[0].vmas[0].mapped);
-    dispatch(&mut inst, 0, SysNo::Munmap, &[0], &mut rng, &mut cover, &mut faults);
+    dispatch(
+        &mut inst,
+        0,
+        SysNo::Munmap,
+        &[0],
+        &mut rng,
+        &mut cover,
+        &mut faults,
+    );
     assert!(!inst.state.slots[0].vmas[0].mapped);
 
     // clone + wait4 round-trips the task counters.
     let tasks = inst.state.sched.nr_tasks;
-    dispatch(&mut inst, 0, SysNo::Clone, &[0], &mut rng, &mut cover, &mut faults);
+    dispatch(
+        &mut inst,
+        0,
+        SysNo::Clone,
+        &[0],
+        &mut rng,
+        &mut cover,
+        &mut faults,
+    );
     assert_eq!(inst.state.sched.nr_tasks, tasks + 1);
     assert_eq!(inst.state.slots[0].children_pending, 1);
-    dispatch(&mut inst, 0, SysNo::Wait4, &[0], &mut rng, &mut cover, &mut faults);
+    dispatch(
+        &mut inst,
+        0,
+        SysNo::Wait4,
+        &[0],
+        &mut rng,
+        &mut cover,
+        &mut faults,
+    );
     assert_eq!(inst.state.sched.nr_tasks, tasks);
     assert_eq!(inst.state.slots[0].children_pending, 0);
 }
@@ -141,10 +239,34 @@ fn tlb_ops_absent_on_uniprocessor_runner() {
     let mut faults = FaultState::default();
     let mut cover = CoverageSet::new();
     for inst in [&mut uni, &mut big] {
-        dispatch(inst, 0, SysNo::Mmap, &[64, 1], &mut rng, &mut cover, &mut faults);
+        dispatch(
+            inst,
+            0,
+            SysNo::Mmap,
+            &[64, 1],
+            &mut rng,
+            &mut cover,
+            &mut faults,
+        );
     }
-    let s_uni = dispatch(&mut uni, 0, SysNo::Munmap, &[0], &mut rng, &mut cover, &mut faults);
-    let s_big = dispatch(&mut big, 0, SysNo::Munmap, &[0], &mut rng, &mut cover, &mut faults);
+    let s_uni = dispatch(
+        &mut uni,
+        0,
+        SysNo::Munmap,
+        &[0],
+        &mut rng,
+        &mut cover,
+        &mut faults,
+    );
+    let s_big = dispatch(
+        &mut big,
+        0,
+        SysNo::Munmap,
+        &[0],
+        &mut rng,
+        &mut cover,
+        &mut faults,
+    );
     let r_uni = OpRunner::new(&s_uni, &uni, uni.cores[0]);
     let r_big = OpRunner::new(&s_big, &big, big.cores[0]);
     assert_eq!(r_uni.ipi_count(), 0);
@@ -158,9 +280,25 @@ fn container_tenancy_adds_cgroup_paths() {
     let mut faults = FaultState::default();
     let mut cover = CoverageSet::new();
     // Drive enough charges to hit the periodic flush.
-    dispatch(&mut inst, 0, SysNo::Open, &[1, 1], &mut rng, &mut cover, &mut faults);
+    dispatch(
+        &mut inst,
+        0,
+        SysNo::Open,
+        &[1, 1],
+        &mut rng,
+        &mut cover,
+        &mut faults,
+    );
     for i in 0..200 {
-        dispatch(&mut inst, 0, SysNo::Write, &[0, 4096 + i], &mut rng, &mut cover, &mut faults);
+        dispatch(
+            &mut inst,
+            0,
+            SysNo::Write,
+            &[0, 4096 + i],
+            &mut rng,
+            &mut cover,
+            &mut faults,
+        );
     }
     let names: Vec<&str> = cover.iter().map(ksa_kernel::coverage::block_name).collect();
     assert!(names.contains(&"cgroup.charge"));
@@ -175,7 +313,7 @@ fn dispatch_is_deterministic() {
     let run = |seed: u64| {
         let mut inst = build(2, VirtProfile::native(), TenancyProfile::none());
         let mut rng = SmallRng::seed_from_u64(seed);
-    let mut faults = FaultState::default();
+        let mut faults = FaultState::default();
         let mut cover = CoverageSet::new();
         let mut sig = Vec::new();
         for round in 0..10u64 {

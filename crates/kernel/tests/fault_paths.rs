@@ -65,11 +65,7 @@ impl Fixture {
 
 #[test]
 fn mmap_vma_alloc_failure_returns_enomem_without_vma() {
-    let plan = FaultPlan::new(1).site(
-        FaultKind::AllocFail,
-        "mm.mmap.vma",
-        FaultSchedule::Nth(1),
-    );
+    let plan = FaultPlan::new(1).site(FaultKind::AllocFail, "mm.mmap.vma", FaultSchedule::Nth(1));
     let mut f = Fixture::new(plan);
     let seq = f.call(SysNo::Mmap, &[64, 1]);
     assert_eq!(seq.error, Some(Errno::ENOMEM));
@@ -196,7 +192,11 @@ fn identical_plans_replay_identically() {
     let plan = FaultPlan::new(7)
         .kind_default(FaultKind::AllocFail, FaultSchedule::ProbMilli(250))
         .kind_default(FaultKind::IoError, FaultSchedule::EveryNth(3))
-        .site(FaultKind::LockTimeout, "fs.rename.mutex", FaultSchedule::Nth(2));
+        .site(
+            FaultKind::LockTimeout,
+            "fs.rename.mutex",
+            FaultSchedule::Nth(2),
+        );
     let run = |plan: FaultPlan| {
         let mut f = Fixture::new(plan);
         let mut errors = Vec::new();

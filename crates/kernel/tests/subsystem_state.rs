@@ -23,7 +23,9 @@ impl Fixture {
     fn new(cores: usize) -> Self {
         let mut eng: Engine<()> = Engine::new((), EngineParams::default(), 3);
         let disk = eng.add_device(DeviceModel::nvme_ssd());
-        let cs: Vec<CoreId> = (0..cores).map(|_| eng.add_core(Default::default())).collect();
+        let cs: Vec<CoreId> = (0..cores)
+            .map(|_| eng.add_core(Default::default()))
+            .collect();
         let inst = KernelInstance::build(
             &mut eng,
             0,
@@ -124,7 +126,9 @@ fn cold_read_goes_to_disk() {
     let seq = f.call(SysNo::Read, &[fd, 8_000]);
     assert!(f.covered("io.read.miss"));
     assert!(
-        seq.ops.iter().any(|op| matches!(op, KOp::Io { write: false, .. })),
+        seq.ops
+            .iter()
+            .any(|op| matches!(op, KOp::Io { write: false, .. })),
         "miss must issue device I/O"
     );
 }
@@ -209,7 +213,10 @@ fn pipe_fds_behave_as_pipes() {
     let r = f.call(SysNo::Pipe2, &[]).result as usize;
     let slot = &f.inst.state.slots[0];
     assert!(matches!(slot.fds[r].kind, FdKind::Pipe { read_end: true }));
-    assert!(matches!(slot.fds[r + 1].kind, FdKind::Pipe { read_end: false }));
+    assert!(matches!(
+        slot.fds[r + 1].kind,
+        FdKind::Pipe { read_end: false }
+    ));
     f.call(SysNo::Read, &[r as u64, 512]);
     assert!(f.covered("io.read.pipe"));
 }
@@ -270,7 +277,10 @@ fn setuid_changes_identity_and_syncs_rcu() {
     let seq = f.call(SysNo::Setuid, &[target]);
     assert!(f.covered("perm.setuid.change"));
     assert_eq!(f.inst.state.slots[0].uid, target);
-    assert!(seq.ops.contains(&KOp::RcuSync), "cred publication waits a GP");
+    assert!(
+        seq.ops.contains(&KOp::RcuSync),
+        "cred publication waits a GP"
+    );
     // Setting the same uid again is the cheap branch.
     f.call(SysNo::Setuid, &[target]);
     assert!(f.covered("perm.setuid.same"));

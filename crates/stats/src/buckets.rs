@@ -5,7 +5,6 @@
 //! percentile / worst case falls **below** 1µs, 10µs, 100µs, 1ms and 10ms,
 //! plus the residual share above 10ms.
 
-
 use crate::{MS, US};
 
 /// Bucket edges used throughout the paper, in nanoseconds:

@@ -1,6 +1,5 @@
 //! Raw sample storage with lazily sorted views.
 
-
 use crate::quantile::quantile_sorted;
 use crate::summary::SummaryStats;
 

@@ -1,6 +1,5 @@
 //! Full summary statistics for one measurement site.
 
-
 use crate::quantile::quantile_sorted;
 
 /// Summary of a latency distribution, in nanoseconds.

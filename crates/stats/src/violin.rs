@@ -7,7 +7,6 @@
 //! data so the text/CSV renderers (and any external plotting tool) can
 //! reproduce the figure.
 
-
 use crate::density::kernel_density;
 use crate::quantile::quantile_sorted;
 
@@ -41,7 +40,11 @@ pub struct ViolinSummary {
 impl ViolinSummary {
     /// Builds a violin from unsorted per-site values. Returns `None` when
     /// `values` is empty.
-    pub fn from_values(label: impl Into<String>, values: &[u64], kde_points: usize) -> Option<Self> {
+    pub fn from_values(
+        label: impl Into<String>,
+        values: &[u64],
+        kde_points: usize,
+    ) -> Option<Self> {
         if values.is_empty() {
             return None;
         }

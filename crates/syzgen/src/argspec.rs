@@ -57,7 +57,11 @@ pub fn arg_spec(no: SysNo) -> &'static [ArgSpec] {
         SysNo::Nanosleep => &[Range(0, 50_000)],
 
         SysNo::Mmap => &[Pages(256), Flags(&[0, 1])],
-        SysNo::Munmap | SysNo::Mprotect | SysNo::Mlock | SysNo::Munlock | SysNo::Msync
+        SysNo::Munmap
+        | SysNo::Mprotect
+        | SysNo::Mlock
+        | SysNo::Munlock
+        | SysNo::Msync
         | SysNo::Mincore => &[Res(Vma)],
         SysNo::Madvise => &[Res(Vma), Range(0, 16)],
         SysNo::Brk => &[Range(0, 128)],

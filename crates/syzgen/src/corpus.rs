@@ -208,11 +208,7 @@ pub fn generate(cfg: GenConfig) -> GeneratedCorpus {
 /// **all** the new blocks it contributed (Syzkaller keeps the full new
 /// signal, not just any of it). Returns the minimized program and the
 /// number of removed calls.
-fn minimize(
-    sandbox: &mut Sandbox,
-    global: &CoverageSet,
-    mut prog: Program,
-) -> (Program, usize) {
+fn minimize(sandbox: &mut Sandbox, global: &CoverageSet, mut prog: Program) -> (Program, usize) {
     let full = sandbox.run_fresh(&prog);
     let target = global.new_blocks(&full);
     let mut removed = 0;
@@ -344,9 +340,10 @@ mod tests {
     #[test]
     fn future_corpus_version_is_rejected() {
         let out = generate(small_cfg(8));
-        let json = out
-            .to_json()
-            .replace(&format!("\"version\":{CORPUS_SCHEMA_VERSION}"), "\"version\":99");
+        let json = out.to_json().replace(
+            &format!("\"version\":{CORPUS_SCHEMA_VERSION}"),
+            "\"version\":99",
+        );
         let err = GeneratedCorpus::from_json(&json).unwrap_err();
         let msg = format!("{err}");
         assert!(msg.contains("99"), "mentions the offending version: {msg}");

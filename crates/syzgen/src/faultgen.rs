@@ -103,10 +103,8 @@ pub fn fault_phase(base: &Corpus, cfg: FaultGenConfig) -> FaultCorpus {
             points.push((pi, kind, site, hits));
         }
     }
-    let mut sites_seen: Vec<(FaultKind, &str)> = points
-        .iter()
-        .map(|(_, k, s, _)| (*k, s.as_str()))
-        .collect();
+    let mut sites_seen: Vec<(FaultKind, &str)> =
+        points.iter().map(|(_, k, s, _)| (*k, s.as_str())).collect();
     sites_seen.sort();
     sites_seen.dedup();
 
@@ -124,8 +122,7 @@ pub fn fault_phase(base: &Corpus, cfg: FaultGenConfig) -> FaultCorpus {
             if stats.executed >= cfg.max_candidates || stall >= cfg.stall_limit {
                 break 'sweep;
             }
-            let plan = FaultPlan::new(cfg.seed)
-                .site(*kind, site.clone(), FaultSchedule::Nth(n));
+            let plan = FaultPlan::new(cfg.seed).site(*kind, site.clone(), FaultSchedule::Nth(n));
             sandbox.set_fault_plan(plan.clone());
             let cover = sandbox.run_fresh(&base.programs[*pi]);
             stats.executed += 1;
@@ -285,7 +282,10 @@ mod tests {
     fn fault_phase_strictly_extends_coverage() {
         let base = base();
         let out = fault_phase(&base, FaultGenConfig::default());
-        assert!(out.stats.sites_probed > 0, "corpus must expose fault points");
+        assert!(
+            out.stats.sites_probed > 0,
+            "corpus must expose fault points"
+        );
         assert!(
             out.stats.error_blocks > 0,
             "injection must reach error blocks"

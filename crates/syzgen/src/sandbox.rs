@@ -134,7 +134,7 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_state_but_not_total_coverage(){
+    fn reset_clears_state_but_not_total_coverage() {
         let mut sb = Sandbox::new(2);
         let prog = Program {
             calls: vec![Call::new(SysNo::Open, vec![Arg::Const(1), Arg::Const(1)])],

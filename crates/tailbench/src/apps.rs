@@ -49,8 +49,7 @@ impl AppProfile {
     /// Arrival rate (requests/ns) that loads `workers` cores to
     /// `util_pct`% given this profile's mean service demand.
     pub fn arrival_rate(&self, workers: usize, util_pct: u64) -> f64 {
-        let per_req =
-            self.service_ns as f64 + self.jitter_ns as f64 / 2.0 + self.kernel_ns as f64;
+        let per_req = self.service_ns as f64 + self.jitter_ns as f64 / 2.0 + self.kernel_ns as f64;
         (workers as f64 * util_pct as f64 / 100.0) / per_req
     }
 }
@@ -190,7 +189,10 @@ pub fn suite() -> Vec<AppProfile> {
 /// The apps evaluated in the 64-node experiment (no shore — no SSDs on
 /// the cluster nodes; no specjbb — JVM failures, as in the paper).
 pub fn cluster_suite() -> Vec<AppProfile> {
-    suite().into_iter().filter(|a| !a.needs_disk && !a.jvm).collect()
+    suite()
+        .into_iter()
+        .filter(|a| !a.needs_disk && !a.jvm)
+        .collect()
 }
 
 #[cfg(test)]
@@ -223,7 +225,10 @@ mod tests {
         let spare = app.arrival_rate(16, 75);
         let small = app.arrival_rate(8, 75);
         assert!(spare < full);
-        assert!((small * 2.0 - spare).abs() < 1e-12, "halving workers halves the rate");
+        assert!(
+            (small * 2.0 - spare).abs() < 1e-12,
+            "halving workers halves the rate"
+        );
         assert!(small < spare);
     }
 

@@ -205,6 +205,13 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_rate_rejected() {
-        let _ = Client::new(0, QueueId(0), QueueId(1), 0.0, ClientMode::OpenLoop { total: 1 }, 1);
+        let _ = Client::new(
+            0,
+            QueueId(0),
+            QueueId(1),
+            0.0,
+            ClientMode::OpenLoop { total: 1 },
+            1,
+        );
     }
 }

@@ -26,5 +26,5 @@ pub mod single_node;
 pub mod world;
 
 pub use apps::{suite, AppProfile};
-pub use single_node::{run_single_node, SingleNodeConfig, TailResult};
+pub use single_node::{run_points, run_single_node, SingleNodeConfig, TailResult};
 pub use world::{Request, RequestAttribution, TbWorld};

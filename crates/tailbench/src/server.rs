@@ -95,7 +95,15 @@ impl ServerWorker {
             (SysNo::Pwrite, 0, 32_000),
             (SysNo::Pread, 0, 32_000),
         ] {
-            let sub = dispatch(inst, self.slot, no, &[a0, a1], &mut self.rng, &mut self.cover, faults);
+            let sub = dispatch(
+                inst,
+                self.slot,
+                no,
+                &[a0, a1],
+                &mut self.rng,
+                &mut self.cover,
+                faults,
+            );
             seq.ops.extend(sub.ops);
         }
         OpRunner::new(&seq, inst, self.core)
@@ -113,14 +121,38 @@ impl ServerWorker {
         // Client half of the loopback: push the request payload through
         // the simulated stack (skb alloc, demux, NIC doorbell) into the
         // server connection's receive buffer, then drain it server-side.
-        let sub = dispatch(inst, self.slot, SysNo::Sendto, &[2, 768, 0], &mut self.rng, &mut self.cover, faults);
+        let sub = dispatch(
+            inst,
+            self.slot,
+            SysNo::Sendto,
+            &[2, 768, 0],
+            &mut self.rng,
+            &mut self.cover,
+            faults,
+        );
         seq.ops.extend(sub.ops);
-        let sub = dispatch(inst, self.slot, SysNo::Recvfrom, &[3, 768], &mut self.rng, &mut self.cover, faults);
+        let sub = dispatch(
+            inst,
+            self.slot,
+            SysNo::Recvfrom,
+            &[3, 768],
+            &mut self.rng,
+            &mut self.cover,
+            faults,
+        );
         seq.ops.extend(sub.ops);
 
         // The app's kernel footprint.
         for &(no, a0, a1) in self.app.calls {
-            let sub = dispatch(inst, self.slot, no, &[a0, a1], &mut self.rng, &mut self.cover, faults);
+            let sub = dispatch(
+                inst,
+                self.slot,
+                no,
+                &[a0, a1],
+                &mut self.rng,
+                &mut self.cover,
+                faults,
+            );
             seq.ops.extend(sub.ops);
         }
 
@@ -138,9 +170,25 @@ impl ServerWorker {
 
         // Reply: server send (peer-routed to the client socket), then
         // the client drains it so buffers stay bounded across requests.
-        let sub = dispatch(inst, self.slot, SysNo::Sendto, &[3, 256, 0], &mut self.rng, &mut self.cover, faults);
+        let sub = dispatch(
+            inst,
+            self.slot,
+            SysNo::Sendto,
+            &[3, 256, 0],
+            &mut self.rng,
+            &mut self.cover,
+            faults,
+        );
         seq.ops.extend(sub.ops);
-        let sub = dispatch(inst, self.slot, SysNo::Recvfrom, &[2, 256], &mut self.rng, &mut self.cover, faults);
+        let sub = dispatch(
+            inst,
+            self.slot,
+            SysNo::Recvfrom,
+            &[2, 256],
+            &mut self.rng,
+            &mut self.cover,
+            faults,
+        );
         seq.ops.extend(sub.ops);
 
         debug_assert!(seq.locks_balanced());

@@ -95,6 +95,9 @@ pub struct TailResult {
     pub batch_durations: Vec<Ns>,
     /// Final virtual time.
     pub sim_ns: Ns,
+    /// Engine events processed — the simulated-work unit the bench
+    /// suite converts to events/second throughput.
+    pub events: u64,
     /// Per-request latency decompositions (all requests, completion
     /// order; `queue_ns + service.total` equals the sojourn exactly).
     pub request_attrib: Vec<RequestAttribution>,
@@ -113,6 +116,41 @@ pub fn run_single_node(
     noise_corpus: &Corpus,
 ) -> TailResult {
     run_node(app, cfg, noise_corpus, None)
+}
+
+/// Runs a whole sweep of independent `(app, config)` points concurrently
+/// on the deterministic work-stealing pool (`jobs` workers; 0 = auto,
+/// 1 = sequential), returning results in input order. This is the
+/// engine behind the Figure 3 noise grid (apps × {KVM, Docker} ×
+/// {isolated, noisy} × repetition seeds) and the calibration sweep: each
+/// point is one single-threaded engine run, so any worker count yields
+/// results bit-identical to the sequential sweep. A panicking point
+/// (e.g. a stalled node) propagates after every sibling point finished,
+/// so one bad configuration cannot silently truncate the grid.
+pub fn run_points(
+    points: &[(AppProfile, SingleNodeConfig)],
+    noise_corpus: &Corpus,
+    jobs: usize,
+) -> Vec<TailResult> {
+    let tasks: Vec<_> = points
+        .iter()
+        .map(|(app, cfg)| move || run_single_node(app, cfg, noise_corpus))
+        .collect();
+    let mut panic_payload = None;
+    let results: Vec<Option<TailResult>> = ksa_desim::pool::run_tasks(jobs, tasks)
+        .into_iter()
+        .map(|r| match r {
+            Ok(res) => Some(res),
+            Err(payload) => {
+                panic_payload.get_or_insert(payload);
+                None
+            }
+        })
+        .collect();
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    results.into_iter().map(|r| r.unwrap()).collect()
 }
 
 /// Runs one cluster node: `batches` rounds of `per_batch` requests with a
@@ -243,6 +281,7 @@ fn run_node(
         p99,
         batch_durations,
         sim_ns: res.clock,
+        events: res.events,
         request_attrib,
         noise_attrib,
         trace,
@@ -294,8 +333,16 @@ mod tests {
     #[test]
     fn noise_increases_docker_tail() {
         let app = &suite()[0]; // xapian: kernel-intensive
-        let quiet = run_single_node(app, &SingleNodeConfig::quick(false, false, 5), &noise_corpus());
-        let noisy = run_single_node(app, &SingleNodeConfig::quick(false, true, 5), &noise_corpus());
+        let quiet = run_single_node(
+            app,
+            &SingleNodeConfig::quick(false, false, 5),
+            &noise_corpus(),
+        );
+        let noisy = run_single_node(
+            app,
+            &SingleNodeConfig::quick(false, true, 5),
+            &noise_corpus(),
+        );
         assert!(
             noisy.p99 > quiet.p99,
             "noise must raise the Docker tail: {} vs {}",
@@ -378,5 +425,34 @@ mod tests {
         let b = run_single_node(app, &cfg, &noise_corpus());
         assert_eq!(a.p99, b.p99);
         assert_eq!(a.sim_ns, b.sim_ns);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_point_by_point() {
+        let apps = suite();
+        let mut points: Vec<(crate::apps::AppProfile, SingleNodeConfig)> = Vec::new();
+        for ai in [1usize, 6] {
+            for (virt, noise) in [(true, false), (false, true)] {
+                points.push((
+                    apps[ai].clone(),
+                    SingleNodeConfig::quick(virt, noise, 31 + ai as u64),
+                ));
+            }
+        }
+        let corpus = noise_corpus();
+        let seq = run_points(&points, &corpus, 1);
+        let par = run_points(&points, &corpus, 4);
+        assert_eq!(seq.len(), points.len());
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(a.app, points[i].0.name, "slot {i} out of order");
+            assert_eq!(a.app, b.app, "slot {i}");
+            assert_eq!(a.p99, b.p99, "slot {i}: tails diverged");
+            assert_eq!(a.sim_ns, b.sim_ns, "slot {i}: clocks diverged");
+            assert_eq!(
+                a.sojourns.raw(),
+                b.sojourns.raw(),
+                "slot {i}: samples diverged"
+            );
+        }
     }
 }

@@ -27,7 +27,12 @@ fn main() {
     let mut med_table = BucketTable::new("medians");
     let mut p99_table = BucketTable::new("p99s");
     let mut max_table = BucketTable::new("maxes");
-    for kind in [EnvKind::Native, EnvKind::Vm(64), EnvKind::Container(64), EnvKind::Vm(1)] {
+    for kind in [
+        EnvKind::Native,
+        EnvKind::Vm(64),
+        EnvKind::Container(64),
+        EnvKind::Vm(1),
+    ] {
         let t = std::time::Instant::now();
         let mut res = run(
             &RunConfig {
@@ -89,6 +94,11 @@ fn main() {
     by_med.sort_by_key(|x| std::cmp::Reverse(x.0));
     println!("top native sites by median:");
     for (med, p99, name) in by_med.iter().take(15) {
-        println!("  {:<18} med={:<10} p99={}", name, fmt_ns(*med), fmt_ns(*p99));
+        println!(
+            "  {:<18} med={:<10} p99={}",
+            name,
+            fmt_ns(*med),
+            fmt_ns(*p99)
+        );
     }
 }

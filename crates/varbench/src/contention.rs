@@ -11,7 +11,6 @@
 
 use std::collections::BTreeMap;
 
-
 /// Aggregated contention for one lock label (e.g. `"journal"`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LockContention {

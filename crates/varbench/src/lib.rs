@@ -19,8 +19,9 @@ pub mod worker;
 
 pub use contention::{ContentionProfile, LockContention};
 pub use run::{
-    outcomes_to_json, run, run_configs, run_configs_retry, run_hooked, run_isolated, RunConfig,
-    RunError, RunResult, SiteResult, TrialOutcome,
+    outcomes_to_json, run, run_configs, run_configs_hooked, run_configs_jobs, run_configs_retry,
+    run_configs_retry_jobs, run_hooked, run_isolated, RunConfig, RunError, RunResult, SiteResult,
+    TrialOutcome,
 };
 pub use traceout::{attribution_json, chrome_trace_json};
 pub use worker::CorpusWorker;

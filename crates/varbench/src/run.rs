@@ -1,11 +1,20 @@
 //! Running a corpus over an environment and aggregating samples.
 //!
-//! The harness is **crash-proof**: a trial that deadlocks, livelocks or
-//! panics must not take the rest of a measurement campaign with it.
-//! [`run`] returns `Result` instead of panicking, [`run_configs`]
-//! isolates each trial on its own thread behind `catch_unwind`, and
-//! [`run_configs_retry`] re-runs failed trials a bounded number of times
-//! under derived seeds while preserving every completed result.
+//! The harness is **crash-proof** and **parallel**: a trial that
+//! deadlocks, livelocks or panics must not take the rest of a
+//! measurement campaign with it, and independent trials must not wait on
+//! each other. [`run`] returns `Result` instead of panicking;
+//! [`run_configs`] executes trials concurrently on the deterministic
+//! work-stealing pool ([`ksa_desim::pool`]) with each trial isolated
+//! behind `catch_unwind`; [`run_configs_retry`] re-runs failed trials a
+//! bounded number of times under derived seeds while preserving every
+//! completed result. Worker counts come from the caller (`--jobs`) or
+//! the `KSA_JOBS` environment variable; `jobs == 1` is the sequential
+//! baseline, and for every worker count the output vector is
+//! **bit-identical** to that baseline (the engine is single-threaded per
+//! trial, so parallelism across trials cannot perturb simulated time —
+//! `parallel_runner_matches_sequential_bit_identically` in
+//! `tests/properties.rs` pins this).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
@@ -118,6 +127,9 @@ pub struct RunResult {
     pub sites: Vec<SiteResult>,
     /// Final virtual clock (run length in simulated time).
     pub sim_ns: u64,
+    /// Engine events processed — the simulated-work unit the bench
+    /// suite converts to events/second throughput.
+    pub events: u64,
     /// Which kernel locks were contended during the run, with wait
     /// durations.
     pub contention: ContentionProfile,
@@ -232,6 +244,7 @@ pub fn run_hooked(
         config: *cfg,
         sites,
         sim_ns: res.clock,
+        events: res.events,
         contention,
         attrib,
         trace,
@@ -258,28 +271,57 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs several configurations in parallel OS threads (one engine per
-/// thread; results in input order). Each trial is panic-isolated: one
-/// failing trial never discards the others' results.
+/// Runs several configurations concurrently on the deterministic
+/// work-stealing pool, with results in input order. Worker count is the
+/// auto default (`KSA_JOBS` or available parallelism); see
+/// [`run_configs_jobs`] for an explicit `--jobs` knob. Each trial is
+/// panic-isolated: one failing trial never discards the others' results.
 pub fn run_configs(configs: &[RunConfig], corpus: &Corpus) -> Vec<Result<RunResult, RunError>> {
-    let mut out: Vec<Option<Result<RunResult, RunError>>> = Vec::new();
-    out.resize_with(configs.len(), || None);
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, cfg) in configs.iter().enumerate() {
-            handles.push((i, s.spawn(move || run_isolated(cfg, corpus))));
-        }
-        for (i, h) in handles {
-            out[i] = Some(match h.join() {
-                Ok(r) => r,
-                // run_isolated already catches panics; a join error means
-                // the unwind escaped catch_unwind (e.g. a foreign
-                // exception). Still report rather than propagate.
-                Err(payload) => Err(RunError::Panicked(panic_message(payload.as_ref()))),
-            });
-        }
-    });
-    out.into_iter().map(|r| r.unwrap()).collect()
+    run_configs_jobs(configs, corpus, 0)
+}
+
+/// Like [`run_configs`] with an explicit worker count (`0` = auto,
+/// `1` = strictly sequential on the calling thread). Every worker count
+/// produces a bit-identical output vector: the engine is single-threaded
+/// per trial and results land in index-addressed slots.
+pub fn run_configs_jobs(
+    configs: &[RunConfig],
+    corpus: &Corpus,
+    jobs: usize,
+) -> Vec<Result<RunResult, RunError>> {
+    run_configs_hooked(configs, corpus, jobs, &|_, _| {})
+}
+
+/// The fully general campaign runner: [`run_configs_jobs`] plus a
+/// per-trial engine hook (`hook(trial_index, &mut engine)`) applied
+/// after the environment is built and before workers spawn — how a
+/// campaign installs [`ksa_desim::FaultPlan`]s or ablation overrides on
+/// specific trials. The hook must be `Sync`: it is shared by all pool
+/// workers (each invocation still runs on exactly one trial's thread).
+pub fn run_configs_hooked<H>(
+    configs: &[RunConfig],
+    corpus: &Corpus,
+    jobs: usize,
+    hook: &H,
+) -> Vec<Result<RunResult, RunError>>
+where
+    H: Fn(usize, &mut Engine<KernelWorld>) + Sync,
+{
+    let tasks: Vec<_> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| move || run_hooked(cfg, corpus, |engine| hook(i, engine)))
+        .collect();
+    ksa_desim::pool::run_tasks(jobs, tasks)
+        .into_iter()
+        .map(|r| match r {
+            Ok(res) => res,
+            // The pool already ran the trial under catch_unwind; a
+            // payload here is the trial's own panic. Report it in the
+            // trial's slot rather than propagating.
+            Err(payload) => Err(RunError::Panicked(panic_message(payload.as_ref()))),
+        })
+        .collect()
 }
 
 /// SplitMix64 finalizer, used to derive retry seeds.
@@ -300,7 +342,21 @@ pub fn run_configs_retry(
     corpus: &Corpus,
     max_retries: u32,
 ) -> Vec<TrialOutcome> {
-    let first = run_configs(configs, corpus);
+    run_configs_retry_jobs(configs, corpus, max_retries, 0)
+}
+
+/// [`run_configs_retry`] with an explicit pool worker count (`0` = auto,
+/// `1` = sequential). Retry semantics are identical for every worker
+/// count: outcome `i` always corresponds to input config `i`, retries
+/// re-run only failed indices, and retry seeds derive from the *input*
+/// config's seed — never from execution order.
+pub fn run_configs_retry_jobs(
+    configs: &[RunConfig],
+    corpus: &Corpus,
+    max_retries: u32,
+    jobs: usize,
+) -> Vec<TrialOutcome> {
+    let first = run_configs_jobs(configs, corpus, jobs);
     let mut outcomes: Vec<TrialOutcome> = first
         .into_iter()
         .map(|result| TrialOutcome {
@@ -326,7 +382,7 @@ pub fn run_configs_retry(
                 ..configs[i]
             })
             .collect();
-        let results = run_configs(&retry_cfgs, corpus);
+        let results = run_configs_jobs(&retry_cfgs, corpus, jobs);
         for (&i, result) in retry_idx.iter().zip(results) {
             let o = &mut outcomes[i];
             let prev = std::mem::replace(&mut o.result, result);
@@ -361,7 +417,12 @@ pub fn outcomes_to_json(outcomes: &[TrialOutcome]) -> String {
                 fields.push(("sites", Value::from(res.sites.len())));
                 fields.push((
                     "samples",
-                    Value::from(res.sites.iter().map(|s| s.samples.len() as u64).sum::<u64>()),
+                    Value::from(
+                        res.sites
+                            .iter()
+                            .map(|s| s.samples.len() as u64)
+                            .sum::<u64>(),
+                    ),
                 ));
             }
             Err(e) => {
@@ -659,6 +720,134 @@ mod tests {
     }
 
     #[test]
+    fn retry_outcomes_map_one_to_one_to_input_indices() {
+        // Mixed pass/fail campaign with per-trial distinguishable
+        // configs: every outcome must sit in the slot of the config that
+        // produced it — pass/fail pattern, env kind and iteration count
+        // all have to line up, sequentially and on the pool alike.
+        let corpus = tiny_corpus();
+        let cfgs = [
+            RunConfig {
+                seed: 101,
+                ..cfg(EnvKind::Native, 2)
+            },
+            RunConfig {
+                max_events: 50,
+                seed: 102,
+                ..cfg(EnvKind::Vm(2), 3)
+            },
+            RunConfig {
+                seed: 103,
+                ..cfg(EnvKind::Container(4), 4)
+            },
+            RunConfig {
+                max_events: 50,
+                seed: 104,
+                ..cfg(EnvKind::Native, 5)
+            },
+            RunConfig {
+                seed: 105,
+                ..cfg(EnvKind::Vm(4), 6)
+            },
+        ];
+        for jobs in [1usize, 4] {
+            let outcomes = run_configs_retry_jobs(&cfgs, &corpus, 1, jobs);
+            assert_eq!(outcomes.len(), cfgs.len(), "jobs={jobs}");
+            for (i, (o, input)) in outcomes.iter().zip(&cfgs).enumerate() {
+                if input.max_events > 0 {
+                    // Budget-killed trials fail on every derived seed.
+                    assert!(o.result.is_err(), "jobs={jobs}: slot {i} should fail");
+                    assert_eq!(o.attempts, 2, "jobs={jobs}: slot {i} retried once");
+                } else {
+                    let res = o
+                        .ok()
+                        .unwrap_or_else(|| panic!("jobs={jobs}: slot {i} failed"));
+                    assert_eq!(o.attempts, 1, "jobs={jobs}: slot {i}");
+                    // The result's embedded config identifies the input.
+                    assert_eq!(res.config.seed, input.seed, "jobs={jobs}: slot {i}");
+                    assert_eq!(res.config.env.kind, input.env.kind, "jobs={jobs}: slot {i}");
+                    assert_eq!(
+                        res.config.iterations, input.iterations,
+                        "jobs={jobs}: slot {i}"
+                    );
+                    assert!(res
+                        .sites
+                        .iter()
+                        .all(|s| s.samples.len() == 4 * input.iterations));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_counts_produce_identical_outcome_vectors() {
+        let corpus = tiny_corpus();
+        let cfgs = [
+            cfg(EnvKind::Native, 2),
+            RunConfig {
+                max_events: 50,
+                ..cfg(EnvKind::Vm(2), 2)
+            },
+            cfg(EnvKind::Container(2), 3),
+        ];
+        let seq = run_configs_jobs(&cfgs, &corpus, 1);
+        for jobs in [2usize, 4, 0] {
+            let par = run_configs_jobs(&cfgs, &corpus, jobs);
+            for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+                match (a, b) {
+                    (Ok(x), Ok(y)) => {
+                        assert_eq!(x.sim_ns, y.sim_ns, "jobs={jobs}: slot {i}");
+                        assert_eq!(x.events, y.events, "jobs={jobs}: slot {i}");
+                        for (sa, sb) in x.sites.iter().zip(&y.sites) {
+                            assert_eq!(sa.samples.raw(), sb.samples.raw());
+                        }
+                    }
+                    (Err(RunError::Sim(x)), Err(RunError::Sim(y))) => {
+                        assert_eq!(x, y, "jobs={jobs}: slot {i}")
+                    }
+                    other => panic!("jobs={jobs}: slot {i} diverged: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_trial_is_isolated_from_pool_siblings() {
+        // A hook that panics on one trial must surface as Panicked in
+        // that slot only; sibling trials on the same workers complete.
+        let corpus = tiny_corpus();
+        let cfgs = [
+            cfg(EnvKind::Native, 2),
+            cfg(EnvKind::Vm(2), 2),
+            cfg(EnvKind::Container(2), 2),
+            cfg(EnvKind::Native, 3),
+        ];
+        for jobs in [1usize, 3] {
+            let results = run_configs_hooked(&cfgs, &corpus, jobs, &|i, _| {
+                if i == 1 {
+                    panic!("poisoned trial {i}");
+                }
+            });
+            assert_eq!(results.len(), 4);
+            for (i, r) in results.iter().enumerate() {
+                if i == 1 {
+                    match r {
+                        Err(RunError::Panicked(msg)) => {
+                            assert!(msg.contains("poisoned trial 1"), "jobs={jobs}: {msg}")
+                        }
+                        other => panic!("jobs={jobs}: expected panic slot, got {other:?}"),
+                    }
+                } else {
+                    let ok = r
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("jobs={jobs}: sibling {i} lost: {e}"));
+                    assert_eq!(ok.sites.len(), 8, "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn retried_success_is_kept() {
         // A trial whose failure is seed-independent keeps failing; one
         // with a sane config succeeds on attempt 1 and is never re-run.
@@ -688,8 +877,10 @@ mod tests {
         assert!(arr[0].get("samples").unwrap().as_u64().unwrap() > 0);
         assert!(!arr[1].get("ok").unwrap().as_bool().unwrap());
         let err = arr[1].get("error").unwrap().as_str().unwrap();
-        assert!(err.contains("stall") || err.contains("livelock") || err.contains("budget"),
-            "error string should describe the stall: {err}");
+        assert!(
+            err.contains("stall") || err.contains("livelock") || err.contains("budget"),
+            "error string should describe the stall: {err}"
+        );
     }
 
     #[test]

@@ -206,7 +206,10 @@ mod tests {
         let v = ksa_json::parse(&chrome_trace_json(&log)).unwrap();
         let evs = v.get("traceEvents").unwrap().as_array().unwrap();
         assert_eq!(evs.len(), 2);
-        assert_eq!(evs[0].get("name").unwrap().as_str().unwrap(), "lock_acquired");
+        assert_eq!(
+            evs[0].get("name").unwrap().as_str().unwrap(),
+            "lock_acquired"
+        );
         assert_eq!(evs[0].get("ph").unwrap().as_str().unwrap(), "i");
         // 1500 ns = 1.5 µs.
         assert!((evs[0].get("ts").unwrap().as_f64().unwrap() - 1.5).abs() < 1e-12);
@@ -220,11 +223,14 @@ mod tests {
     fn large_u64_timestamps_roundtrip_exactly() {
         // Beyond 2^53: lost by f64, preserved by ksa-json's UInt path.
         let t: Ns = (1u64 << 60) + 12345;
-        let log = log_with(vec![(t, TraceEventKind::Mark {
-            label: "m",
-            a: u64::MAX,
-            b: 7,
-        })]);
+        let log = log_with(vec![(
+            t,
+            TraceEventKind::Mark {
+                label: "m",
+                a: u64::MAX,
+                b: 7,
+            },
+        )]);
         let v = ksa_json::parse(&chrome_trace_json(&log)).unwrap();
         let args = v.get("traceEvents").unwrap().as_array().unwrap()[0]
             .get("args")

@@ -133,7 +133,10 @@ fn disjoint_fault_sites_do_not_interfere() {
         );
     let a = run_with_plan(33, mm_only);
     let b = run_with_plan(33, mm_plus_unreached);
-    assert_eq!(a.sim_ns, b.sim_ns, "unreached site's schedule leaked into timing");
+    assert_eq!(
+        a.sim_ns, b.sim_ns,
+        "unreached site's schedule leaked into timing"
+    );
     for (x, y) in a.sites.iter().zip(&b.sites) {
         assert_eq!(x.samples.raw(), y.samples.raw());
     }

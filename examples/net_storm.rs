@@ -101,7 +101,14 @@ fn main() {
             .contention
             .by_label
             .get("softirq")
-            .map(|c| format!("{}/{} ({:.1}%)", c.contended, c.acquisitions, 100.0 * c.contention_rate()))
+            .map(|c| {
+                format!(
+                    "{}/{} ({:.1}%)",
+                    c.contended,
+                    c.acquisitions,
+                    100.0 * c.contention_rate()
+                )
+            })
             .unwrap_or_else(|| "-".into());
         println!(
             "{count:>6}  {surface:>22}  {med:>10}ns  {max:>10}ns  {softirq}",

@@ -8,9 +8,9 @@
 //! Run with: `cargo run --release --example surface_sweep`
 
 use ksa_core::analysis::{render_trends, surface_trends};
+use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
 use ksa_core::experiments::{default_corpus, fig2, Scale};
 use ksa_core::KernelSurfaceArea;
-use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
 
 fn main() {
     let scale = Scale::Tiny;

@@ -175,7 +175,13 @@ fn engine_clock_is_monotone() {
         let lock = eng.add_lock(ksa_core::desim::LockKind::Spin, "prop");
         eng.spawn(
             core,
-            Box::new(P { script, at: 0, lock, held: false, last: 0 }),
+            Box::new(P {
+                script,
+                at: 0,
+                lock,
+                held: false,
+                last: 0,
+            }),
             0,
         );
         let res = eng.run().unwrap();
@@ -289,8 +295,7 @@ fn socket_buffers_bound_and_conserve_bytes() {
         );
         // Drain the receiver; every buffered byte comes back exactly once.
         for _ in 0..300 {
-            let seq =
-                dispatch_simple(&mut inst, 0, SysNo::Recvfrom, &[0, 60_000], &mut call_rng);
+            let seq = dispatch_simple(&mut inst, 0, SysNo::Recvfrom, &[0, 60_000], &mut call_rng);
             invariant(&inst, "after recv");
             if seq.error == Some(Errno::EAGAIN) {
                 break;
@@ -499,4 +504,144 @@ fn coverage_merge_laws() {
     assert_eq!(ab.len(), ba.len());
     let mut aa = a.clone();
     assert_eq!(aa.merge(&a), 0, "self-merge adds nothing");
+}
+
+/// The parallel trial runner is an implementation detail: for every
+/// environment kind, with tracing on and off, and with fault injection
+/// enabled, a campaign run on the worker pool produces results
+/// bit-identical to the sequential runner — same simulated clocks, same
+/// samples, same attribution, same contention, same trace streams.
+#[test]
+fn parallel_runner_matches_sequential_bit_identically() {
+    use ksa_core::desim::{FaultKind, FaultPlan, FaultSchedule};
+    use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
+    use ksa_core::experiments::{net_corpus, Scale};
+    use ksa_core::varbench::{run_configs_hooked, RunConfig};
+    let corpus = net_corpus(Scale::Tiny);
+    let machine = Machine {
+        cores: 4,
+        mem_mib: 2 * 1024,
+    };
+
+    // The full grid: env kind x trace x faulted, two seeds each. One
+    // flat batch so the pool actually interleaves heterogeneous trials.
+    let mut configs = Vec::new();
+    let mut faulted = Vec::new();
+    for seed in [31u64, 0xbeef] {
+        for kind in [EnvKind::Native, EnvKind::Vm(2), EnvKind::Container(4)] {
+            for trace in [false, true] {
+                for fault in [false, true] {
+                    configs.push(RunConfig {
+                        env: EnvSpec::new(machine, kind),
+                        iterations: 2,
+                        sync: true,
+                        seed: seed ^ (configs.len() as u64) << 8,
+                        max_events: 0,
+                        trace,
+                    });
+                    faulted.push(fault);
+                }
+            }
+        }
+    }
+    let hook =
+        |i: usize, engine: &mut ksa_core::desim::Engine<ksa_core::kernel::world::KernelWorld>| {
+            if faulted[i] {
+                engine.set_fault_plan(
+                    FaultPlan::new(0xfa17 ^ i as u64)
+                        .site(
+                            FaultKind::IoError,
+                            "io.submit".to_string(),
+                            FaultSchedule::EveryNth(3),
+                        )
+                        .site(
+                            FaultKind::AllocFail,
+                            "mm.alloc".to_string(),
+                            FaultSchedule::ProbMilli(150),
+                        ),
+                );
+            }
+        };
+
+    let seq = run_configs_hooked(&configs, &corpus, 1, &hook);
+    for jobs in [4usize, 0] {
+        let par = run_configs_hooked(&configs, &corpus, jobs, &hook);
+        assert_eq!(seq.len(), par.len());
+        for (i, (s, p)) in seq.iter().zip(par.iter()).enumerate() {
+            let (s, p) = match (s, p) {
+                (Ok(s), Ok(p)) => (s, p),
+                other => panic!("slot {i} (jobs {jobs}): outcome mismatch {other:?}"),
+            };
+            let tag = format!("slot {i} ({:?}, jobs {jobs})", configs[i].env.kind);
+            assert_eq!(s.sim_ns, p.sim_ns, "{tag}: clocks differ");
+            assert_eq!(s.events, p.events, "{tag}: event counts differ");
+            assert_eq!(s.sites.len(), p.sites.len(), "{tag}: site counts differ");
+            for (a, b) in s.sites.iter().zip(p.sites.iter()) {
+                assert_eq!(a.samples.raw(), b.samples.raw(), "{tag}: samples differ");
+            }
+            assert_eq!(
+                s.attrib.grand_total().values(),
+                p.attrib.grand_total().values(),
+                "{tag}: attribution differs"
+            );
+            assert_eq!(
+                s.contention.total_wait_ns(),
+                p.contention.total_wait_ns(),
+                "{tag}: contention differs"
+            );
+            assert_eq!(
+                s.trace.total_events(),
+                p.trace.total_events(),
+                "{tag}: trace volume differs"
+            );
+            assert_eq!(s.trace.merged(), p.trace.merged(), "{tag}: trace diverged");
+        }
+    }
+}
+
+/// A panicking task on the worker pool never takes siblings down with
+/// it: for random task counts, worker counts and panic subsets, every
+/// non-panicking slot returns its value and every panicking slot
+/// surfaces its own payload, all in input order.
+#[test]
+fn pool_panics_stay_isolated() {
+    use ksa_core::desim::pool::run_tasks;
+    for_each_case("pool_panics_stay_isolated", |seed, rng| {
+        let n = rng.gen_range(1usize..24);
+        let jobs = rng.gen_range(1usize..6);
+        let doomed: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.3)).collect();
+        let tasks: Vec<_> = (0..n)
+            .map(|i| {
+                let dies = doomed[i];
+                move || {
+                    if dies {
+                        panic!("task {i} down");
+                    }
+                    i * i
+                }
+            })
+            .collect();
+        let results = run_tasks(jobs, tasks);
+        assert_eq!(results.len(), n, "seed {seed:#x}: slot count");
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(v) => {
+                    assert!(!doomed[i], "seed {seed:#x}: slot {i} should have panicked");
+                    assert_eq!(v, i * i, "seed {seed:#x}: slot {i} wrong value");
+                }
+                Err(payload) => {
+                    assert!(doomed[i], "seed {seed:#x}: slot {i} panicked unexpectedly");
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .unwrap_or_default();
+                    assert_eq!(
+                        msg,
+                        format!("task {i} down"),
+                        "seed {seed:#x}: wrong payload"
+                    );
+                }
+            }
+        }
+    });
 }
