@@ -23,9 +23,17 @@
 //! digest differs from its sequential digest — the determinism
 //! acceptance criterion, checked on every run.
 //!
+//! With `--profile N` the suite additionally re-runs every experiment's
+//! parallel pass `N` more times after the gated passes and emits a
+//! `profile` section into the report: per-experiment wall-clock
+//! (best/mean over the repeats) and the derived events/second. Profiling
+//! never affects the gates — digests and event counts are pinned by the
+//! gated passes; the extra repeats only tighten the wall-clock numbers
+//! the artifact carries.
+//!
 //! ```text
 //! suite [--jobs N] [--out PATH] [--baseline PATH] [--write-baseline PATH]
-//!       [--min-speedup F]
+//!       [--min-speedup F] [--profile N]
 //! ```
 //!
 //! Exit codes: 0 ok · 2 baseline drift · 3 speedup below gate ·
@@ -132,6 +140,7 @@ fn main() {
     let mut baseline: Option<String> = None;
     let mut write_baseline: Option<String> = None;
     let mut min_speedup = 1.5f64;
+    let mut profile = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut val = |what: &str| {
@@ -150,8 +159,9 @@ fn main() {
                     .parse()
                     .expect("--min-speedup: not a number")
             }
+            "--profile" => profile = val("--profile").parse().expect("--profile: not a number"),
             other => {
-                eprintln!("usage: suite [--jobs N] [--out PATH] [--baseline PATH] [--write-baseline PATH] [--min-speedup F]");
+                eprintln!("usage: suite [--jobs N] [--out PATH] [--baseline PATH] [--write-baseline PATH] [--min-speedup F] [--profile N]");
                 eprintln!("error: unknown argument {other}");
                 std::process::exit(2);
             }
@@ -410,7 +420,7 @@ fn main() {
         total_par as f64 / 1e6
     );
 
-    let report = Value::object([
+    let mut report_fields = vec![
         ("version", Value::from(1u64)),
         ("seed", Value::from(SEED)),
         ("hardware_threads", Value::from(threads)),
@@ -419,7 +429,42 @@ fn main() {
         ("total_par_wall_ns", Value::from(total_par)),
         ("overall_speedup", Value::from(overall)),
         ("experiments", Value::array(rows)),
-    ]);
+    ];
+
+    // Profiling repeats run after the gated passes so they can never
+    // perturb the gates; they only sharpen the wall-clock numbers.
+    if profile > 0 {
+        eprintln!("suite: profiling — {profile} extra parallel pass(es) per experiment");
+        let mut prof_rows = Vec::new();
+        for (name, case) in &cases {
+            let passes: Vec<Pass> = (0..profile).map(|_| timed(|| case(jobs))).collect();
+            let best = passes.iter().map(|p| p.wall_ns).min().unwrap_or(0);
+            let mean = passes.iter().map(|p| p.wall_ns).sum::<u64>() / profile as u64;
+            let events = passes.first().map(|p| p.events).unwrap_or(0);
+            let eps_best = events as f64 / (best.max(1) as f64 / 1e9);
+            eprintln!(
+                "suite: profile {name:<10} best {:>8.1}ms  mean {:>8.1}ms  {:>9.0} ev/s best",
+                best as f64 / 1e6,
+                mean as f64 / 1e6,
+                eps_best,
+            );
+            prof_rows.push(Value::object([
+                ("name", Value::str(*name)),
+                ("repeats", Value::from(profile)),
+                ("best_wall_ns", Value::from(best)),
+                ("mean_wall_ns", Value::from(mean)),
+                ("events", Value::from(events)),
+                ("events_per_sec_best", Value::from(eps_best)),
+                (
+                    "wall_ns",
+                    Value::array(passes.iter().map(|p| Value::from(p.wall_ns))),
+                ),
+            ]));
+        }
+        report_fields.push(("profile", Value::array(prof_rows)));
+    }
+
+    let report = Value::object(report_fields);
     std::fs::write(&out_path, report.render()).expect("write suite report");
     eprintln!("suite: wrote {out_path}");
 

@@ -14,6 +14,7 @@ use ksa_desim::{Effect, Ns, Process, SimCtx, WakeReason, MS, US};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::coverage::cov_block;
 use crate::world::HasKernel;
 
 /// The periodic journal / dirty-page flusher (like `kworker` writeback).
@@ -70,6 +71,7 @@ impl<W: HasKernel> Process<W> for Flusher {
                 self.pages = (backlog / 2).clamp(32, cap);
                 let cpu = k.cost.writeback_base + k.cost.writeback_per_page * self.pages;
                 k.state.fs.commits += 1;
+                k.cover(cov_block!("daemon.flusher.commit"));
                 self.phase = FlusherPhase::IoDone;
                 Effect::Delay(cpu)
             }
@@ -140,6 +142,7 @@ impl<W: HasKernel> Process<W> for Kswapd {
             let scanned = (k.state.mm.lru_pages / 4).clamp(64, 32_768);
             k.state.mm.free_pages += scanned / 2;
             k.state.mm.lru_pages = k.state.mm.lru_pages.saturating_sub(scanned / 2);
+            k.cover(cov_block!("daemon.kswapd.reclaim"));
             let lru = k.locks.lru;
             ctx.release(lru);
             self.holding_lru = false;
@@ -250,6 +253,8 @@ impl<W: HasKernel> Process<W> for LoadBalancer {
                         let (la, lb) = (k.locks.runqueue[a], k.locks.runqueue[b]);
                         ctx.release(lb);
                         ctx.release(la);
+                        ctx.world.kernel_mut().instances[self.instance]
+                            .cover(cov_block!("daemon.lb.pass"));
                         self.phase = LbPhase::Sleeping;
                         self.cursor += 1;
                         Effect::Sleep(self.sleep_len(ctx))
@@ -304,6 +309,7 @@ impl<W: HasKernel> Process<W> for VmstatWorker {
             };
             ctx.release(zone);
             self.holding = false;
+            ctx.world.kernel_mut().instances[self.instance].cover(cov_block!("daemon.vmstat.fold"));
             return Effect::Sleep(period + self.rng.gen_range(0..period / 4));
         }
         let k = &ctx.world.kernel().instances[self.instance];
@@ -375,6 +381,7 @@ impl<W: HasKernel> Process<W> for NapiPoller {
                 self.holding = true;
                 let k = &mut ctx.world.kernel_mut().instances[self.instance];
                 let drained = k.state.net.nic.poll(k.cost.napi_budget);
+                k.cover(cov_block!("daemon.napi.poll"));
                 let mut cost = US + k.cost.napi_pkt * drained;
                 if k.virt.enabled {
                     // One injected RX-completion interrupt per poll.

@@ -14,7 +14,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::category::Category;
-use crate::coverage::{block, CoverageSet};
+use crate::coverage::{block, block_bucketed, block_err, cov, fail, BlockId, CoverageSet};
 use crate::errno::Errno;
 use crate::instance::KernelInstance;
 use crate::ops::{KOp, OpSeq};
@@ -40,19 +40,27 @@ pub struct HCtx<'a> {
 }
 
 impl<'a> HCtx<'a> {
-    /// Records coverage of a named kernel path.
-    pub fn cover(&mut self, name: &'static str) {
-        let id = block(name);
+    /// Records coverage of an already-interned block — the hot sink the
+    /// [`crate::coverage::cov!`]-family macros feed with per-call-site
+    /// cached ids (no registry lock on the steady-state path).
+    #[inline]
+    pub fn cover_id(&mut self, id: BlockId) {
         self.cover.insert(id);
         self.k.coverage.insert(id);
     }
 
+    /// Records coverage of a named kernel path. For *dynamic* names only
+    /// (a name picked at runtime); literal sites use `cov!`, which caches
+    /// the interned id at the call site.
+    pub fn cover(&mut self, name: &'static str) {
+        self.cover_id(block(name));
+    }
+
     /// Records coverage of a parameterized path (size/depth classes —
-    /// the analogue of basic blocks inside size-dependent code).
+    /// the analogue of basic blocks inside size-dependent code). Dynamic
+    /// names only; literal sites use `cov_bucket!`.
     pub fn cover_bucket(&mut self, name: &'static str, bucket: u32) {
-        let id = crate::coverage::block_bucketed(name, bucket);
-        self.cover.insert(id);
-        self.k.coverage.insert(id);
+        self.cover_id(block_bucketed(name, bucket));
     }
 
     /// Log2 size class helper for bucketed coverage.
@@ -61,11 +69,10 @@ impl<'a> HCtx<'a> {
     }
 
     /// Records coverage of an error-path block (interned under the `err.`
-    /// prefix; see [`crate::coverage::block_err`]).
+    /// prefix; see [`crate::coverage::block_err`]). Dynamic names only;
+    /// err-tagged literal sites terminate through `fail!` instead.
     pub fn cover_err(&mut self, name: &'static str) {
-        let id = crate::coverage::block_err(name);
-        self.cover.insert(id);
-        self.k.coverage.insert(id);
+        self.cover_id(block_err(name));
     }
 
     /// Asks the fault plan whether `(kind, site)` fails at this hit.
@@ -73,13 +80,20 @@ impl<'a> HCtx<'a> {
         self.faults.should_fail(kind, site)
     }
 
-    /// Terminates the call on an error path: records the error block,
-    /// charges the unwind cost and tags the sequence with `errno`.
+    /// Terminates the call on an error path with an already-interned
+    /// error block: records it, charges the unwind cost and tags the
+    /// sequence with `errno` — the sink behind the `fail!` macro.
     /// Handlers still perform their own state cleanup before returning.
-    pub fn fail(&mut self, errno: Errno, block: &'static str) {
-        self.cover_err(block);
+    pub fn fail_id(&mut self, errno: Errno, block: BlockId) {
+        self.cover_id(block);
         self.cpu(250);
         self.seq.error = Some(errno);
+    }
+
+    /// [`Self::fail_id`] for dynamic block names; literal sites use the
+    /// `fail!` macro.
+    pub fn fail(&mut self, errno: Errno, block: &'static str) {
+        self.fail_id(errno, block_err(block));
     }
 
     /// Fallible page allocation: consults the fault plan before the real
@@ -183,12 +197,12 @@ impl<'a> HCtx<'a> {
         // Fast path: per-CPU page lists.
         let pcp = self.k.state.slots[slot].pcp_pages;
         if pages <= pcp {
-            self.cover("mm.alloc.pcp");
+            cov!(self, "mm.alloc.pcp");
             self.k.state.slots[slot].pcp_pages -= pages;
             self.cpu(40 * pages.min(16));
         } else {
             // Refill from the buddy allocator under the zone lock.
-            self.cover("mm.alloc.zone_refill");
+            cov!(self, "mm.alloc.zone_refill");
             let zone = self.k.locks.zone;
             let batch = pages + 128;
             self.lock(zone);
@@ -201,7 +215,7 @@ impl<'a> HCtx<'a> {
         // Direct reclaim when free memory dips under the watermark.
         let low = self.k.state.mm.low_watermark(cost.min_free_pct);
         if self.k.state.mm.free_pages < low {
-            self.cover("mm.alloc.direct_reclaim");
+            cov!(self, "mm.alloc.direct_reclaim");
             let scan = (self.k.state.mm.lru_pages / 8).clamp(32, 16_384);
             let lru = self.k.locks.lru;
             self.lock(lru);
@@ -219,7 +233,7 @@ impl<'a> HCtx<'a> {
         let slot = self.slot;
         self.k.state.slots[slot].pcp_pages += pages;
         if self.k.state.slots[slot].pcp_pages > 512 {
-            self.cover("mm.free.zone_spill");
+            cov!(self, "mm.free.zone_spill");
             let spill = self.k.state.slots[slot].pcp_pages - 128;
             let zone = self.k.locks.zone;
             let cost = self.cost();
@@ -240,11 +254,11 @@ impl<'a> HCtx<'a> {
         let slot = self.slot;
         let have = self.k.state.slots[slot].slab_objs;
         if objs <= have {
-            self.cover("mm.slab.fast");
+            cov!(self, "mm.slab.fast");
             self.k.state.slots[slot].slab_objs -= objs;
             self.cpu(cost.slab_fast * objs.min(8));
         } else {
-            self.cover("mm.slab.depot");
+            cov!(self, "mm.slab.depot");
             let depot = self.k.locks.slab_depot;
             self.lock(depot);
             self.cpu(cost.slab_refill);
@@ -265,13 +279,13 @@ impl<'a> HCtx<'a> {
         let cost = self.cost();
         let depth = depth + self.k.tenancy.ns_depth;
         let chain = cost.dentry_chain_per_1k * (self.k.state.fs.dentries / 1000);
-        self.cover("fs.path_walk");
+        cov!(self, "fs.path_walk");
         self.cpu((cost.dentry_hop + chain) * depth as Ns);
         if !cached {
-            self.cover("fs.path_walk.cold");
+            cov!(self, "fs.path_walk.cold");
             if !self.try_slab_alloc(2, "fs.path_walk.dentry") {
                 // dentry + inode allocation failed: nothing was inserted.
-                self.fail(Errno::ENOMEM, "fs.path_walk.enomem");
+                fail!(self, Errno::ENOMEM, "fs.path_walk.enomem");
                 return false;
             }
             let dcache = self.k.locks.dcache;
@@ -284,7 +298,7 @@ impl<'a> HCtx<'a> {
             self.unlock(sb);
             if !self.try_io(4096, false, "fs.inode_read") {
                 // The inode never arrived: the dentry stays negative.
-                self.fail(Errno::EIO, "fs.path_walk.eio");
+                fail!(self, Errno::EIO, "fs.path_walk.eio");
                 return false;
             }
             self.k.state.fs.dentries += 1;
@@ -300,11 +314,11 @@ impl<'a> HCtx<'a> {
         if self.k.tenancy.containers == 0 {
             return;
         }
-        self.cover("cgroup.charge");
+        cov!(self, "cgroup.charge");
         self.cpu(60);
         self.k.state.tenancy.charges_since_flush += 1;
         if self.k.state.tenancy.charges_since_flush >= self.k.tenancy.cgroup_flush_every {
-            self.cover("cgroup.stat_flush");
+            cov!(self, "cgroup.stat_flush");
             self.k.state.tenancy.charges_since_flush = 0;
             let lock = self.k.locks.cgroup;
             let work = 400 + 90 * self.k.tenancy.containers as Ns;

@@ -286,6 +286,13 @@ impl KernelInstance {
         self.cores.len()
     }
 
+    /// Records an already-interned block in the instance's cumulative
+    /// coverage — the sink daemons feed with `cov_block!`-cached ids
+    /// (they have no per-execution [`CoverageSet`] of their own).
+    pub fn cover(&mut self, id: crate::coverage::BlockId) {
+        self.coverage.insert(id);
+    }
+
     /// The slot index of a global core id, if this instance owns it.
     pub fn slot_of(&self, core: CoreId) -> Option<usize> {
         self.cores.iter().position(|&c| c == core)

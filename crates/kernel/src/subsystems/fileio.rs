@@ -10,6 +10,7 @@
 
 use ksa_desim::Ns;
 
+use crate::coverage::{cov, cov_bucket, fail};
 use crate::dispatch::HCtx;
 use crate::errno::Errno;
 use crate::ops::{KOp, VmExitKind};
@@ -27,7 +28,7 @@ pub fn sys_read(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
     let cost = h.cost();
     let bytes = io_bytes(len);
     let Some(fd) = h.pick_fd(fd_sel) else {
-        h.cover("io.read.ebadf");
+        cov!(h, "io.read.ebadf");
         h.cpu(120);
         h.seq.error = Some(Errno::EBADF);
         return;
@@ -35,34 +36,34 @@ pub fn sys_read(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
     match h.k.state.slots[h.slot].fds[fd].kind {
         FdKind::Pipe { .. } => {
             // Nonblocking pipe read; usually empty.
-            h.cover("io.read.pipe");
+            cov!(h, "io.read.pipe");
             let obj = h.k.locks.ipc_obj[h.slot];
             h.lock(obj);
             h.cpu(cost.pipe_op);
             h.unlock(obj);
         }
         FdKind::EventFd => {
-            h.cover("io.read.eventfd");
+            cov!(h, "io.read.eventfd");
             h.cpu(cost.pipe_op / 2);
         }
         FdKind::Socket { idx } => {
             // read(2) on a socket goes down the same receive path as
             // recvfrom (sock_read_iter → recvmsg in Linux).
-            h.cover("io.read.socket");
+            cov!(h, "io.read.socket");
             crate::subsystems::net::sock_recv(h, idx, bytes);
         }
         FdKind::Epoll => {
-            h.cover("io.read.epoll");
+            cov!(h, "io.read.epoll");
             h.cpu(120);
             h.seq.error = Some(Errno::EINVAL);
         }
         FdKind::Closed => {
-            h.cover("io.read.ebadf");
+            cov!(h, "io.read.ebadf");
             h.cpu(120);
             h.seq.error = Some(Errno::EBADF);
         }
         FdKind::File { idx } => {
-            h.cover_bucket("io.read.size", crate::dispatch::HCtx::size_class(bytes));
+            cov_bucket!(h, "io.read.size", crate::dispatch::HCtx::size_class(bytes));
             let pages = bytes.div_ceil(4096);
             let offset = if positional {
                 fd_sel % 16
@@ -75,15 +76,15 @@ pub fn sys_read(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
             h.cpu(cost.pagecache_lookup * pages);
             if end <= cached {
                 // Full page-cache hit: lookup + copy.
-                h.cover("io.read.hit");
+                cov!(h, "io.read.hit");
                 h.mem(cost.copy(bytes));
             } else {
                 // Miss: readahead from disk, insert into cache + LRU.
-                h.cover("io.read.miss");
+                cov!(h, "io.read.miss");
                 let miss_pages = end.saturating_sub(cached.min(end)) + 8; // readahead
                 if !h.try_alloc_pages(miss_pages, "io.read.pages") {
                     // No pages for the readahead window.
-                    h.fail(Errno::ENOMEM, "io.read.enomem");
+                    fail!(h, Errno::ENOMEM, "io.read.enomem");
                     return;
                 }
                 h.push(KOp::VmExit(VmExitKind::IoKick));
@@ -93,7 +94,7 @@ pub fn sys_read(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
                     // The device errored: drop the speculative pages and
                     // leave the cache and file offset untouched.
                     h.free_pages(miss_pages);
-                    h.fail(Errno::EIO, "io.read.eio");
+                    fail!(h, Errno::EIO, "io.read.eio");
                     return;
                 }
                 h.mem(cost.copy(bytes));
@@ -117,14 +118,14 @@ pub fn sys_write(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
     let cost = h.cost();
     let bytes = io_bytes(len);
     let Some(fd) = h.pick_fd(fd_sel) else {
-        h.cover("io.write.ebadf");
+        cov!(h, "io.write.ebadf");
         h.cpu(120);
         h.seq.error = Some(Errno::EBADF);
         return;
     };
     match h.k.state.slots[h.slot].fds[fd].kind {
         FdKind::Pipe { .. } => {
-            h.cover("io.write.pipe");
+            cov!(h, "io.write.pipe");
             let obj = h.k.locks.ipc_obj[h.slot];
             h.lock(obj);
             h.cpu(cost.pipe_op);
@@ -132,32 +133,32 @@ pub fn sys_write(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
             h.unlock(obj);
         }
         FdKind::EventFd => {
-            h.cover("io.write.eventfd");
+            cov!(h, "io.write.eventfd");
             h.cpu(cost.pipe_op / 2);
         }
         FdKind::Socket { idx } => {
             // write(2) on a connected socket is the send path without an
             // explicit destination (peer routing only).
-            h.cover("io.write.socket");
+            cov!(h, "io.write.socket");
             crate::subsystems::net::sock_send(h, idx, bytes, None);
         }
         FdKind::Epoll => {
-            h.cover("io.write.epoll");
+            cov!(h, "io.write.epoll");
             h.cpu(120);
             h.seq.error = Some(Errno::EINVAL);
         }
         FdKind::Closed => {
-            h.cover("io.write.ebadf");
+            cov!(h, "io.write.ebadf");
             h.cpu(120);
             h.seq.error = Some(Errno::EBADF);
         }
         FdKind::File { idx } => {
-            h.cover("io.write.file");
-            h.cover_bucket("io.write.size", crate::dispatch::HCtx::size_class(bytes));
+            cov!(h, "io.write.file");
+            cov_bucket!(h, "io.write.size", crate::dispatch::HCtx::size_class(bytes));
             let pages = bytes.div_ceil(4096);
             if !h.try_alloc_pages(pages, "io.write.pages") {
                 // No pages for the cache-side copy: nothing dirtied yet.
-                h.fail(Errno::ENOMEM, "io.write.enomem");
+                fail!(h, Errno::ENOMEM, "io.write.enomem");
                 return;
             }
             h.mem(cost.copy(bytes));
@@ -178,13 +179,13 @@ pub fn sys_write(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
             // everyone's problem in a shared kernel.
             let thresh = h.k.state.mm.dirty_threshold(cost.dirty_throttle_pct);
             if h.k.state.mm.dirty_pages > thresh {
-                h.cover("io.write.throttled");
+                cov!(h, "io.write.throttled");
                 let flush = (h.k.state.mm.dirty_pages / 2).min(4096);
                 let journal = h.k.locks.journal;
                 if !h.try_lock(journal, "io.write.journal") {
                     // Could not join the flush transaction; the data is in
                     // the cache but the caller must back off and retry.
-                    h.fail(Errno::EAGAIN, "io.write.journal_timeout");
+                    fail!(h, Errno::EAGAIN, "io.write.journal_timeout");
                     return;
                 }
                 h.cpu(cost.writeback_base + cost.writeback_per_page * flush);
@@ -194,7 +195,7 @@ pub fn sys_write(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
                 h.unlock(journal);
                 if !ok {
                     // Writeback failed: pages stay dirty for a later retry.
-                    h.fail(Errno::EIO, "io.write.eio");
+                    fail!(h, Errno::EIO, "io.write.eio");
                     return;
                 }
                 h.k.state.mm.dirty_pages -= flush;
@@ -207,12 +208,12 @@ pub fn sys_write(h: &mut HCtx, fd_sel: u64, len: u64, positional: bool) {
 /// lseek: fd-table fast path.
 pub fn sys_lseek(h: &mut HCtx, fd_sel: u64, off: u64) {
     let Some(fd) = h.pick_fd(fd_sel) else {
-        h.cover("io.lseek.ebadf");
+        cov!(h, "io.lseek.ebadf");
         h.cpu(100);
         h.seq.error = Some(Errno::EBADF);
         return;
     };
-    h.cover("io.lseek");
+    cov!(h, "io.lseek");
     h.cpu(130);
     if let FdKind::File { idx } = h.k.state.slots[h.slot].fds[fd].kind {
         let size = h.k.state.fs.files[idx].size_pages.max(1);
@@ -225,28 +226,28 @@ pub fn sys_lseek(h: &mut HCtx, fd_sel: u64, off: u64) {
 pub fn sys_fsync(h: &mut HCtx, fd_sel: u64, data_only: bool) {
     let cost = h.cost();
     let Some(fd) = h.pick_fd(fd_sel) else {
-        h.cover("io.fsync.ebadf");
+        cov!(h, "io.fsync.ebadf");
         h.cpu(100);
         h.seq.error = Some(Errno::EBADF);
         return;
     };
     let FdKind::File { idx } = h.k.state.slots[h.slot].fds[fd].kind else {
-        h.cover("io.fsync.nonfile");
+        cov!(h, "io.fsync.nonfile");
         h.cpu(150);
         h.seq.error = Some(Errno::EINVAL);
         return;
     };
     let file_dirty = h.k.state.fs.files[idx].dirty_pages;
     if file_dirty == 0 && h.k.state.fs.journal_dirty == 0 {
-        h.cover("io.fsync.clean");
+        cov!(h, "io.fsync.clean");
         h.cpu(400);
         return;
     }
-    h.cover(if data_only {
-        "io.fdatasync"
+    if data_only {
+        cov!(h, "io.fdatasync");
     } else {
-        "io.fsync.commit"
-    });
+        cov!(h, "io.fsync.commit");
+    }
     // Write back the file's data pages.
     if file_dirty > 0 {
         h.cpu(cost.writeback_base / 2 + cost.writeback_per_page * file_dirty.min(1024));
@@ -256,7 +257,7 @@ pub fn sys_fsync(h: &mut HCtx, fd_sel: u64, data_only: bool) {
         if !ok {
             // Data writeback failed; pages stay dirty, durability not
             // achieved — report it rather than pretending.
-            h.fail(Errno::EIO, "io.fsync.data_eio");
+            fail!(h, Errno::EIO, "io.fsync.data_eio");
             return;
         }
     }
@@ -269,7 +270,7 @@ pub fn sys_fsync(h: &mut HCtx, fd_sel: u64, data_only: bool) {
         let blocks = h.k.state.fs.journal_dirty.min(8_192);
         if !h.try_lock(journal, "io.fsync.journal") {
             // Timed out waiting on the running transaction.
-            h.fail(Errno::EAGAIN, "io.fsync.journal_timeout");
+            fail!(h, Errno::EAGAIN, "io.fsync.journal_timeout");
             return;
         }
         h.cpu(cost.journal_commit_base + cost.journal_per_block * blocks);
@@ -280,7 +281,7 @@ pub fn sys_fsync(h: &mut HCtx, fd_sel: u64, data_only: bool) {
         if !ok {
             // Commit record never hit the disk: the transaction stays
             // dirty and will be retried by the next committer.
-            h.fail(Errno::EIO, "io.fsync.eio");
+            fail!(h, Errno::EIO, "io.fsync.eio");
             return;
         }
         h.k.state.fs.journal_dirty = 0;
@@ -298,7 +299,7 @@ pub fn sys_fsync(h: &mut HCtx, fd_sel: u64, data_only: bool) {
 /// readv: scatter-gather read — per-segment setup plus the read path.
 pub fn sys_readv(h: &mut HCtx, fd_sel: u64, len: u64, segs: u64) {
     let segs = (segs % 8).max(1);
-    h.cover("io.readv");
+    cov!(h, "io.readv");
     h.cpu(90 * segs as Ns);
     sys_read(h, fd_sel, len, false);
 }
@@ -306,7 +307,7 @@ pub fn sys_readv(h: &mut HCtx, fd_sel: u64, len: u64, segs: u64) {
 /// writev: scatter-gather write.
 pub fn sys_writev(h: &mut HCtx, fd_sel: u64, len: u64, segs: u64) {
     let segs = (segs % 8).max(1);
-    h.cover("io.writev");
+    cov!(h, "io.writev");
     h.cpu(90 * segs as Ns);
     sys_write(h, fd_sel, len, false);
 }
@@ -315,23 +316,23 @@ pub fn sys_writev(h: &mut HCtx, fd_sel: u64, len: u64, segs: u64) {
 pub fn sys_fallocate(h: &mut HCtx, fd_sel: u64, len: u64) {
     let cost = h.cost();
     let Some(fd) = h.pick_fd(fd_sel) else {
-        h.cover("io.fallocate.ebadf");
+        cov!(h, "io.fallocate.ebadf");
         h.cpu(100);
         h.seq.error = Some(Errno::EBADF);
         return;
     };
     let FdKind::File { idx } = h.k.state.slots[h.slot].fds[fd].kind else {
-        h.cover("io.fallocate.nonfile");
+        cov!(h, "io.fallocate.nonfile");
         h.cpu(120);
         h.seq.error = Some(Errno::EINVAL);
         return;
     };
-    h.cover("io.fallocate");
+    cov!(h, "io.fallocate");
     let blocks = (len % 64).max(1);
     let journal = h.k.locks.journal;
     if !h.try_lock(journal, "io.fallocate.journal") {
         // Block allocation needs the journal; no metadata was touched.
-        h.fail(Errno::EAGAIN, "io.fallocate.journal_timeout");
+        fail!(h, Errno::EAGAIN, "io.fallocate.journal_timeout");
         return;
     }
     h.cpu(cost.journal_per_block * blocks + 2_000);

@@ -7,6 +7,7 @@
 //! surface areas: fewer cores per kernel means fewer concurrent
 //! journal/dcache writers and smaller hash-chain pressure.
 
+use crate::coverage::{cov, cov_bucket, fail};
 use crate::dispatch::HCtx;
 use crate::errno::Errno;
 use crate::state::{Fd, FdKind, FileMeta};
@@ -16,7 +17,7 @@ use crate::state::{Fd, FdKind, FileMeta};
 fn lookup_or_create(h: &mut HCtx, sel: u64, create: bool) -> Option<(usize, bool)> {
     let name = h.name_index(sel);
     let depth = 2 + (sel % 4) as u32;
-    h.cover_bucket("fs.lookup.depth", depth);
+    cov_bucket!(h, "fs.lookup.depth", depth);
     if let Some(idx) = h.k.state.slots[h.slot].names[name] {
         let cached = h.k.state.fs.files[idx].dentry_cached;
         if !h.path_walk(depth, cached) {
@@ -26,7 +27,7 @@ fn lookup_or_create(h: &mut HCtx, sel: u64, create: bool) -> Option<(usize, bool
         return Some((idx, false));
     }
     if !create {
-        h.cover("fs.lookup.enoent");
+        cov!(h, "fs.lookup.enoent");
         // Parent components resolve, final misses.
         if !h.path_walk(depth, true) {
             return None;
@@ -35,13 +36,13 @@ fn lookup_or_create(h: &mut HCtx, sel: u64, create: bool) -> Option<(usize, bool
         return None;
     }
     // Create: parent walk, dentry insert, journal the new inode.
-    h.cover("fs.create");
+    cov!(h, "fs.create");
     if !h.path_walk(depth - 1, true) {
         return None;
     }
     if !h.try_slab_alloc(2, "fs.create.inode") {
         // No memory for the dentry + inode pair; nothing inserted yet.
-        h.fail(Errno::ENOMEM, "fs.create.enomem");
+        fail!(h, Errno::ENOMEM, "fs.create.enomem");
         return None;
     }
     let cost = h.cost();
@@ -58,7 +59,7 @@ fn lookup_or_create(h: &mut HCtx, sel: u64, create: bool) -> Option<(usize, bool
         // Could not journal the create: free the speculative dentry and
         // inode and leave the namespace unchanged.
         h.cpu(cost.slab_fast * 2);
-        h.fail(Errno::EAGAIN, "fs.create.journal_timeout");
+        fail!(h, Errno::EAGAIN, "fs.create.journal_timeout");
         return None;
     }
     h.cpu(cost.dirent_update);
@@ -97,11 +98,11 @@ pub fn sys_open(h: &mut HCtx, path_sel: u64, flags: u64) {
     let Some((idx, created)) = lookup_or_create(h, path_sel, create) else {
         return;
     };
-    h.cover(if created {
-        "fs.open.creat"
+    if created {
+        cov!(h, "fs.open.creat");
     } else {
-        "fs.open.existing"
-    });
+        cov!(h, "fs.open.existing");
+    }
     h.seq.result = install_fd(h, FdKind::File { idx });
 }
 
@@ -109,12 +110,12 @@ pub fn sys_open(h: &mut HCtx, path_sel: u64, flags: u64) {
 pub fn sys_close(h: &mut HCtx, fd_sel: u64) {
     let cost = h.cost();
     let Some(fd) = h.pick_fd(fd_sel) else {
-        h.cover("fs.close.ebadf");
+        cov!(h, "fs.close.ebadf");
         h.cpu(90);
         h.seq.error = Some(Errno::EBADF);
         return;
     };
-    h.cover("fs.close");
+    cov!(h, "fs.close");
     let fdt = h.k.locks.fdtable[h.slot];
     h.lock(fdt);
     h.cpu(200);
@@ -126,7 +127,7 @@ pub fn sys_close(h: &mut HCtx, fd_sel: u64) {
 /// stat(path): path walk + attribute copy.
 pub fn sys_stat(h: &mut HCtx, path_sel: u64) {
     if let Some((_idx, _)) = lookup_or_create(h, path_sel, false) {
-        h.cover("fs.stat");
+        cov!(h, "fs.stat");
         h.cpu(300);
     }
 }
@@ -134,26 +135,26 @@ pub fn sys_stat(h: &mut HCtx, path_sel: u64) {
 /// fstat(fd): no walk, inode attribute copy.
 pub fn sys_fstat(h: &mut HCtx, fd_sel: u64) {
     if h.pick_fd(fd_sel).is_none() {
-        h.cover("fs.fstat.ebadf");
+        cov!(h, "fs.fstat.ebadf");
         h.cpu(90);
         h.seq.error = Some(Errno::EBADF);
         return;
     }
-    h.cover("fs.fstat");
+    cov!(h, "fs.fstat");
     h.cpu(250);
 }
 
 /// access(path): walk + permission check against credentials.
 pub fn sys_access(h: &mut HCtx, path_sel: u64) {
     if lookup_or_create(h, path_sel, false).is_some() {
-        h.cover("fs.access");
+        cov!(h, "fs.access");
         h.cpu(350);
     }
 }
 
 /// getdents64: directory scan, cost per resident dentry of this slot.
 pub fn sys_getdents(h: &mut HCtx, _fd_sel: u64) {
-    h.cover("fs.getdents");
+    cov!(h, "fs.getdents");
     let cost = h.cost();
     let entries = h.k.state.slots[h.slot]
         .names
@@ -167,7 +168,7 @@ pub fn sys_getdents(h: &mut HCtx, _fd_sel: u64) {
 
 /// mkdir: create path (directory inode).
 pub fn sys_mkdir(h: &mut HCtx, path_sel: u64) {
-    h.cover("fs.mkdir");
+    cov!(h, "fs.mkdir");
     let _ = lookup_or_create(h, path_sel | 0x8000_0000, true);
 }
 
@@ -185,7 +186,7 @@ fn unlink_common(h: &mut HCtx, path_sel: u64, blk: &'static str) {
     let cost = h.cost();
     let name = h.name_index(path_sel);
     let Some(idx) = h.k.state.slots[h.slot].names[name] else {
-        h.cover("fs.unlink.enoent");
+        cov!(h, "fs.unlink.enoent");
         let _ = h.path_walk(2, true); // cached walk: cannot fail
         return;
     };
@@ -201,7 +202,7 @@ fn unlink_common(h: &mut HCtx, path_sel: u64, blk: &'static str) {
     let journal = h.k.locks.journal;
     if !h.try_lock(journal, "fs.unlink.journal") {
         // The entry survives: nothing was journaled or removed.
-        h.fail(Errno::EAGAIN, "fs.unlink.journal_timeout");
+        fail!(h, Errno::EAGAIN, "fs.unlink.journal_timeout");
         return;
     }
     h.cpu(cost.dirent_update);
@@ -212,7 +213,7 @@ fn unlink_common(h: &mut HCtx, path_sel: u64, blk: &'static str) {
     // Invalidate cached pages of the victim under the LRU lock.
     let pages = h.k.state.fs.files[idx].cached_pages;
     if pages > 0 {
-        h.cover("fs.unlink.invalidate");
+        cov!(h, "fs.unlink.invalidate");
         let lru = h.k.locks.lru;
         h.lock(lru);
         h.cpu(50 * pages.min(256));
@@ -228,17 +229,17 @@ pub fn sys_rename(h: &mut HCtx, from_sel: u64, to_sel: u64) {
     let cost = h.cost();
     let from = h.name_index(from_sel);
     let Some(idx) = h.k.state.slots[h.slot].names[from] else {
-        h.cover("fs.rename.enoent");
+        cov!(h, "fs.rename.enoent");
         let _ = h.path_walk(2, true); // cached walk: cannot fail
         return;
     };
-    h.cover("fs.rename");
+    cov!(h, "fs.rename");
     let rename = h.k.locks.rename;
     let dcache = h.k.locks.dcache;
     let journal = h.k.locks.journal;
     if !h.try_lock(rename, "fs.rename.mutex") {
         // Lost the race for the instance-wide rename mutex.
-        h.fail(Errno::EAGAIN, "fs.rename.timeout");
+        fail!(h, Errno::EAGAIN, "fs.rename.timeout");
         return;
     }
     let _ = h.path_walk(2 + (from_sel % 3) as u32, true); // cached: cannot fail
@@ -249,7 +250,7 @@ pub fn sys_rename(h: &mut HCtx, from_sel: u64, to_sel: u64) {
     if !h.try_lock(journal, "fs.rename.journal") {
         // Back out: release the rename mutex, leave both names as-is.
         h.unlock(rename);
-        h.fail(Errno::EAGAIN, "fs.rename.journal_timeout");
+        fail!(h, Errno::EAGAIN, "fs.rename.journal_timeout");
         return;
     }
     h.cpu(cost.dirent_update * 2);
@@ -263,14 +264,14 @@ pub fn sys_rename(h: &mut HCtx, from_sel: u64, to_sel: u64) {
 
 /// symlink: create a symlink inode.
 pub fn sys_symlink(h: &mut HCtx, _target_sel: u64, link_sel: u64) {
-    h.cover("fs.symlink");
+    cov!(h, "fs.symlink");
     let _ = lookup_or_create(h, link_sel ^ 0x55, true);
 }
 
 /// readlink: walk + copy the target.
 pub fn sys_readlink(h: &mut HCtx, path_sel: u64) {
     if lookup_or_create(h, path_sel, false).is_some() {
-        h.cover("fs.readlink");
+        cov!(h, "fs.readlink");
         let cost = h.cost();
         h.mem(cost.copy(64));
         h.cpu(250);
@@ -284,12 +285,12 @@ pub fn sys_truncate(h: &mut HCtx, path_sel: u64, new_pages: u64) {
     let Some((idx, _)) = lookup_or_create(h, path_sel, false) else {
         return;
     };
-    h.cover("fs.truncate");
+    cov!(h, "fs.truncate");
     let new_pages = new_pages % 64;
     let journal = h.k.locks.journal;
     if !h.try_lock(journal, "fs.truncate.journal") {
         // Size change not journaled: the file keeps its old length.
-        h.fail(Errno::EAGAIN, "fs.truncate.journal_timeout");
+        fail!(h, Errno::EAGAIN, "fs.truncate.journal_timeout");
         return;
     }
     h.cpu(cost.dirent_update + cost.journal_per_block * 2);
@@ -303,7 +304,7 @@ pub fn sys_truncate(h: &mut HCtx, path_sel: u64, new_pages: u64) {
     f.dirty_pages = f.dirty_pages.min(new_pages);
     let ddelta = fdirty - f.dirty_pages;
     if dropped > 0 {
-        h.cover("fs.truncate.invalidate");
+        cov!(h, "fs.truncate.invalidate");
         let lru = h.k.locks.lru;
         h.lock(lru);
         h.cpu(50 * dropped.min(256));

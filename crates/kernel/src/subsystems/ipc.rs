@@ -7,6 +7,7 @@
 //! accordingly sees "modest but inconsistent" benefits from smaller
 //! surface areas.
 
+use crate::coverage::{cov, cov_bucket, fail};
 use crate::dispatch::HCtx;
 use crate::errno::Errno;
 use crate::instance::FUTEX_BUCKETS;
@@ -30,16 +31,16 @@ fn install_fd(h: &mut HCtx, kind: FdKind) -> u64 {
 /// pipe2: allocate the pipe buffer and two descriptors (read end is the
 /// result; the write end is the next fd).
 pub fn sys_pipe2(h: &mut HCtx) {
-    h.cover("ipc.pipe2");
+    cov!(h, "ipc.pipe2");
     let cost = h.cost();
     if !h.try_slab_alloc(2, "ipc.pipe2.inode") {
-        h.fail(Errno::ENOMEM, "ipc.pipe2.enomem");
+        fail!(h, Errno::ENOMEM, "ipc.pipe2.enomem");
         return;
     }
     if !h.try_alloc_pages(4, "ipc.pipe2.buffer") {
         // Free the two inode objects; no fd was installed.
         h.cpu(cost.slab_fast * 2);
-        h.fail(Errno::ENOMEM, "ipc.pipe2.buffer_enomem");
+        fail!(h, Errno::ENOMEM, "ipc.pipe2.buffer_enomem");
         return;
     }
     h.cpu(cost.pipe_op);
@@ -53,7 +54,7 @@ pub fn sys_pipe2(h: &mut HCtx) {
 /// produces non-blocking waits, as corpus programs must terminate):
 /// bucket lock, user-value load, EAGAIN.
 pub fn sys_futex_wait(h: &mut HCtx, uaddr: u64, _val: u64) {
-    h.cover("ipc.futex.wait_eagain");
+    cov!(h, "ipc.futex.wait_eagain");
     let cost = h.cost();
     // Same uaddr on every core hashes to the same bucket: cross-core
     // bucket-lock contention without any true sharing.
@@ -67,7 +68,7 @@ pub fn sys_futex_wait(h: &mut HCtx, uaddr: u64, _val: u64) {
 
 /// futex WAKE: bucket lock, empty wait-queue scan.
 pub fn sys_futex_wake(h: &mut HCtx, uaddr: u64, nwake: u64) {
-    h.cover("ipc.futex.wake");
+    cov!(h, "ipc.futex.wake");
     let cost = h.cost();
     let bucket = (uaddr as usize) % FUTEX_BUCKETS;
     let lock = h.k.locks.futex[bucket];
@@ -78,10 +79,10 @@ pub fn sys_futex_wake(h: &mut HCtx, uaddr: u64, nwake: u64) {
 
 /// msgget: allocate a queue id under the global ipc_ids write lock.
 pub fn sys_msgget(h: &mut HCtx) {
-    h.cover("ipc.msgget");
+    cov!(h, "ipc.msgget");
     let cost = h.cost();
     if !h.try_slab_alloc(1, "ipc.msgget.queue") {
-        h.fail(Errno::ENOMEM, "ipc.msgget.enomem");
+        fail!(h, Errno::ENOMEM, "ipc.msgget.enomem");
         return;
     }
     let ids = h.k.locks.ipc_ids;
@@ -99,14 +100,18 @@ pub fn sys_msgsnd(h: &mut HCtx, qid: u64, bytes: u64) {
     let cost = h.cost();
     let nq = h.k.state.ipc.msgqs.len();
     if nq == 0 {
-        h.cover("ipc.msgsnd.einval");
+        cov!(h, "ipc.msgsnd.einval");
         h.cpu(120);
         h.seq.error = Some(Errno::EINVAL);
         return;
     }
     let bytes = (bytes % 8192).max(64);
-    h.cover("ipc.msgsnd");
-    h.cover_bucket("ipc.msgsnd.size", crate::dispatch::HCtx::size_class(bytes));
+    cov!(h, "ipc.msgsnd");
+    cov_bucket!(
+        h,
+        "ipc.msgsnd.size",
+        crate::dispatch::HCtx::size_class(bytes)
+    );
     let ids = h.k.locks.ipc_ids;
     let obj = h.k.locks.ipc_obj[h.slot];
     h.push(KOp::Lock(ids, ksa_desim::LockMode::Shared));
@@ -114,7 +119,7 @@ pub fn sys_msgsnd(h: &mut HCtx, qid: u64, bytes: u64) {
     h.push(KOp::Unlock(ids));
     if !h.try_slab_alloc(1, "ipc.msgsnd.msg") {
         // No msg_msg buffer: the queue is untouched.
-        h.fail(Errno::ENOMEM, "ipc.msgsnd.enomem");
+        fail!(h, Errno::ENOMEM, "ipc.msgsnd.enomem");
         return;
     }
     h.lock(obj);
@@ -131,7 +136,7 @@ pub fn sys_msgrcv(h: &mut HCtx, qid: u64, _bytes: u64) {
     let cost = h.cost();
     let nq = h.k.state.ipc.msgqs.len();
     if nq == 0 {
-        h.cover("ipc.msgrcv.einval");
+        cov!(h, "ipc.msgrcv.einval");
         h.cpu(120);
         h.seq.error = Some(Errno::EINVAL);
         return;
@@ -147,14 +152,14 @@ pub fn sys_msgrcv(h: &mut HCtx, qid: u64, _bytes: u64) {
         (q.msgs, q.bytes)
     };
     if msgs == 0 {
-        h.cover("ipc.msgrcv.eagain");
+        cov!(h, "ipc.msgrcv.eagain");
         h.lock(obj);
         h.cpu(cost.ipc_msg_base / 2);
         h.unlock(obj);
         h.seq.error = Some(Errno::EAGAIN);
         return;
     }
-    h.cover("ipc.msgrcv.dequeue");
+    cov!(h, "ipc.msgrcv.dequeue");
     let avg = qbytes / msgs;
     h.lock(obj);
     h.cpu(cost.ipc_msg_base);
@@ -168,11 +173,11 @@ pub fn sys_msgrcv(h: &mut HCtx, qid: u64, _bytes: u64) {
 
 /// semget: allocate a semaphore set under ipc_ids write.
 pub fn sys_semget(h: &mut HCtx, nsems: u64) {
-    h.cover("ipc.semget");
+    cov!(h, "ipc.semget");
     let cost = h.cost();
     let n = (nsems % 16).max(1) as u32;
     if !h.try_slab_alloc(1, "ipc.semget.set") {
-        h.fail(Errno::ENOMEM, "ipc.semget.enomem");
+        fail!(h, Errno::ENOMEM, "ipc.semget.enomem");
         return;
     }
     let ids = h.k.locks.ipc_ids;
@@ -189,12 +194,12 @@ pub fn sys_semop(h: &mut HCtx, sid: u64, nops: u64) {
     let cost = h.cost();
     let ns = h.k.state.ipc.sems.len();
     if ns == 0 {
-        h.cover("ipc.semop.einval");
+        cov!(h, "ipc.semop.einval");
         h.cpu(120);
         h.seq.error = Some(Errno::EINVAL);
         return;
     }
-    h.cover("ipc.semop");
+    cov!(h, "ipc.semop");
     let ids = h.k.locks.ipc_ids;
     let obj = h.k.locks.ipc_obj[h.slot];
     h.push(KOp::Lock(ids, ksa_desim::LockMode::Shared));
@@ -208,11 +213,11 @@ pub fn sys_semop(h: &mut HCtx, sid: u64, nops: u64) {
 
 /// shmget: segment creation under ipc_ids write.
 pub fn sys_shmget(h: &mut HCtx, pages: u64) {
-    h.cover("ipc.shmget");
+    cov!(h, "ipc.shmget");
     let cost = h.cost();
     let pages = (pages % 128).max(1);
     if !h.try_slab_alloc(2, "ipc.shmget.seg") {
-        h.fail(Errno::ENOMEM, "ipc.shmget.enomem");
+        fail!(h, Errno::ENOMEM, "ipc.shmget.enomem");
         return;
     }
     let ids = h.k.locks.ipc_ids;
@@ -229,12 +234,12 @@ pub fn sys_shmat(h: &mut HCtx, shmid: u64) {
     let cost = h.cost();
     let ns = h.k.state.ipc.shms.len();
     if ns == 0 {
-        h.cover("ipc.shmat.einval");
+        cov!(h, "ipc.shmat.einval");
         h.cpu(120);
         h.seq.error = Some(Errno::EINVAL);
         return;
     }
-    h.cover("ipc.shmat");
+    cov!(h, "ipc.shmat");
     let si = shmid as usize % ns;
     let pages = h.k.state.ipc.shms[si].pages;
     let ids = h.k.locks.ipc_ids;
@@ -247,7 +252,7 @@ pub fn sys_shmat(h: &mut HCtx, shmid: u64) {
     h.unlock(mmap_sem);
     if !h.try_alloc_pages(pages.min(32), "ipc.shmat.pages") {
         // The segment exists but could not be mapped; no VMA inserted.
-        h.fail(Errno::ENOMEM, "ipc.shmat.enomem");
+        fail!(h, Errno::ENOMEM, "ipc.shmat.enomem");
         return;
     }
     h.mem(cost.pte_per_page * pages);
@@ -272,12 +277,12 @@ pub fn sys_shmdt(h: &mut HCtx, vma_sel: u64) {
         .map(|i| (vma_sel as usize + i) % vmas.len().max(1))
         .find(|&i| vmas[i].mapped && vmas[i].shm.is_some());
     let Some(vi) = pick else {
-        h.cover("ipc.shmdt.einval");
+        cov!(h, "ipc.shmdt.einval");
         h.cpu(120);
         h.seq.error = Some(Errno::EINVAL);
         return;
     };
-    h.cover("ipc.shmdt");
+    cov!(h, "ipc.shmdt");
     let pages = h.k.state.slots[h.slot].vmas[vi].pages;
     let si = h.k.state.slots[h.slot].vmas[vi].shm.unwrap();
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
@@ -298,9 +303,9 @@ pub fn sys_shmdt(h: &mut HCtx, vma_sel: u64) {
 
 /// eventfd2: lightweight counter fd.
 pub fn sys_eventfd(h: &mut HCtx) {
-    h.cover("ipc.eventfd");
+    cov!(h, "ipc.eventfd");
     if !h.try_slab_alloc(1, "ipc.eventfd.ctx") {
-        h.fail(Errno::ENOMEM, "ipc.eventfd.enomem");
+        fail!(h, Errno::ENOMEM, "ipc.eventfd.enomem");
         return;
     }
     h.seq.result = install_fd(h, FdKind::EventFd);

@@ -11,6 +11,7 @@
 
 use ksa_desim::Ns;
 
+use crate::coverage::{cov, cov_bucket, fail};
 use crate::dispatch::HCtx;
 use crate::errno::Errno;
 use crate::ops::KOp;
@@ -25,28 +26,28 @@ pub fn sys_mmap(h: &mut HCtx, len_pages: u64, flags: u64) {
     let cost = h.cost();
     let pages = (len_pages % MAX_MAP_PAGES).max(1);
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
-    h.cover("mm.mmap");
-    h.cover_bucket("mm.mmap.pages", crate::dispatch::HCtx::size_class(pages));
+    cov!(h, "mm.mmap");
+    cov_bucket!(h, "mm.mmap.pages", crate::dispatch::HCtx::size_class(pages));
     if !h.try_slab_alloc(1, "mm.mmap.vma") {
         // No vma struct: nothing to unwind.
-        h.fail(Errno::ENOMEM, "mm.mmap.enomem");
+        fail!(h, Errno::ENOMEM, "mm.mmap.enomem");
         return;
     }
     if !h.try_lock(mmap_sem, "mm.mmap.mmap_sem") {
         // Return the vma struct to the slab on the way out.
         h.cpu(cost.slab_fast);
-        h.fail(Errno::EAGAIN, "mm.mmap.eagain");
+        fail!(h, Errno::EAGAIN, "mm.mmap.eagain");
         return;
     }
     h.cpu(cost.vma_alloc);
     h.unlock(mmap_sem);
     let mut populated = 0;
     if flags & 1 != 0 {
-        h.cover("mm.mmap.populate");
+        cov!(h, "mm.mmap.populate");
         if !h.try_alloc_pages(pages, "mm.mmap.populate") {
             // Tear the fresh vma back down before reporting ENOMEM.
             h.cpu(cost.slab_fast);
-            h.fail(Errno::ENOMEM, "mm.mmap.populate_enomem");
+            fail!(h, Errno::ENOMEM, "mm.mmap.populate_enomem");
             return;
         }
         h.mem(cost.page_touch * pages.min(64));
@@ -69,14 +70,18 @@ pub fn sys_mmap(h: &mut HCtx, len_pages: u64, flags: u64) {
 pub fn sys_munmap(h: &mut HCtx, vma_sel: u64) {
     let cost = h.cost();
     let Some(vi) = h.pick_vma(vma_sel) else {
-        h.cover("mm.munmap.efault");
+        cov!(h, "mm.munmap.efault");
         h.seq.error = Some(Errno::EFAULT);
         h.cpu(150);
         return;
     };
     let pages = h.k.state.slots[h.slot].vmas[vi].pages;
-    h.cover("mm.munmap");
-    h.cover_bucket("mm.munmap.pages", crate::dispatch::HCtx::size_class(pages));
+    cov!(h, "mm.munmap");
+    cov_bucket!(
+        h,
+        "mm.munmap.pages",
+        crate::dispatch::HCtx::size_class(pages)
+    );
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
     let ptl = h.k.locks.page_table[h.slot];
     h.lock(mmap_sem);
@@ -96,13 +101,13 @@ pub fn sys_munmap(h: &mut HCtx, vma_sel: u64) {
 pub fn sys_mprotect(h: &mut HCtx, vma_sel: u64) {
     let cost = h.cost();
     let Some(vi) = h.pick_vma(vma_sel) else {
-        h.cover("mm.mprotect.efault");
+        cov!(h, "mm.mprotect.efault");
         h.seq.error = Some(Errno::EFAULT);
         h.cpu(150);
         return;
     };
     let pages = h.k.state.slots[h.slot].vmas[vi].pages;
-    h.cover("mm.mprotect");
+    cov!(h, "mm.mprotect");
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
     let ptl = h.k.locks.page_table[h.slot];
     h.lock(mmap_sem);
@@ -119,7 +124,7 @@ pub fn sys_mprotect(h: &mut HCtx, vma_sel: u64) {
 pub fn sys_madvise(h: &mut HCtx, vma_sel: u64, advice: u64) {
     let cost = h.cost();
     let Some(vi) = h.pick_vma(vma_sel) else {
-        h.cover("mm.madvise.efault");
+        cov!(h, "mm.madvise.efault");
         h.seq.error = Some(Errno::EFAULT);
         h.cpu(120);
         return;
@@ -129,7 +134,7 @@ pub fn sys_madvise(h: &mut HCtx, vma_sel: u64, advice: u64) {
     match advice % 3 {
         0 => {
             // MADV_DONTNEED
-            h.cover("mm.madvise.dontneed");
+            cov!(h, "mm.madvise.dontneed");
             let ptl = h.k.locks.page_table[h.slot];
             h.lock(mmap_sem);
             h.lock(ptl);
@@ -143,19 +148,19 @@ pub fn sys_madvise(h: &mut HCtx, vma_sel: u64, advice: u64) {
         }
         1 => {
             // MADV_WILLNEED
-            h.cover("mm.madvise.willneed");
+            cov!(h, "mm.madvise.willneed");
             let v = h.k.state.slots[h.slot].vmas[vi];
             let want = (v.pages - v.populated).min(v.pages / 2 + 1);
             if !h.try_alloc_pages(want, "mm.madvise.willneed") {
                 // Prefault failed; the mapping itself is untouched.
-                h.fail(Errno::ENOMEM, "mm.madvise.enomem");
+                fail!(h, Errno::ENOMEM, "mm.madvise.enomem");
                 return;
             }
             h.mem(cost.page_touch * want.min(32));
             h.k.state.slots[h.slot].vmas[vi].populated += want;
         }
         _ => {
-            h.cover("mm.madvise.advisory");
+            cov!(h, "mm.madvise.advisory");
             h.lock(mmap_sem);
             h.cpu(300);
             h.unlock(mmap_sem);
@@ -169,13 +174,13 @@ pub fn sys_brk(h: &mut HCtx, delta: u64) {
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
     let grow = delta % 64;
     if delta.is_multiple_of(2) {
-        h.cover("mm.brk.grow");
+        cov!(h, "mm.brk.grow");
         h.lock(mmap_sem);
         h.cpu(cost.vma_alloc / 2);
         h.unlock(mmap_sem);
         if !h.try_alloc_pages(grow.max(1), "mm.brk.grow") {
             // The break stays where it was.
-            h.fail(Errno::ENOMEM, "mm.brk.enomem");
+            fail!(h, Errno::ENOMEM, "mm.brk.enomem");
             h.seq.result = h.k.state.slots[h.slot].brk_pages;
             return;
         }
@@ -183,7 +188,7 @@ pub fn sys_brk(h: &mut HCtx, delta: u64) {
     } else {
         let shrink = grow.min(h.k.state.slots[h.slot].brk_pages / 2);
         if shrink > 0 {
-            h.cover("mm.brk.shrink");
+            cov!(h, "mm.brk.shrink");
             let ptl = h.k.locks.page_table[h.slot];
             h.lock(mmap_sem);
             h.lock(ptl);
@@ -194,7 +199,7 @@ pub fn sys_brk(h: &mut HCtx, delta: u64) {
             h.free_pages(shrink);
             h.k.state.slots[h.slot].brk_pages -= shrink;
         } else {
-            h.cover("mm.brk.query");
+            cov!(h, "mm.brk.query");
             h.cpu(100);
         }
     }
@@ -206,17 +211,18 @@ pub fn sys_brk(h: &mut HCtx, delta: u64) {
 pub fn sys_mremap(h: &mut HCtx, vma_sel: u64, new_len: u64) {
     let cost = h.cost();
     let Some(vi) = h.pick_vma(vma_sel) else {
-        h.cover("mm.mremap.efault");
+        cov!(h, "mm.mremap.efault");
         h.seq.error = Some(Errno::EFAULT);
         h.cpu(150);
         return;
     };
     let old_pages = h.k.state.slots[h.slot].vmas[vi].pages;
     let new_pages = (new_len % MAX_MAP_PAGES).max(1);
-    h.cover("mm.mremap");
-    h.cover_bucket(
+    cov!(h, "mm.mremap");
+    cov_bucket!(
+        h,
         "mm.mremap.pages",
-        crate::dispatch::HCtx::size_class(new_pages),
+        crate::dispatch::HCtx::size_class(new_pages)
     );
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
     let ptl = h.k.locks.page_table[h.slot];
@@ -230,7 +236,7 @@ pub fn sys_mremap(h: &mut HCtx, vma_sel: u64, new_len: u64) {
     if new_pages > old_pages {
         if !h.try_alloc_pages(new_pages - old_pages, "mm.mremap.grow") {
             // Growth failed: the mapping keeps its old size.
-            h.fail(Errno::ENOMEM, "mm.mremap.enomem");
+            fail!(h, Errno::ENOMEM, "mm.mremap.enomem");
             return;
         }
         h.k.state.slots[h.slot].vmas[vi].populated += new_pages - old_pages;
@@ -246,13 +252,13 @@ pub fn sys_mremap(h: &mut HCtx, vma_sel: u64, new_len: u64) {
 pub fn sys_mlock(h: &mut HCtx, vma_sel: u64) {
     let cost = h.cost();
     let Some(vi) = h.pick_vma(vma_sel) else {
-        h.cover("mm.mlock.efault");
+        cov!(h, "mm.mlock.efault");
         h.seq.error = Some(Errno::EFAULT);
         h.cpu(120);
         return;
     };
     let pages = h.k.state.slots[h.slot].vmas[vi].pages;
-    h.cover("mm.mlock");
+    cov!(h, "mm.mlock");
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
     let lru = h.k.locks.lru;
     h.lock(mmap_sem);
@@ -261,7 +267,7 @@ pub fn sys_mlock(h: &mut HCtx, vma_sel: u64) {
     let need = pages - h.k.state.slots[h.slot].vmas[vi].populated;
     if !h.try_alloc_pages(need, "mm.mlock.populate") {
         // Nothing pinned; the vma stays unlocked.
-        h.fail(Errno::ENOMEM, "mm.mlock.enomem");
+        fail!(h, Errno::ENOMEM, "mm.mlock.enomem");
         return;
     }
     h.lock(lru);
@@ -275,13 +281,13 @@ pub fn sys_mlock(h: &mut HCtx, vma_sel: u64) {
 /// munlock(vma): return pages to the evictable lists.
 pub fn sys_munlock(h: &mut HCtx, vma_sel: u64) {
     let Some(vi) = h.pick_vma(vma_sel) else {
-        h.cover("mm.munlock.efault");
+        cov!(h, "mm.munlock.efault");
         h.seq.error = Some(Errno::EFAULT);
         h.cpu(120);
         return;
     };
     let pages = h.k.state.slots[h.slot].vmas[vi].pages;
-    h.cover("mm.munlock");
+    cov!(h, "mm.munlock");
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
     let lru = h.k.locks.lru;
     h.lock(mmap_sem);
@@ -300,11 +306,11 @@ pub fn sys_msync(h: &mut HCtx, vma_sel: u64) {
     let cost = h.cost();
     let dirty = h.k.state.mm.dirty_pages / (h.k.n_cores() as u64 * 4).max(1);
     if h.pick_vma(vma_sel).is_none() || dirty == 0 {
-        h.cover("mm.msync.clean");
+        cov!(h, "mm.msync.clean");
         h.cpu(250);
         return;
     }
-    h.cover("mm.msync.flush");
+    cov!(h, "mm.msync.flush");
     let pages = dirty.min(64);
     h.cpu(cost.writeback_base / 2 + cost.writeback_per_page * pages);
     h.push(KOp::Io {
@@ -318,13 +324,13 @@ pub fn sys_msync(h: &mut HCtx, vma_sel: u64) {
 /// writers convoy behind.
 pub fn sys_mincore(h: &mut HCtx, vma_sel: u64) {
     let Some(vi) = h.pick_vma(vma_sel) else {
-        h.cover("mm.mincore.efault");
+        cov!(h, "mm.mincore.efault");
         h.seq.error = Some(Errno::EFAULT);
         h.cpu(120);
         return;
     };
     let pages = h.k.state.slots[h.slot].vmas[vi].pages;
-    h.cover("mm.mincore");
+    cov!(h, "mm.mincore");
     let mmap_sem = h.k.locks.mmap_sem[h.slot];
     h.push(KOp::Lock(mmap_sem, ksa_desim::LockMode::Shared));
     h.cpu(30 * pages as Ns + 200);

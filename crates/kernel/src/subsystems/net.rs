@@ -12,6 +12,7 @@
 //! `EAGAIN`; payload bytes are conserved exactly (sent = received +
 //! buffered + flushed), which the property tests pin down.
 
+use crate::coverage::{cov, cov_bucket, fail};
 use crate::dispatch::HCtx;
 use crate::errno::Errno;
 use crate::ops::{KOp, VmExitKind};
@@ -85,16 +86,16 @@ fn new_sock(h: &mut HCtx) -> usize {
 /// socket(2): allocate a sock + file glue, install an fd.
 pub fn sys_socket(h: &mut HCtx, flags: u64) {
     let cost = h.cost();
-    h.cover("net.socket");
+    cov!(h, "net.socket");
     if !h.try_slab_alloc(2, "net.socket.sock") {
-        h.fail(Errno::ENOMEM, "net.socket.enomem");
+        fail!(h, Errno::ENOMEM, "net.socket.enomem");
         return;
     }
     h.cpu(cost.sock_create);
     if flags & 1 == 0 {
-        h.cover("net.socket.stream");
+        cov!(h, "net.socket.stream");
     } else {
-        h.cover("net.socket.dgram");
+        cov!(h, "net.socket.dgram");
     }
     let idx = new_sock(h);
     h.seq.result = install_fd(h, FdKind::Socket { idx });
@@ -103,9 +104,9 @@ pub fn sys_socket(h: &mut HCtx, flags: u64) {
 /// bind(2): claim a port in the instance-global port table.
 pub fn sys_bind(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
     let cost = h.cost();
-    h.cover("net.bind");
+    cov!(h, "net.bind");
     let Some(src) = pick_sock(h, sock_sel) else {
-        h.cover("net.bind.ebadf");
+        cov!(h, "net.bind.ebadf");
         h.cpu(120);
         h.seq.error = Some(Errno::EBADF);
         return;
@@ -114,13 +115,13 @@ pub fn sys_bind(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
     let nb = h.k.locks.sock_buckets.len();
     let bucket = h.k.locks.sock_buckets[port as usize % nb];
     if !h.try_lock(bucket, "net.bind.bucket") {
-        h.fail(Errno::EAGAIN, "net.bind.busy");
+        fail!(h, Errno::EAGAIN, "net.bind.busy");
         return;
     }
     h.cpu(cost.proto_demux);
     if h.k.state.net.lookup_port(port).is_some() {
         h.unlock(bucket);
-        h.cover("net.bind.addrinuse");
+        cov!(h, "net.bind.addrinuse");
         h.cpu(120);
         h.seq.error = Some(Errno::EINVAL);
         return;
@@ -130,27 +131,27 @@ pub fn sys_bind(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
     net.socks[src].port = Some(port);
     let table_len = net.ports.len() as u64;
     h.unlock(bucket);
-    h.cover_bucket("net.bind.table", HCtx::size_class(table_len));
+    cov_bucket!(h, "net.bind.table", HCtx::size_class(table_len));
 }
 
 /// listen(2): mark a bound socket as accepting connections.
 pub fn sys_listen(h: &mut HCtx, sock_sel: u64, backlog: u64) {
     let cost = h.cost();
-    h.cover("net.listen");
+    cov!(h, "net.listen");
     let Some(src) = pick_sock(h, sock_sel) else {
-        h.cover("net.listen.ebadf");
+        cov!(h, "net.listen.ebadf");
         h.cpu(120);
         h.seq.error = Some(Errno::EBADF);
         return;
     };
     if h.k.state.net.socks[src].port.is_none() {
-        h.cover("net.listen.einval");
+        cov!(h, "net.listen.einval");
         h.cpu(120);
         h.seq.error = Some(Errno::EINVAL);
         return;
     }
     if !h.try_slab_alloc(1, "net.listen.backlog") {
-        h.fail(Errno::ENOMEM, "net.listen.enomem");
+        fail!(h, Errno::ENOMEM, "net.listen.enomem");
         return;
     }
     h.cpu(cost.sock_create / 2);
@@ -163,15 +164,15 @@ pub fn sys_listen(h: &mut HCtx, sock_sel: u64, backlog: u64) {
 /// rides the NIC like any other packet.
 pub fn sys_connect(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
     let cost = h.cost();
-    h.cover("net.connect");
+    cov!(h, "net.connect");
     let Some(src) = pick_sock(h, sock_sel) else {
-        h.cover("net.connect.ebadf");
+        cov!(h, "net.connect.ebadf");
         h.cpu(120);
         h.seq.error = Some(Errno::EBADF);
         return;
     };
     if !h.try_slab_alloc(1, "net.connect.skb") {
-        h.fail(Errno::ENOMEM, "net.connect.enomem");
+        fail!(h, Errno::ENOMEM, "net.connect.enomem");
         return;
     }
     h.cpu(cost.skb_alloc);
@@ -179,7 +180,7 @@ pub fn sys_connect(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
     let nb = h.k.locks.sock_buckets.len();
     let bucket = h.k.locks.sock_buckets[port as usize % nb];
     if !h.try_lock(bucket, "net.connect.bucket") {
-        h.fail(Errno::EAGAIN, "net.connect.busy");
+        fail!(h, Errno::EAGAIN, "net.connect.busy");
         return;
     }
     h.cpu(cost.proto_demux);
@@ -190,7 +191,7 @@ pub fn sys_connect(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
             .filter(|&l| h.k.state.net.socks[l].listening && h.k.state.net.socks[l].open);
     let Some(l) = listener else {
         h.unlock(bucket);
-        h.cover("net.connect.refused");
+        cov!(h, "net.connect.refused");
         h.cpu(150);
         h.seq.error = Some(Errno::EINVAL);
         return;
@@ -198,7 +199,7 @@ pub fn sys_connect(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
     let sk = &h.k.state.net.socks[l];
     if sk.backlog.len() as u64 >= sk.backlog_cap {
         h.unlock(bucket);
-        h.cover("net.connect.backlog_full");
+        cov!(h, "net.connect.backlog_full");
         h.cpu(150);
         h.seq.error = Some(Errno::EAGAIN);
         return;
@@ -216,7 +217,7 @@ pub fn sys_connect(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
     h.unlock(nql);
     if !enq {
         h.unlock(bucket);
-        h.cover("net.connect.ring_full");
+        cov!(h, "net.connect.ring_full");
         h.cpu(150);
         h.seq.error = Some(Errno::EAGAIN);
         return;
@@ -229,21 +230,21 @@ pub fn sys_connect(h: &mut HCtx, sock_sel: u64, port_sel: u64) {
 /// accept4(2): pop the accept queue, allocating the connected socket.
 pub fn sys_accept(h: &mut HCtx, sock_sel: u64) {
     let cost = h.cost();
-    h.cover("net.accept");
+    cov!(h, "net.accept");
     let Some(l) = pick_listener(h, sock_sel) else {
-        h.cover("net.accept.einval");
+        cov!(h, "net.accept.einval");
         h.cpu(120);
         h.seq.error = Some(Errno::EINVAL);
         return;
     };
     if h.k.state.net.socks[l].backlog.is_empty() {
-        h.cover("net.accept.eagain");
+        cov!(h, "net.accept.eagain");
         h.cpu(150);
         h.seq.error = Some(Errno::EAGAIN);
         return;
     }
     if !h.try_slab_alloc(2, "net.accept.sock") {
-        h.fail(Errno::ENOMEM, "net.accept.enomem");
+        fail!(h, Errno::ENOMEM, "net.accept.enomem");
         return;
     }
     h.cpu(cost.sock_create);
@@ -261,9 +262,9 @@ pub fn sys_accept(h: &mut HCtx, sock_sel: u64) {
 /// bounded-rx-buffer / full-ring backpressure (`EAGAIN`).
 pub(crate) fn sock_send(h: &mut HCtx, src: usize, bytes: u64, port_sel: Option<u64>) {
     let cost = h.cost();
-    h.cover_bucket("net.sendto.size", HCtx::size_class(bytes));
+    cov_bucket!(h, "net.sendto.size", HCtx::size_class(bytes));
     if !h.try_slab_alloc(1 + bytes / 4_096, "net.sendto.skb") {
-        h.fail(Errno::ENOMEM, "net.sendto.enomem");
+        fail!(h, Errno::ENOMEM, "net.sendto.enomem");
         return;
     }
     h.cpu(cost.skb_alloc);
@@ -281,13 +282,13 @@ pub(crate) fn sock_send(h: &mut HCtx, src: usize, bytes: u64, port_sel: Option<u
     let nb = h.k.locks.sock_buckets.len();
     let bucket = h.k.locks.sock_buckets[bucket_key as usize % nb];
     if !h.try_lock(bucket, "net.sendto.bucket") {
-        h.fail(Errno::EAGAIN, "net.sendto.busy");
+        fail!(h, Errno::EAGAIN, "net.sendto.busy");
         return;
     }
     h.cpu(cost.proto_demux);
     if h.inject(FaultKind::IoError, "net.sendto.nic") {
         h.unlock(bucket);
-        h.fail(Errno::EIO, "net.sendto.eio");
+        fail!(h, Errno::EIO, "net.sendto.eio");
         return;
     }
     // Post a descriptor on the flow's NIC queue; a full ring sheds load.
@@ -306,7 +307,7 @@ pub(crate) fn sock_send(h: &mut HCtx, src: usize, bytes: u64, port_sel: Option<u
     h.unlock(nql);
     if !enq {
         h.unlock(bucket);
-        h.cover("net.sendto.ring_full");
+        cov!(h, "net.sendto.ring_full");
         h.cpu(150);
         h.seq.error = Some(Errno::EAGAIN);
         return;
@@ -321,13 +322,13 @@ pub(crate) fn sock_send(h: &mut HCtx, src: usize, bytes: u64, port_sel: Option<u
     // Shared-stack extra hops (netfilter/conntrack on container hosts).
     let extra = h.k.state.net.stack_extra_ns;
     if extra > 0 {
-        h.cover("net.stack.shared");
+        cov!(h, "net.stack.shared");
         h.cpu(extra);
     }
     let dest = dest.filter(|&d| h.k.state.net.socks[d].open);
     let Some(dest) = dest else {
         h.unlock(bucket);
-        h.cover("net.sendto.noroute");
+        cov!(h, "net.sendto.noroute");
         h.cpu(120);
         h.seq.error = Some(Errno::EINVAL);
         return;
@@ -335,7 +336,7 @@ pub(crate) fn sock_send(h: &mut HCtx, src: usize, bytes: u64, port_sel: Option<u
     // Bounded receive buffer: backpressure instead of loss.
     if h.k.state.net.socks[dest].rx_bytes + bytes > cost.sock_buf_bytes {
         h.unlock(bucket);
-        h.cover("net.sendto.eagain");
+        cov!(h, "net.sendto.eagain");
         h.cpu(150);
         h.seq.error = Some(Errno::EAGAIN);
         return;
@@ -352,7 +353,7 @@ pub(crate) fn sock_recv(h: &mut HCtx, src: usize, want: u64) {
     let cost = h.cost();
     let rx = h.k.state.net.socks[src].rx_bytes;
     if rx == 0 {
-        h.cover("net.recvfrom.eagain");
+        cov!(h, "net.recvfrom.eagain");
         h.cpu(cost.proto_demux / 2);
         h.seq.error = Some(Errno::EAGAIN);
         return;
@@ -360,7 +361,7 @@ pub(crate) fn sock_recv(h: &mut HCtx, src: usize, want: u64) {
     let nb = h.k.locks.sock_buckets.len();
     let bucket = h.k.locks.sock_buckets[src % nb];
     if !h.try_lock(bucket, "net.recvfrom.bucket") {
-        h.fail(Errno::EAGAIN, "net.recvfrom.busy");
+        fail!(h, Errno::EAGAIN, "net.recvfrom.busy");
         return;
     }
     let take = rx.min(want);
@@ -374,15 +375,15 @@ pub(crate) fn sock_recv(h: &mut HCtx, src: usize, want: u64) {
     net.socks[src].rx_bytes -= take;
     net.recv_bytes += take;
     h.unlock(bucket);
-    h.cover_bucket("net.recvfrom.size", HCtx::size_class(take));
+    cov_bucket!(h, "net.recvfrom.size", HCtx::size_class(take));
     h.seq.result = take;
 }
 
 /// sendto(2).
 pub fn sys_sendto(h: &mut HCtx, sock_sel: u64, len: u64, port_sel: u64) {
-    h.cover("net.sendto");
+    cov!(h, "net.sendto");
     let Some(src) = pick_sock(h, sock_sel) else {
-        h.cover("net.sendto.ebadf");
+        cov!(h, "net.sendto.ebadf");
         h.cpu(120);
         h.seq.error = Some(Errno::EBADF);
         return;
@@ -392,9 +393,9 @@ pub fn sys_sendto(h: &mut HCtx, sock_sel: u64, len: u64, port_sel: u64) {
 
 /// recvfrom(2).
 pub fn sys_recvfrom(h: &mut HCtx, sock_sel: u64, len: u64) {
-    h.cover("net.recvfrom");
+    cov!(h, "net.recvfrom");
     let Some(src) = pick_sock(h, sock_sel) else {
-        h.cover("net.recvfrom.ebadf");
+        cov!(h, "net.recvfrom.ebadf");
         h.cpu(120);
         h.seq.error = Some(Errno::EBADF);
         return;
@@ -407,9 +408,9 @@ pub fn sys_recvfrom(h: &mut HCtx, sock_sel: u64, len: u64) {
 /// an RCU grace period like `sock_put`.
 pub fn sys_shutdown_sock(h: &mut HCtx, sock_sel: u64) {
     let cost = h.cost();
-    h.cover("net.shutdown");
+    cov!(h, "net.shutdown");
     let Some(src) = pick_sock(h, sock_sel) else {
-        h.cover("net.shutdown.ebadf");
+        cov!(h, "net.shutdown.ebadf");
         h.cpu(120);
         h.seq.error = Some(Errno::EBADF);
         return;
@@ -417,7 +418,7 @@ pub fn sys_shutdown_sock(h: &mut HCtx, sock_sel: u64) {
     let nb = h.k.locks.sock_buckets.len();
     let bucket = h.k.locks.sock_buckets[src % nb];
     if !h.try_lock(bucket, "net.shutdown.bucket") {
-        h.fail(Errno::EAGAIN, "net.shutdown.busy");
+        fail!(h, Errno::EAGAIN, "net.shutdown.busy");
         return;
     }
     h.cpu(cost.proto_demux);
@@ -436,7 +437,7 @@ pub fn sys_shutdown_sock(h: &mut HCtx, sock_sel: u64) {
     }
     h.unlock(bucket);
     if flushed > 0 {
-        h.cover("net.shutdown.flush");
+        cov!(h, "net.shutdown.flush");
     }
     h.push(KOp::RcuSync);
 }
@@ -444,9 +445,9 @@ pub fn sys_shutdown_sock(h: &mut HCtx, sock_sel: u64) {
 /// epoll_create1(2).
 pub fn sys_epoll_create(h: &mut HCtx) {
     let cost = h.cost();
-    h.cover("net.epoll_create");
+    cov!(h, "net.epoll_create");
     if !h.try_slab_alloc(1, "net.epoll.ctx") {
-        h.fail(Errno::ENOMEM, "net.epoll_create.enomem");
+        fail!(h, Errno::ENOMEM, "net.epoll_create.enomem");
         return;
     }
     h.cpu(cost.sock_create / 2);
@@ -456,7 +457,7 @@ pub fn sys_epoll_create(h: &mut HCtx) {
 /// epoll_wait(2): readiness scan over the slot's descriptors (we model
 /// the ready-list walk as a bounded scan; cost scales with fd count).
 pub fn sys_epoll_wait(h: &mut HCtx, ep_sel: u64, maxev: u64) {
-    h.cover("net.epoll_wait");
+    cov!(h, "net.epoll_wait");
     let fds = &h.k.state.slots[h.slot].fds;
     let has_epoll = !fds.is_empty() && {
         let start = (ep_sel as usize) % fds.len();
@@ -465,7 +466,7 @@ pub fn sys_epoll_wait(h: &mut HCtx, ep_sel: u64, maxev: u64) {
             .any(|i| matches!(fds[i].kind, FdKind::Epoll))
     };
     if !has_epoll {
-        h.cover("net.epoll_wait.ebadf");
+        cov!(h, "net.epoll_wait.ebadf");
         h.cpu(120);
         h.seq.error = Some(Errno::EBADF);
         return;
@@ -483,6 +484,6 @@ pub fn sys_epoll_wait(h: &mut HCtx, ep_sel: u64, maxev: u64) {
         .count() as u64;
     let ready = ready.min(maxev);
     h.cpu(80 * scanned.max(1));
-    h.cover_bucket("net.epoll_wait.ready", HCtx::size_class(ready + 1));
+    cov_bucket!(h, "net.epoll_wait.ready", HCtx::size_class(ready + 1));
     h.seq.result = ready;
 }

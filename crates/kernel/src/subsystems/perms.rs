@@ -7,6 +7,7 @@
 //! Together these give the paper's "modest but consistent" improvement as
 //! surface area shrinks — the whole latency mass slides down.
 
+use crate::coverage::cov;
 use crate::dispatch::HCtx;
 use crate::ops::KOp;
 
@@ -28,7 +29,7 @@ pub fn sys_chmod(h: &mut HCtx, path_sel: u64, _mode: u64) {
     let cost = h.cost();
     // Reuse the fs walk by doing a stat-like resolution first.
     sys_stat(h, path_sel);
-    h.cover("perm.chmod");
+    cov!(h, "perm.chmod");
     let sb = h.k.locks.inode_sb;
     h.lock(sb);
     h.cpu(350);
@@ -44,11 +45,11 @@ pub fn sys_chmod(h: &mut HCtx, path_sel: u64, _mode: u64) {
 /// fchmod(fd, mode): no walk.
 pub fn sys_fchmod(h: &mut HCtx, fd_sel: u64, _mode: u64) {
     if h.pick_fd(fd_sel).is_none() {
-        h.cover("perm.fchmod.ebadf");
+        cov!(h, "perm.fchmod.ebadf");
         h.cpu(90);
         return;
     }
-    h.cover("perm.fchmod");
+    cov!(h, "perm.fchmod");
     let cost = h.cost();
     let sb = h.k.locks.inode_sb;
     h.lock(sb);
@@ -66,7 +67,7 @@ pub fn sys_fchmod(h: &mut HCtx, fd_sel: u64, _mode: u64) {
 pub fn sys_chown(h: &mut HCtx, path_sel: u64, _uid: u64) {
     let cost = h.cost();
     sys_stat(h, path_sel);
-    h.cover("perm.chown");
+    cov!(h, "perm.chown");
     let sb = h.k.locks.inode_sb;
     h.lock(sb);
     h.cpu(500);
@@ -91,25 +92,25 @@ pub fn sys_setuid(h: &mut HCtx, uid: u64) {
     h.cpu(cost.cred_update);
     h.unlock(cred);
     if new_uid != h.k.state.slots[h.slot].uid {
-        h.cover("perm.setuid.change");
+        cov!(h, "perm.setuid.change");
         h.push(KOp::RcuSync);
         h.k.state.slots[h.slot].uid = new_uid;
     } else {
-        h.cover("perm.setuid.same");
+        cov!(h, "perm.setuid.same");
     }
     audit(h, "perm.setuid.audit");
 }
 
 /// getuid: pure fast path.
 pub fn sys_getuid(h: &mut HCtx) {
-    h.cover("perm.getuid");
+    cov!(h, "perm.getuid");
     h.cpu(40);
     h.seq.result = h.k.state.slots[h.slot].uid;
 }
 
 /// capget: capability snapshot of a task (tasklist read).
 pub fn sys_capget(h: &mut HCtx) {
-    h.cover("perm.capget");
+    cov!(h, "perm.capget");
     let cost = h.cost();
     let tasklist = h.k.locks.tasklist;
     h.push(KOp::Lock(tasklist, ksa_desim::LockMode::Shared));
@@ -119,7 +120,7 @@ pub fn sys_capget(h: &mut HCtx) {
 
 /// capset: recompute + publish capability sets.
 pub fn sys_capset(h: &mut HCtx, _caps: u64) {
-    h.cover("perm.capset");
+    cov!(h, "perm.capset");
     let cost = h.cost();
     h.slab_alloc(1);
     let cred = h.k.locks.cred;
@@ -132,7 +133,7 @@ pub fn sys_capset(h: &mut HCtx, _caps: u64) {
 
 /// umask: per-process, trivial.
 pub fn sys_umask(h: &mut HCtx, mask: u64) {
-    h.cover("perm.umask");
+    cov!(h, "perm.umask");
     h.cpu(60);
     let old = h.k.state.slots[h.slot].umask;
     h.k.state.slots[h.slot].umask = mask & 0o777;
@@ -141,7 +142,7 @@ pub fn sys_umask(h: &mut HCtx, mask: u64) {
 
 /// setgroups: allocate and publish a group_info vector.
 pub fn sys_setgroups(h: &mut HCtx, ngroups: u64) {
-    h.cover("perm.setgroups");
+    cov!(h, "perm.setgroups");
     let cost = h.cost();
     let n = (ngroups % 32).max(1);
     h.slab_alloc(1);
@@ -158,14 +159,14 @@ pub fn sys_prctl(h: &mut HCtx, option: u64) {
     let cost = h.cost();
     match option % 3 {
         0 => {
-            h.cover("perm.prctl.name");
+            cov!(h, "perm.prctl.name");
             let tasklist = h.k.locks.tasklist;
             h.push(KOp::Lock(tasklist, ksa_desim::LockMode::Shared));
             h.cpu(300);
             h.push(KOp::Unlock(tasklist));
         }
         1 => {
-            h.cover("perm.prctl.seccomp");
+            cov!(h, "perm.prctl.seccomp");
             h.slab_alloc(1);
             let cred = h.k.locks.cred;
             h.lock(cred);
@@ -174,7 +175,7 @@ pub fn sys_prctl(h: &mut HCtx, option: u64) {
             audit(h, "perm.prctl.audit");
         }
         _ => {
-            h.cover("perm.prctl.simple");
+            cov!(h, "perm.prctl.simple");
             h.cpu(200);
         }
     }

@@ -9,19 +9,20 @@
 
 use ksa_desim::{Ns, US};
 
+use crate::coverage::{cov, cov_bucket, fail};
 use crate::dispatch::HCtx;
 use crate::errno::Errno;
 use crate::ops::{KOp, VmExitKind};
 
 /// getpid: pure fast path, no shared state.
 pub fn sys_getpid(h: &mut HCtx) {
-    h.cover("sched.getpid");
+    cov!(h, "sched.getpid");
     h.cpu(40);
 }
 
 /// sched_yield: own runqueue lock, requeue, pick next.
 pub fn sys_sched_yield(h: &mut HCtx) {
-    h.cover("sched.yield");
+    cov!(h, "sched.yield");
     let rq = h.k.locks.runqueue[h.slot];
     let cost = h.cost();
     h.lock(rq);
@@ -37,7 +38,7 @@ pub fn sys_sched_yield(h: &mut HCtx) {
 /// the parent's VMA count, runqueue insert. The child exits immediately
 /// and waits to be reaped (wait4).
 pub fn sys_clone(h: &mut HCtx, _flags: u64) {
-    h.cover("sched.clone");
+    cov!(h, "sched.clone");
     let cost = h.cost();
     let tasklist = h.k.locks.tasklist;
     let pidmap = h.k.locks.pidmap;
@@ -46,13 +47,13 @@ pub fn sys_clone(h: &mut HCtx, _flags: u64) {
     // Task struct + cred + stack allocations.
     if !h.try_slab_alloc(4, "sched.clone.task") {
         // Fork fails before any shared structure is touched.
-        h.fail(Errno::ENOMEM, "sched.clone.enomem");
+        fail!(h, Errno::ENOMEM, "sched.clone.enomem");
         return;
     }
     if !h.try_alloc_pages(4, "sched.clone.stack") {
         // Free the task/cred objects; no pid was allocated.
         h.cpu(cost.slab_fast * 4);
-        h.fail(Errno::ENOMEM, "sched.clone.stack_enomem");
+        fail!(h, Errno::ENOMEM, "sched.clone.stack_enomem");
         return;
     }
 
@@ -63,7 +64,7 @@ pub fn sys_clone(h: &mut HCtx, _flags: u64) {
         .filter(|v| v.mapped)
         .count() as Ns;
     if vmas > 8 {
-        h.cover("sched.clone.large_mm");
+        cov!(h, "sched.clone.large_mm");
     }
     h.mem(cost.task_create_base / 2 + cost.task_create_per_vma * vmas);
 
@@ -94,7 +95,7 @@ pub fn sys_wait4(h: &mut HCtx, _pid: u64) {
     h.cpu(400);
     h.push(KOp::Unlock(tasklist));
     if h.k.state.slots[h.slot].children_pending > 0 {
-        h.cover("sched.wait4.reap");
+        cov!(h, "sched.wait4.reap");
         // Release the pid and task struct; runqueue dequeue.
         let pidmap = h.k.locks.pidmap;
         let rq = h.k.locks.runqueue[h.slot];
@@ -110,7 +111,7 @@ pub fn sys_wait4(h: &mut HCtx, _pid: u64) {
         st.sched.nr_tasks -= 1;
         st.sched.rq_len[h.slot] = st.sched.rq_len[h.slot].saturating_sub(1);
     } else {
-        h.cover("sched.wait4.nochild");
+        cov!(h, "sched.wait4.nochild");
     }
 }
 
@@ -122,9 +123,9 @@ pub fn sys_kill(h: &mut HCtx, _pid: u64, sig: u64) {
     h.cpu(350 + 15 * (h.k.state.sched.nr_tasks / 16).min(64));
     h.push(KOp::Unlock(tasklist));
     if sig == 0 {
-        h.cover("sched.kill.probe");
+        cov!(h, "sched.kill.probe");
     } else {
-        h.cover("sched.kill.deliver");
+        cov!(h, "sched.kill.deliver");
         h.cpu(cost.signal_send);
         // Cross-core delivery would IPI; we model signal-to-self (the
         // corpus kills its own synthetic children), so no broadcast.
@@ -134,7 +135,7 @@ pub fn sys_kill(h: &mut HCtx, _pid: u64, sig: u64) {
 /// sched_setaffinity: both source and destination runqueues are locked
 /// for the migration.
 pub fn sys_sched_setaffinity(h: &mut HCtx, mask: u64) {
-    h.cover("sched.setaffinity");
+    cov!(h, "sched.setaffinity");
     let cost = h.cost();
     let n = h.k.n_cores();
     let target = (mask as usize) % n;
@@ -146,7 +147,7 @@ pub fn sys_sched_setaffinity(h: &mut HCtx, mask: u64) {
     let (la, lb) = (h.k.locks.runqueue[a], h.k.locks.runqueue[b]);
     h.lock(la);
     if a != b {
-        h.cover("sched.setaffinity.migrate");
+        cov!(h, "sched.setaffinity.migrate");
         h.lock(lb);
         h.cpu(cost.rq_op * 2);
         h.unlock(lb);
@@ -158,7 +159,7 @@ pub fn sys_sched_setaffinity(h: &mut HCtx, mask: u64) {
 
 /// sched_getparam: own runqueue lock for a consistent snapshot.
 pub fn sys_sched_getparam(h: &mut HCtx) {
-    h.cover("sched.getparam");
+    cov!(h, "sched.getparam");
     let rq = h.k.locks.runqueue[h.slot];
     h.lock(rq);
     h.cpu(150);
@@ -167,7 +168,7 @@ pub fn sys_sched_getparam(h: &mut HCtx) {
 
 /// setpriority: tasklist read lock + runqueue reweight.
 pub fn sys_setpriority(h: &mut HCtx, _nice: u64) {
-    h.cover("sched.setpriority");
+    cov!(h, "sched.setpriority");
     let cost = h.cost();
     let tasklist = h.k.locks.tasklist;
     let rq = h.k.locks.runqueue[h.slot];
@@ -182,13 +183,14 @@ pub fn sys_setpriority(h: &mut HCtx, _nice: u64) {
 /// nanosleep: bounded sleep (the generator caps durations); dequeue,
 /// timer programming (APIC exit under virt), sleep, wakeup (halt exit).
 pub fn sys_nanosleep(h: &mut HCtx, ns: u64) {
-    h.cover("sched.nanosleep");
+    cov!(h, "sched.nanosleep");
     let cost = h.cost();
     let rq = h.k.locks.runqueue[h.slot];
     let dur = (ns % (50 * US)).max(1_000); // 1us ..= 50us
-    h.cover_bucket(
+    cov_bucket!(
+        h,
         "sched.nanosleep.dur",
-        crate::dispatch::HCtx::size_class(dur / 1_000),
+        crate::dispatch::HCtx::size_class(dur / 1_000)
     );
     h.lock(rq);
     h.cpu(cost.rq_op);
@@ -203,7 +205,7 @@ pub fn sys_nanosleep(h: &mut HCtx, ns: u64) {
 
 /// getrusage: accumulates accounting over the thread group.
 pub fn sys_getrusage(h: &mut HCtx) {
-    h.cover("sched.getrusage");
+    cov!(h, "sched.getrusage");
     let tasklist = h.k.locks.tasklist;
     h.push(KOp::Lock(tasklist, ksa_desim::LockMode::Shared));
     h.cpu(500);
