@@ -1,7 +1,7 @@
 //! `suite` — the benchmark-regression gate.
 //!
 //! Runs a pinned-seed micro version of every experiment in the pipeline
-//! (Table 1–3, Figure 2–4, calibrate), each twice: once sequentially
+//! (Table 1–3, Figure 2–4, calibrate, failover), each twice: once sequentially
 //! (`jobs = 1`) and once on the parallel pool. For each experiment it
 //! records
 //!
@@ -41,9 +41,10 @@
 
 use std::time::Instant;
 
-use ksa_cluster::{run_cluster, ClusterConfig};
+use ksa_cluster::{run_cluster, run_cluster_faulted, ClusterConfig, FabricConfig};
 use ksa_core::experiments::{default_corpus, noise_corpus, table1, Scale};
 use ksa_core::KernelSurfaceArea;
+use ksa_desim::NodeFaultPlan;
 use ksa_envsim::{container_sweep, vm_sweep, EnvKind, EnvSpec, Machine};
 use ksa_json::Value;
 use ksa_kernel::prog::Corpus;
@@ -324,6 +325,66 @@ fn main() {
                 }
                 SimOut {
                     sim_ns,
+                    events: 0,
+                    digest: d,
+                }
+            }),
+        ),
+        (
+            "failover",
+            Box::new(|jobs| {
+                // A faulted cluster run exercising every recovery path:
+                // crash + reboot, healed partition, lossy links. The
+                // digest folds iteration times *and* fabric counters, so
+                // the baseline pins the recovery machinery bit-for-bit.
+                let app = &app_suite()[1];
+                let cfg = ClusterConfig {
+                    nodes: 6,
+                    iterations: 4,
+                    requests_per_iter: 20,
+                    node: SingleNodeConfig {
+                        machine: Machine {
+                            cores: 8,
+                            mem_mib: 8 * 1024,
+                        },
+                        groups: 2,
+                        virt: false,
+                        noise: true,
+                        requests: 0,
+                        warmup: 0,
+                        util_pct: 92,
+                        trace: false,
+                        seed: SEED,
+                    },
+                    barrier_ns: 40_000,
+                    threads: jobs,
+                };
+                let plan = NodeFaultPlan::new(SEED)
+                    .crash(2, 900_000, 1_500_000)
+                    .partition(300_000, 1_400_000, vec![4, 5])
+                    .drop_prob_milli(100);
+                let res = run_cluster_faulted(app, &cfg, &noise, &plan, &FabricConfig::quick());
+                let rep = res.fabric.clone().expect("faulted run reports fabric");
+                let mut d = Digest::new();
+                for &it in &res.iteration_ns {
+                    d.fold(it);
+                }
+                for v in [
+                    rep.reassignments,
+                    rep.reexecs,
+                    rep.crash_detections,
+                    rep.rejoins,
+                    rep.retransmits,
+                    rep.dup_completions_dropped,
+                    rep.completions,
+                    rep.expected_completions,
+                    rep.lost_completions,
+                    res.coverage.len() as u64,
+                ] {
+                    d.fold(v);
+                }
+                SimOut {
+                    sim_ns: res.total_ns,
                     events: 0,
                     digest: d,
                 }

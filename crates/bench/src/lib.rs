@@ -7,7 +7,9 @@
 //! * `--jobs <n>` — pool workers for independent trials (default 0 =
 //!   auto: `KSA_JOBS` or available parallelism; 1 = sequential; results
 //!   are bit-identical for every value),
-//! * `--csv <dir>` — also write CSV artifacts into `dir`.
+//! * `--csv <dir>` — also write CSV artifacts into `dir`,
+//! * `--trace-out <path>` — write a Chrome-trace JSON of the run's
+//!   recorded trace (bins that record one).
 
 use ksa_core::experiments::Scale;
 use std::path::PathBuf;
@@ -23,6 +25,8 @@ pub struct Cli {
     pub jobs: usize,
     /// CSV output directory.
     pub csv: Option<PathBuf>,
+    /// Chrome-trace JSON output path.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Cli {
@@ -32,6 +36,7 @@ impl Cli {
         let mut seed = 42;
         let mut jobs = 0;
         let mut csv = None;
+        let mut trace_out = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -55,6 +60,12 @@ impl Cli {
                         args.next().unwrap_or_else(|| usage("--csv needs a dir")),
                     ));
                 }
+                "--trace-out" => {
+                    trace_out = Some(PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| usage("--trace-out needs a path")),
+                    ));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument: {other}")),
             }
@@ -64,6 +75,7 @@ impl Cli {
             seed,
             jobs,
             csv,
+            trace_out,
         }
     }
 
@@ -82,7 +94,10 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--tiny|--quick|--full] [--seed N] [--jobs N] [--csv DIR]");
+    eprintln!(
+        "usage: <bin> [--tiny|--quick|--full] [--seed N] [--jobs N] [--csv DIR] \
+         [--trace-out PATH]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 

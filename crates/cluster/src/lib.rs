@@ -16,10 +16,16 @@
 //! bit-identical for every worker count, including the sequential
 //! (`threads == 1`) baseline.
 
-use ksa_desim::Ns;
+use ksa_desim::{Ns, TraceLog};
+use ksa_kernel::coverage::CoverageSet;
 use ksa_kernel::prog::Corpus;
 use ksa_tailbench::apps::AppProfile;
 use ksa_tailbench::single_node::{run_node_batched, SingleNodeConfig};
+
+pub mod fabric;
+pub mod serde;
+
+pub use fabric::{run_cluster_faulted, FabricConfig, FabricReport};
 
 /// Configuration of one cluster run.
 #[derive(Debug, Clone, Copy)]
@@ -109,16 +115,53 @@ pub struct ClusterResult {
     /// Mean over nodes of per-node total busy time (what the runtime
     /// would be without stragglers — the BSP efficiency baseline).
     pub mean_node_ns: Ns,
+    /// Recovery-machinery counters (faulted runs only).
+    pub fabric: Option<FabricReport>,
+    /// `err.cluster.*` / `recovery.cluster.*` blocks the recovery path
+    /// lit up (empty for healthy runs).
+    pub coverage: CoverageSet,
+    /// Per-node fabric trace rings (empty for healthy runs).
+    pub trace: TraceLog,
 }
 
 impl ClusterResult {
     /// Straggler amplification: total runtime over the no-straggler
-    /// baseline. 1.0 = perfectly balanced.
+    /// baseline. 1.0 = perfectly balanced. Total for every input: a
+    /// fully-failed or zero-iteration run (zero baseline) reports 1.0
+    /// instead of leaking NaN/∞ into JSON output.
     pub fn straggler_factor(&self) -> f64 {
         if self.mean_node_ns == 0 {
             return 1.0;
         }
-        self.total_ns as f64 / self.mean_node_ns as f64
+        let f = self.total_ns as f64 / self.mean_node_ns as f64;
+        if f.is_finite() {
+            f
+        } else {
+            1.0
+        }
+    }
+
+    /// Slowdown of this run over a healthy reference, guarded the same
+    /// way: a zero or degenerate reference reports 1.0, never ∞.
+    pub fn slowdown_vs(&self, healthy: &ClusterResult) -> f64 {
+        if healthy.total_ns == 0 {
+            return 1.0;
+        }
+        let f = self.total_ns as f64 / healthy.total_ns as f64;
+        if f.is_finite() {
+            f
+        } else {
+            1.0
+        }
+    }
+
+    /// Mean iteration duration, defined (0) for zero-iteration runs.
+    pub fn mean_iteration_ns(&self) -> u64 {
+        if self.iteration_ns.is_empty() {
+            return 0;
+        }
+        (self.iteration_ns.iter().map(|&n| n as u128).sum::<u128>()
+            / self.iteration_ns.len() as u128) as u64
     }
 }
 
@@ -148,13 +191,20 @@ pub fn run_cluster(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus)
         iteration_ns,
         total_ns,
         mean_node_ns,
+        fabric: None,
+        coverage: CoverageSet::new(),
+        trace: TraceLog::default(),
     }
 }
 
 /// Simulates every node on the work-stealing pool, returning per-node
 /// iteration durations in node order. Node seeds derive from the node
 /// *index*, so scheduling cannot reach the simulated results.
-fn run_nodes(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus) -> Vec<Vec<Ns>> {
+pub(crate) fn run_nodes(
+    app: &AppProfile,
+    cfg: &ClusterConfig,
+    noise_corpus: &Corpus,
+) -> Vec<Vec<Ns>> {
     ksa_desim::pool::parallel_indexed(cfg.threads, cfg.nodes, |node| {
         let mut node_cfg = cfg.node;
         node_cfg.seed = cfg

@@ -59,7 +59,10 @@ pub use cpu::{CoreConfig, CoreId, CoreState, OccClass};
 pub use engine::{
     BarrierId, Engine, EngineParams, QueueId, RcuId, Record, SimCtx, SimError, SimResult,
 };
-pub use fault::{FaultKind, FaultPlan, FaultSchedule, FaultState, InjectedFault};
+pub use fault::{
+    Backoff, FaultKind, FaultPlan, FaultSchedule, FaultState, InjectedFault, LinkDegrade,
+    LinkPartition, NodeCrash, NodeFaultPlan, NsWindow,
+};
 pub use iodev::{DevId, DeviceModel};
 pub use lock::{LockId, LockKind, LockMode, WAIT_HIST_BUCKETS};
 pub use netdev::{NicModel, NicState};

@@ -1,6 +1,9 @@
-//! The open-loop client: Poisson arrivals at a target utilization.
+//! The open-loop client: Poisson arrivals at a target utilization,
+//! optionally over a lossy link with the cluster fabric's
+//! timeout/retry/backoff policy.
 
-use ksa_desim::{Effect, Ns, Process, QueueId, SimCtx, WakeReason};
+use ksa_desim::fault::node_decision_hash;
+use ksa_desim::{Backoff, Effect, Ns, Process, QueueId, SimCtx, WakeReason};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -9,6 +12,52 @@ use crate::world::{Request, TbWorld};
 /// Record keys `ITER_KEY_BASE + batch` hold per-batch durations in
 /// cluster mode.
 pub const ITER_KEY_BASE: u64 = 1_000_000;
+
+/// The client-side send policy over a lossy link — the same capped
+/// exponential backoff + deterministic jitter discipline the cluster
+/// fabric retransmits under, so request-level p99 under partition-like
+/// loss is measurable. A request's sojourn is measured from its *first*
+/// send attempt, so retry delay lands in the tail where it belongs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Per-attempt send-drop probability in milli-units.
+    pub drop_milli: u32,
+    /// Give-up budget measured from the first attempt; a request still
+    /// undelivered past this is abandoned (counted, not measured).
+    pub timeout_ns: Ns,
+    /// Retransmit schedule (never exceeds its cap).
+    pub backoff: Backoff,
+    /// Hard bound on attempts per request.
+    pub max_attempts: u32,
+    /// Decision seed for drop verdicts (jitter draws come from the
+    /// client's own seeded RNG).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A lossless policy (never drops, never retries).
+    pub fn lossless() -> Self {
+        RetryPolicy {
+            drop_milli: 0,
+            timeout_ns: Ns::MAX,
+            backoff: Backoff::new(50_000, 2_000_000, 250),
+            max_attempts: u32::MAX,
+            seed: 0,
+        }
+    }
+
+    /// A lossy link dropping `drop_milli`/1000 of sends, with a default
+    /// backoff and a generous give-up budget.
+    pub fn lossy(drop_milli: u32, seed: u64) -> Self {
+        RetryPolicy {
+            drop_milli: drop_milli.min(900),
+            timeout_ns: 50_000_000, // 50ms give-up budget
+            backoff: Backoff::new(20_000, 500_000, 250),
+            max_attempts: 64,
+            seed,
+        }
+    }
+}
 
 /// How the client drives load.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +84,17 @@ enum State {
     Draining,
 }
 
+/// What one [`Client::try_send`] attempt did.
+enum SendOutcome {
+    /// The request reached the server queue.
+    Sent,
+    /// The send was dropped; sleep this long and retry.
+    Backoff(Ns),
+    /// The request exhausted its timeout/attempt budget and was
+    /// abandoned.
+    GaveUp,
+}
+
 /// The request generator for one application.
 pub struct Client {
     app_id: usize,
@@ -48,6 +108,17 @@ pub struct Client {
     issued_in_round: u64,
     batch: u64,
     batch_start: Ns,
+    /// Lossy-link policy (None = perfect link, today's behavior).
+    retry: Option<RetryPolicy>,
+    /// Requests attempted this round (issued + abandoned).
+    attempted_in_round: u64,
+    /// Send attempts made for the in-flight request (0 = none yet).
+    attempt: u32,
+    /// First-attempt instant of the in-flight request (its arrival
+    /// stamp, so sojourns include retry delay).
+    first_try: Ns,
+    /// Monotonic request sequence number for drop decisions.
+    req_seq: u64,
 }
 
 impl Client {
@@ -72,7 +143,18 @@ impl Client {
             issued_in_round: 0,
             batch: 0,
             batch_start: 0,
+            retry: None,
+            attempted_in_round: 0,
+            attempt: 0,
+            first_try: 0,
+            req_seq: 0,
         }
+    }
+
+    /// Sends over a lossy link under `policy` (builder style).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     fn interarrival(&mut self) -> Ns {
@@ -88,8 +170,56 @@ impl Client {
     }
 
     fn issue(&mut self, ctx: &mut SimCtx<'_, TbWorld>) {
+        let now = ctx.now();
+        self.issue_arrived(ctx, now);
+    }
+
+    /// Outcome of one send attempt over the (possibly lossy) link.
+    fn try_send(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> SendOutcome {
+        let now = ctx.now();
+        if self.attempt == 0 {
+            self.first_try = now;
+        }
+        let attempt = self.attempt + 1;
+        if let Some(p) = self.retry {
+            if attempt > 1 && (now - self.first_try >= p.timeout_ns || attempt > p.max_attempts) {
+                // The give-up path: the request is abandoned, counted,
+                // and excluded from the latency samples.
+                ctx.world.client_gave_up += 1;
+                self.next_request();
+                return SendOutcome::GaveUp;
+            }
+            let dropped = p.drop_milli > 0
+                && node_decision_hash(
+                    p.seed,
+                    "client.link",
+                    self.app_id as u64,
+                    self.req_seq,
+                    attempt as u64,
+                ) % 1000
+                    < p.drop_milli as u64;
+            if dropped {
+                self.attempt = attempt;
+                ctx.world.client_retries += 1;
+                let jitter = self.rng.gen::<u64>();
+                return SendOutcome::Backoff(p.backoff.delay(attempt, jitter).max(1));
+            }
+        }
+        let arrival = self.first_try;
+        self.issue_arrived(ctx, arrival);
+        self.next_request();
+        SendOutcome::Sent
+    }
+
+    fn next_request(&mut self) {
+        self.attempted_in_round += 1;
+        self.req_seq += 1;
+        self.attempt = 0;
+    }
+
+    fn issue_arrived(&mut self, ctx: &mut SimCtx<'_, TbWorld>, arrival: Ns) {
         let req = Request {
-            arrival: ctx.now(),
+            arrival,
             batch: self.batch,
         };
         ctx.world.queues[self.app_id].pending.push_back(req);
@@ -127,6 +257,7 @@ impl Client {
                 ctx.record(ITER_KEY_BASE + self.batch, dur);
                 self.batch += 1;
                 self.issued_in_round = 0;
+                self.attempted_in_round = 0;
                 if self.batch >= batches {
                     return Effect::Done;
                 }
@@ -162,10 +293,14 @@ impl Process<TbWorld> for Client {
                 if matches!(self.mode, ClientMode::Batched { .. }) {
                     return self.issue_batch(ctx);
                 }
-                if self.issued_in_round < self.round_total() {
-                    self.issue(ctx);
-                    if self.issued_in_round < self.round_total() {
-                        return Effect::Sleep(self.interarrival());
+                if self.attempted_in_round < self.round_total() {
+                    match self.try_send(ctx) {
+                        SendOutcome::Backoff(delay) => return Effect::Sleep(delay),
+                        SendOutcome::Sent | SendOutcome::GaveUp => {
+                            if self.attempted_in_round < self.round_total() {
+                                return Effect::Sleep(self.interarrival());
+                            }
+                        }
                     }
                 }
                 self.start_drain(ctx)

@@ -26,5 +26,8 @@ pub mod single_node;
 pub mod world;
 
 pub use apps::{suite, AppProfile};
-pub use single_node::{run_points, run_single_node, SingleNodeConfig, TailResult};
+pub use client::RetryPolicy;
+pub use single_node::{
+    run_points, run_single_node, run_single_node_retry, SingleNodeConfig, TailResult,
+};
 pub use world::{Request, RequestAttribution, TbWorld};

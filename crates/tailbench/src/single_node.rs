@@ -16,7 +16,7 @@ use ksa_stats::Samples;
 use ksa_varbench::worker::{site_bases, CorpusWorker};
 
 use crate::apps::AppProfile;
-use crate::client::{Client, ClientMode, ITER_KEY_BASE};
+use crate::client::{Client, ClientMode, RetryPolicy, ITER_KEY_BASE};
 use crate::server::{ServerWorker, SOJOURN_KEY};
 use crate::world::{RequestAttribution, TbWorld};
 
@@ -104,6 +104,11 @@ pub struct TailResult {
     /// Syscall attribution from the noise co-runners (empty when
     /// `noise` is off).
     pub noise_attrib: AttributionTable,
+    /// Client sends dropped by the lossy link and retried (0 on a
+    /// perfect link).
+    pub client_retries: u64,
+    /// Requests abandoned after the client's retry budget ran out.
+    pub client_gave_up: u64,
     /// The recorded trace (empty rings unless tracing was enabled).
     pub trace: TraceLog,
 }
@@ -115,7 +120,19 @@ pub fn run_single_node(
     cfg: &SingleNodeConfig,
     noise_corpus: &Corpus,
 ) -> TailResult {
-    run_node(app, cfg, noise_corpus, None)
+    run_node(app, cfg, noise_corpus, None, None)
+}
+
+/// Runs one app under `cfg` with the client sending over a lossy link
+/// under `policy` — the fabric's timeout/retry/backoff discipline at
+/// request granularity, so partition-like loss shows up in p99.
+pub fn run_single_node_retry(
+    app: &AppProfile,
+    cfg: &SingleNodeConfig,
+    noise_corpus: &Corpus,
+    policy: RetryPolicy,
+) -> TailResult {
+    run_node(app, cfg, noise_corpus, None, Some(policy))
 }
 
 /// Runs a whole sweep of independent `(app, config)` points concurrently
@@ -162,7 +179,7 @@ pub fn run_node_batched(
     batches: u64,
     per_batch: u64,
 ) -> TailResult {
-    run_node(app, cfg, noise_corpus, Some((batches, per_batch)))
+    run_node(app, cfg, noise_corpus, Some((batches, per_batch)), None)
 }
 
 fn run_node(
@@ -170,6 +187,7 @@ fn run_node(
     cfg: &SingleNodeConfig,
     noise_corpus: &Corpus,
     batched: Option<(u64, u64)>,
+    retry: Option<RetryPolicy>,
 ) -> TailResult {
     assert!(cfg.machine.cores.is_multiple_of(cfg.groups));
     let per_group = cfg.machine.cores / cfg.groups;
@@ -221,7 +239,10 @@ fn run_node(
     };
     // Client runs on the app's first core; it mostly sleeps. Started
     // slightly late so server setup completes first.
-    let client = Client::new(app_id, req_q, done_q, rate, mode, cfg.seed ^ 0xc11e);
+    let mut client = Client::new(app_id, req_q, done_q, rate, mode, cfg.seed ^ 0xc11e);
+    if let Some(policy) = retry {
+        client = client.with_retry(policy);
+    }
     engine.spawn(app_cores[0], Box::new(client), 50_000);
 
     // Noise co-runners on the remaining cores.
@@ -275,6 +296,8 @@ fn run_node(
     let trace = engine.take_trace();
     let request_attrib = std::mem::take(&mut engine.world_mut().request_attrib);
     let noise_attrib = std::mem::take(&mut engine.world_mut().kernel.attrib);
+    let client_retries = engine.world().client_retries;
+    let client_gave_up = engine.world().client_gave_up;
     TailResult {
         app: app.name.to_string(),
         sojourns: samples,
@@ -284,6 +307,8 @@ fn run_node(
         events: res.events,
         request_attrib,
         noise_attrib,
+        client_retries,
+        client_gave_up,
         trace,
     }
 }
@@ -415,6 +440,51 @@ mod tests {
         // The noise co-runners' syscalls are attributed.
         assert!(plain.noise_attrib.calls() > 0);
         assert!(plain.noise_attrib.grand_total().is_exact());
+    }
+
+    #[test]
+    fn lossless_retry_policy_is_bit_identical_to_no_policy() {
+        let app = &suite()[1];
+        let cfg = SingleNodeConfig::quick(false, false, 23);
+        let plain = run_single_node(app, &cfg, &noise_corpus());
+        let wrapped = run_single_node_retry(app, &cfg, &noise_corpus(), RetryPolicy::lossless());
+        assert_eq!(plain.p99, wrapped.p99);
+        assert_eq!(plain.sim_ns, wrapped.sim_ns);
+        assert_eq!(plain.sojourns.raw(), wrapped.sojourns.raw());
+        assert_eq!(wrapped.client_retries, 0);
+        assert_eq!(wrapped.client_gave_up, 0);
+    }
+
+    #[test]
+    fn lossy_link_retries_raise_the_tail_deterministically() {
+        let app = &suite()[1];
+        let cfg = SingleNodeConfig::quick(false, false, 27);
+        let clean = run_single_node(app, &cfg, &noise_corpus());
+        let policy = RetryPolicy::lossy(300, 91);
+        let lossy = run_single_node_retry(app, &cfg, &noise_corpus(), policy);
+        assert!(
+            lossy.client_retries > 0,
+            "a 30% drop rate must force retransmits"
+        );
+        assert!(
+            lossy.p99 > clean.p99,
+            "retry backoff must land in the tail: {} vs {}",
+            lossy.p99,
+            clean.p99
+        );
+        // Accounting: every issued request either completed (has a
+        // sojourn sample pre-warmup) or was abandoned.
+        assert_eq!(
+            lossy.sojourns.len() as u64 + cfg.warmup as u64 + lossy.client_gave_up,
+            cfg.requests,
+            "issued = measured + warmup + gave_up"
+        );
+        // Bit-identical replay, counters included.
+        let again = run_single_node_retry(app, &cfg, &noise_corpus(), policy);
+        assert_eq!(lossy.p99, again.p99);
+        assert_eq!(lossy.sim_ns, again.sim_ns);
+        assert_eq!(lossy.client_retries, again.client_retries);
+        assert_eq!(lossy.client_gave_up, again.client_gave_up);
     }
 
     #[test]

@@ -66,6 +66,10 @@ pub struct TbWorld {
     /// Per-request latency decompositions, in completion order; the
     /// harness drains this after the run.
     pub request_attrib: Vec<RequestAttribution>,
+    /// Client send attempts dropped by the lossy link and retried.
+    pub client_retries: u64,
+    /// Requests abandoned after exhausting the client's retry budget.
+    pub client_gave_up: u64,
 }
 
 impl TbWorld {

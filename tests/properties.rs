@@ -599,6 +599,152 @@ fn parallel_runner_matches_sequential_bit_identically() {
     }
 }
 
+/// Backoff schedules are pure functions of their inputs: for random
+/// policies, the delay for any (attempt, jitter word) is replayable and
+/// never exceeds the cap, whatever the shift or jitter.
+#[test]
+fn backoff_schedules_are_deterministic_and_capped() {
+    use ksa_desim::Backoff;
+    for_each_case(
+        "backoff_schedules_are_deterministic_and_capped",
+        |seed, rng| {
+            let base = rng.gen_range(1u64..1_000_000);
+            let cap = rng.gen_range(base..base.saturating_mul(1000).max(base + 1));
+            let jitter = rng.gen_range(0u32..2000); // clamped at 1000 inside
+            let b = Backoff::new(base, cap, jitter);
+            for attempt in [0u32, 1, 2, 3, 7, 17, 40, 63, 64, 1000, u32::MAX] {
+                let word = rng.gen::<u64>();
+                let d = b.delay(attempt, word);
+                assert!(
+                    d <= cap,
+                    "seed {seed:#x}: attempt {attempt} delay {d} exceeds cap {cap}"
+                );
+                assert_eq!(
+                    d,
+                    b.delay(attempt, word),
+                    "seed {seed:#x}: schedule not replayable"
+                );
+            }
+            // Jitter-free schedules are monotone until the cap.
+            let nj = Backoff::new(base, cap, 0);
+            let mut last = 0;
+            for attempt in 1..=40 {
+                let d = nj.delay(attempt, 0);
+                assert!(d >= last, "seed {seed:#x}: jitter-free schedule shrank");
+                last = d;
+            }
+            assert_eq!(
+                nj.delay(64, 0),
+                cap,
+                "seed {seed:#x}: deep attempts pin at cap"
+            );
+        },
+    );
+}
+
+/// Node-fault cluster trials are bit-identical under replay and across
+/// pool widths — the node/link fault domain must not leak scheduling
+/// into the simulated results (fabric counters included).
+#[test]
+fn node_fault_trials_replay_identically_across_pool_widths() {
+    use ksa_cluster::{run_cluster_faulted, ClusterConfig, FabricConfig};
+    use ksa_desim::NodeFaultPlan;
+    use ksa_tailbench::suite;
+    let app = &suite()[1];
+    let corpus = ksa_core::experiments::noise_corpus(ksa_core::experiments::Scale::Tiny);
+    for case in 0..3u64 {
+        let seed = base_seed("node_fault_trials") ^ case.wrapping_mul(0x9e3779b97f4a7c15);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut cfg = ClusterConfig::quick(false, false, seed);
+        let total_guess = 4_000_000u64; // ~quick-cluster runtime
+        let mut plan = NodeFaultPlan::new(seed).drop_prob_milli(rng.gen_range(0u32..200));
+        for _ in 0..rng.gen_range(1usize..3) {
+            let node = rng.gen_range(0..cfg.nodes);
+            let at = rng.gen_range(0..total_guess);
+            let down = if rng.gen_bool(0.5) {
+                0
+            } else {
+                rng.gen_range(100_000..2_000_000)
+            };
+            plan = plan.crash(node, at, down);
+        }
+        if rng.gen_bool(0.7) {
+            let a = rng.gen_range(0..total_guess / 2);
+            let b = a + rng.gen_range(100_000u64..2_000_000);
+            let island: Vec<usize> = (0..rng.gen_range(1..cfg.nodes / 2)).collect();
+            plan = plan.partition(a, b, island);
+        }
+        let fab = FabricConfig::quick();
+        cfg.threads = 1;
+        let seq = run_cluster_faulted(app, &cfg, &corpus, &plan, &fab);
+        let replay = run_cluster_faulted(app, &cfg, &corpus, &plan, &fab);
+        assert_eq!(
+            seq.iteration_ns, replay.iteration_ns,
+            "seed {seed:#x}: replay"
+        );
+        assert_eq!(seq.fabric, replay.fabric, "seed {seed:#x}: replay counters");
+        for jobs in [4usize, 0] {
+            cfg.threads = jobs;
+            let par = run_cluster_faulted(app, &cfg, &corpus, &plan, &fab);
+            assert_eq!(
+                seq.iteration_ns, par.iteration_ns,
+                "seed {seed:#x}: jobs {jobs} diverged"
+            );
+            assert_eq!(seq.total_ns, par.total_ns, "seed {seed:#x}: jobs {jobs}");
+            assert_eq!(
+                seq.fabric, par.fabric,
+                "seed {seed:#x}: jobs {jobs} counters"
+            );
+            assert_eq!(
+                seq.coverage.len(),
+                par.coverage.len(),
+                "seed {seed:#x}: jobs {jobs} coverage"
+            );
+        }
+        cfg.threads = 1;
+    }
+}
+
+/// Any partition that heals conserves barrier completions exactly: the
+/// retransmit + dedup path delivers every expected completion exactly
+/// once — none lost, no duplicate counted.
+#[test]
+fn healed_partitions_conserve_barrier_completions() {
+    use ksa_cluster::{run_cluster_faulted, ClusterConfig, FabricConfig};
+    use ksa_desim::NodeFaultPlan;
+    use ksa_tailbench::suite;
+    let app = &suite()[1];
+    let corpus = ksa_core::experiments::noise_corpus(ksa_core::experiments::Scale::Tiny);
+    for case in 0..4u64 {
+        let seed = base_seed("healed_partitions_conserve") ^ case.wrapping_mul(0x9e3779b97f4a7c15);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = ClusterConfig::quick(false, false, seed);
+        // Every window heals (end > start, never 0 = forever), so no
+        // completion may be lost whatever the cut.
+        let start = rng.gen_range(0u64..2_000_000);
+        let end = start + rng.gen_range(100_000u64..2_500_000);
+        let island: Vec<usize> = (0..cfg.nodes).filter(|_| rng.gen_bool(0.4)).collect();
+        let plan = NodeFaultPlan::new(seed)
+            .partition(start, end, island)
+            .drop_prob_milli(rng.gen_range(0u32..300));
+        let res = run_cluster_faulted(app, &cfg, &corpus, &plan, &FabricConfig::quick());
+        let rep = res.fabric.expect("faulted run reports fabric");
+        assert!(
+            rep.conserved(),
+            "seed {seed:#x}: {}/{} completions, {} lost, {} dups dropped",
+            rep.completions,
+            rep.expected_completions,
+            rep.lost_completions,
+            rep.dup_completions_dropped
+        );
+        assert_eq!(
+            rep.expected_completions,
+            cfg.nodes as u64 * cfg.iterations,
+            "seed {seed:#x}: nobody crashed, every node owes every barrier"
+        );
+    }
+}
+
 /// A panicking task on the worker pool never takes siblings down with
 /// it: for random task counts, worker counts and panic subsets, every
 /// non-panicking slot returns its value and every panicking slot
