@@ -32,6 +32,7 @@ fn main() {
                     seed: 5,
                     max_events: 0,
                     trace: false,
+                    spec: None,
                 },
                 &corpus,
             )
@@ -53,6 +54,7 @@ fn main() {
                 seed: 5,
                 max_events: 0,
                 trace: false,
+                spec: None,
             },
             &corpus,
         )

@@ -27,6 +27,7 @@ fn main() {
                     seed: 3,
                     max_events: 0,
                     trace: false,
+                    spec: None,
                 },
                 &corpus,
             )
@@ -44,6 +45,7 @@ fn main() {
                 seed: 3,
                 max_events: 0,
                 trace: false,
+                spec: None,
             },
             &corpus,
         )

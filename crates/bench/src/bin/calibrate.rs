@@ -27,6 +27,7 @@ fn main() {
                 warmup: 50,
                 util_pct: 10, // low load: sojourn ~= service demand
                 trace: false,
+                spec: None,
                 seed: 5,
             };
             points.push((app.clone(), cfg));

@@ -48,6 +48,7 @@ use ksa_desim::NodeFaultPlan;
 use ksa_envsim::{container_sweep, vm_sweep, EnvKind, EnvSpec, Machine};
 use ksa_json::Value;
 use ksa_kernel::prog::Corpus;
+use ksa_kernel::SpecMask;
 use ksa_tailbench::apps::{cluster_suite, suite as app_suite};
 use ksa_tailbench::single_node::{run_points, SingleNodeConfig};
 use ksa_varbench::{run_configs_jobs, RunConfig};
@@ -132,6 +133,7 @@ fn base_cfg(machine: Machine, kind: EnvKind) -> RunConfig {
         seed: SEED,
         max_events: 0,
         trace: false,
+        spec: None,
     }
 }
 
@@ -262,6 +264,7 @@ fn main() {
                                 warmup: 12,
                                 util_pct: 75,
                                 trace: false,
+                                spec: None,
                                 seed: SEED,
                             },
                         ));
@@ -310,6 +313,7 @@ fn main() {
                                 warmup: 0,
                                 util_pct: 92,
                                 trace: false,
+                                spec: None,
                                 seed: SEED,
                             },
                             barrier_ns: 40_000,
@@ -354,6 +358,7 @@ fn main() {
                         warmup: 0,
                         util_pct: 92,
                         trace: false,
+                        spec: None,
                         seed: SEED,
                     },
                     barrier_ns: 40_000,
@@ -410,6 +415,7 @@ fn main() {
                                 warmup: 10,
                                 util_pct: 10,
                                 trace: false,
+                                spec: None,
                                 seed: SEED,
                             },
                         ));
@@ -429,6 +435,39 @@ fn main() {
                 SimOut {
                     sim_ns,
                     events,
+                    digest: d,
+                }
+            }),
+        ),
+        (
+            "spec",
+            Box::new(|jobs| {
+                // Specialization micro-experiment: the same tiny campaign
+                // unspecialized, under the full mask (which must change
+                // nothing) and under a corpus-derived mask. The digest
+                // folds the derived profile itself (allowlist + category
+                // indices) before the runs, so both the derivation and
+                // the specialized kernel are pinned bit-for-bit.
+                let profile = ksa_spec::derive_profile("suite", &corpus, SEED);
+                let mut d = Digest::new();
+                for no in profile.mask.allowed() {
+                    d.fold(no.index() as u64);
+                }
+                for c in profile.mask.categories() {
+                    d.fold(c.index() as u64);
+                }
+                let configs: Vec<RunConfig> = [None, Some(SpecMask::full()), Some(profile.mask)]
+                    .iter()
+                    .map(|&spec| RunConfig {
+                        spec,
+                        ..base_cfg(machine, EnvKind::Vm(2))
+                    })
+                    .collect();
+                let out = varbench_case(&configs, &corpus, jobs);
+                d.fold(out.digest.0);
+                SimOut {
+                    sim_ns: out.sim_ns,
+                    events: out.events,
                     digest: d,
                 }
             }),

@@ -71,6 +71,7 @@ impl ClusterConfig {
                 util_pct: 92,
                 trace: false,
                 seed,
+                spec: None,
             },
             barrier_ns: 40_000, // ~40µs allreduce on a cluster fabric
             threads: 0,         // auto: results are thread-count-invariant
@@ -96,6 +97,7 @@ impl ClusterConfig {
                 util_pct: 92,
                 trace: false,
                 seed,
+                spec: None,
             },
             barrier_ns: 40_000,
             threads: 0,

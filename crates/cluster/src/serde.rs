@@ -61,6 +61,7 @@ pub fn cluster_config_from_json(v: &Value) -> Result<ClusterConfig, Error> {
             util_pct: node.get("util_pct")?.as_u64()?,
             trace: node.get("trace")?.as_bool()?,
             seed: node.get("seed")?.as_u64()?,
+            spec: None,
         },
     })
 }

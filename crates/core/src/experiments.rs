@@ -226,6 +226,7 @@ pub fn table2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Tab
             seed,
             max_events: 0,
             trace: false,
+            spec: None,
         })
         .collect();
     let results = expect_trials("table2", run_configs_jobs(&configs, corpus, jobs));
@@ -298,6 +299,7 @@ pub fn fig2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Fig2R
         seed,
         max_events: 0,
         trace: false,
+        spec: None,
     }];
     configs.extend(sweep.iter().map(|row| RunConfig {
         env: EnvSpec::new(machine, EnvKind::Vm(row.count)),
@@ -306,6 +308,7 @@ pub fn fig2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Fig2R
         seed,
         max_events: 0,
         trace: false,
+        spec: None,
     }));
     let mut results = expect_trials("fig2", run_configs_jobs(&configs, corpus, jobs)).into_iter();
     let mut native = results.next().expect("fig2 native trial missing");
@@ -364,6 +367,7 @@ pub fn table3_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Buc
             seed,
             max_events: 0,
             trace: false,
+            spec: None,
         })
         .collect();
     let results = expect_trials("table3", run_configs_jobs(&configs, corpus, jobs));
@@ -458,6 +462,7 @@ pub fn fig3_jobs(noise: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Vec<Fi
         util_pct: 75,
         trace: false,
         seed,
+        spec: None,
     };
     let reps = match scale {
         Scale::Tiny => 1,
@@ -570,6 +575,7 @@ pub fn fig4_jobs(noise: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Vec<Fi
             util_pct: 92,
             trace: false,
             seed,
+            spec: None,
         },
         barrier_ns: 40_000,
         threads: jobs,

@@ -3,6 +3,7 @@
 use ksa_desim::{CoreConfig, CoreId, DeviceModel, Engine, Ns, US};
 use ksa_kernel::daemons::spawn_daemons;
 use ksa_kernel::instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
+use ksa_kernel::spec::SpecMask;
 use ksa_kernel::world::HasKernel;
 
 use crate::spec::{EnvKind, EnvSpec};
@@ -30,6 +31,19 @@ pub fn build_env<W: HasKernel + 'static>(
     engine: &mut Engine<W>,
     spec: &EnvSpec,
     seed: u64,
+) -> BuiltEnv {
+    build_env_with(engine, spec, seed, None)
+}
+
+/// [`build_env`] with an optional specialization mask applied to every
+/// instance. `None` (and `Some(SpecMask::full())`) build the
+/// unspecialized kernel bit-identically; a narrower mask gates each
+/// instance's daemons and lock footprint at construction.
+pub fn build_env_with<W: HasKernel + 'static>(
+    engine: &mut Engine<W>,
+    spec: &EnvSpec,
+    seed: u64,
+    mask: Option<SpecMask>,
 ) -> BuiltEnv {
     let n_inst = spec.kind.instances();
     assert!(
@@ -79,6 +93,7 @@ pub fn build_env<W: HasKernel + 'static>(
                 tenancy,
                 cost: spec.cost,
                 disk,
+                spec: mask.unwrap_or_default(),
             },
         );
         let mut inst = inst;
@@ -177,6 +192,39 @@ mod tests {
         assert_eq!(w.instances.len(), 1);
         assert_eq!(w.instances[0].tenancy.containers, 16);
         assert!(!w.instances[0].virt.enabled);
+    }
+
+    #[test]
+    fn specialized_env_gates_daemons_and_locks() {
+        use ksa_kernel::SysNo;
+        let build = |mask: Option<SpecMask>| {
+            let mut eng = engine();
+            let spec = EnvSpec::new(
+                Machine {
+                    cores: 4,
+                    mem_mib: 1024,
+                },
+                EnvKind::Vm(2),
+            );
+            build_env_with(&mut eng, &spec, 1, mask);
+            let w = eng.world().kernel();
+            (
+                w.instances[0].daemons_spawned,
+                w.instances[0].locks_allocated,
+            )
+        };
+        let (full_d, full_l) = build(None);
+        assert_eq!(full_d, 5);
+        // A network-only profile: no flusher/kswapd/lb/vmstat, and the
+        // sched/mm/fs/ipc/perm lock groups collapse onto the stub.
+        let mask = ksa_kernel::spec::SpecMask::empty()
+            .allow(SysNo::Socket)
+            .allow(SysNo::Sendto);
+        let (spec_d, spec_l) = build(Some(mask));
+        assert_eq!(spec_d, 1);
+        assert!(spec_l < full_l, "{spec_l} locks not < {full_l}");
+        // The explicit full mask is the unspecialized build.
+        assert_eq!(build(Some(SpecMask::full())), (full_d, full_l));
     }
 
     #[test]

@@ -19,5 +19,5 @@
 pub mod build;
 pub mod spec;
 
-pub use build::{build_env, BuiltEnv};
+pub use build::{build_env, build_env_with, BuiltEnv};
 pub use spec::{container_sweep, vm_sweep, EnvKind, EnvSpec, Machine, SweepRow};

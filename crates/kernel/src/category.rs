@@ -34,6 +34,20 @@ impl Category {
         Category::Network,
     ];
 
+    /// Position of this category in [`Category::ALL`] — the bit index
+    /// specialization masks use.
+    pub fn index(self) -> usize {
+        match self {
+            Category::ProcessSched => 0,
+            Category::Memory => 1,
+            Category::FileIo => 2,
+            Category::Filesystem => 3,
+            Category::Ipc => 4,
+            Category::Permissions => 5,
+            Category::Network => 6,
+        }
+    }
+
     /// Subfigure letter in Figure 2.
     pub fn letter(self) -> char {
         match self {

@@ -417,21 +417,45 @@ impl<W: HasKernel> Process<W> for NapiPoller {
 }
 
 /// Spawns the standard daemon set for instance `idx` of `world`,
-/// distributing them round-robin over the instance's cores.
+/// distributing them round-robin over the instance's cores. A
+/// specialized instance skips the daemons of unreached subsystems
+/// entirely ([`crate::spec::SpecMask::wants_daemon`]); each daemon
+/// keeps its fixed core slot and start offset, so gating one cannot
+/// shift another's schedule.
 pub fn spawn_daemons<W: HasKernel + 'static>(
     engine: &mut ksa_desim::Engine<W>,
     idx: usize,
     seed: u64,
 ) {
-    let cores = engine.world().kernel().instances[idx].cores.clone();
+    let (cores, spec) = {
+        let k = &engine.world().kernel().instances[idx];
+        (k.cores.clone(), k.spec)
+    };
     // Housekeeping threads spread from the *end* of the core list (they
     // are unpinned in real systems; applications conventionally pin to
     // the low core numbers).
     let n = cores.len();
     let pick = |i: usize| cores[(n - 1).saturating_sub(i % n)];
-    engine.spawn(pick(0), Box::new(Flusher::new(idx, seed)), 1_000);
-    engine.spawn(pick(1), Box::new(Kswapd::new(idx, seed)), 2_000);
-    engine.spawn(pick(2), Box::new(LoadBalancer::new(idx, seed)), 3_000);
-    engine.spawn(pick(3), Box::new(VmstatWorker::new(idx, seed)), 4_000);
-    engine.spawn(pick(4), Box::new(NapiPoller::new(idx, seed)), 5_000);
+    let mut spawned = 0u32;
+    if spec.wants_daemon("flusher") {
+        engine.spawn(pick(0), Box::new(Flusher::new(idx, seed)), 1_000);
+        spawned += 1;
+    }
+    if spec.wants_daemon("kswapd") {
+        engine.spawn(pick(1), Box::new(Kswapd::new(idx, seed)), 2_000);
+        spawned += 1;
+    }
+    if spec.wants_daemon("load_balancer") {
+        engine.spawn(pick(2), Box::new(LoadBalancer::new(idx, seed)), 3_000);
+        spawned += 1;
+    }
+    if spec.wants_daemon("vmstat") {
+        engine.spawn(pick(3), Box::new(VmstatWorker::new(idx, seed)), 4_000);
+        spawned += 1;
+    }
+    if spec.wants_daemon("napi") {
+        engine.spawn(pick(4), Box::new(NapiPoller::new(idx, seed)), 5_000);
+        spawned += 1;
+    }
+    engine.world_mut().kernel_mut().instances[idx].daemons_spawned = spawned;
 }

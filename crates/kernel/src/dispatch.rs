@@ -14,7 +14,9 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::category::Category;
-use crate::coverage::{block, block_bucketed, block_err, cov, fail, BlockId, CoverageSet};
+use crate::coverage::{
+    block, block_bucketed, block_err, cov, cov_bucket, fail, BlockId, CoverageSet,
+};
 use crate::errno::Errno;
 use crate::instance::KernelInstance;
 use crate::ops::{KOp, OpSeq};
@@ -399,6 +401,18 @@ pub fn dispatch(
     if h.k.virt.syscall_overhead > 0 {
         h.seq
             .push(KOp::VmExit(crate::ops::VmExitKind::GuestSyscall));
+    }
+
+    // Specialization: a call outside the instance's allowlist never
+    // reaches a handler — the specialized kernel does not carry its
+    // code. Entry cost is already paid (the trap happens before the
+    // table lookup); the call terminates on a real ENOSYS error path
+    // with per-sysno `err.spec.*` coverage.
+    if !h.k.spec.allows(no) {
+        cov_bucket!(h, "spec.enosys.sysno", no.index() as u32);
+        fail!(h, Errno::ENOSYS, "spec.enosys");
+        debug_assert!(h.seq.locks_balanced());
+        return h.seq;
     }
 
     // Container tenancy: cgroup accounting on resource-consuming classes.

@@ -21,17 +21,21 @@ pub enum Errno {
     EFAULT,
     /// Invalid argument.
     EINVAL,
+    /// Function not implemented — the syscall is outside a specialized
+    /// instance's allowlist (the kernel does not carry its code).
+    ENOSYS,
 }
 
 impl Errno {
     /// All codes, in a stable order.
-    pub const ALL: [Errno; 6] = [
+    pub const ALL: [Errno; 7] = [
         Errno::ENOMEM,
         Errno::EIO,
         Errno::EAGAIN,
         Errno::EBADF,
         Errno::EFAULT,
         Errno::EINVAL,
+        Errno::ENOSYS,
     ];
 
     /// The conventional Linux numeric code.
@@ -43,6 +47,7 @@ impl Errno {
             Errno::EBADF => 9,
             Errno::EFAULT => 14,
             Errno::EINVAL => 22,
+            Errno::ENOSYS => 38,
         }
     }
 
@@ -55,6 +60,7 @@ impl Errno {
             Errno::EBADF => "EBADF",
             Errno::EFAULT => "EFAULT",
             Errno::EINVAL => "EINVAL",
+            Errno::ENOSYS => "ENOSYS",
         }
     }
 }

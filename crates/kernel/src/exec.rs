@@ -199,6 +199,7 @@ mod tests {
     use super::*;
     use crate::instance::{InstanceConfig, TenancyProfile, VirtProfile};
     use crate::params::CostModel;
+    use crate::spec::SpecMask;
     use ksa_desim::{DeviceModel, Engine, EngineParams};
 
     fn build(n_cores: usize, virt: VirtProfile) -> (Engine<()>, KernelInstance, Vec<CoreId>) {
@@ -217,6 +218,7 @@ mod tests {
                 tenancy: TenancyProfile::none(),
                 cost: CostModel::default(),
                 disk,
+                spec: SpecMask::full(),
             },
         );
         (eng, inst, cores)

@@ -10,6 +10,7 @@ use ksa_desim::{CoreId, DevId, Engine, LockId, LockKind, Ns, RcuId};
 
 use crate::coverage::CoverageSet;
 use crate::params::CostModel;
+use crate::spec::SpecMask;
 use crate::state::SubsysState;
 
 /// Number of futex hash buckets per instance (Linux scales this with CPU
@@ -188,6 +189,45 @@ pub struct InstanceConfig {
     /// The backing block device. Instances on one machine share the
     /// host's disk: a virtio front-end does not conjure new spindles.
     pub disk: DevId,
+    /// Specialization mask. [`SpecMask::full`] is the unspecialized
+    /// kernel; a narrower mask skips the daemons and instance locks of
+    /// unreached subsystems at construction time.
+    pub spec: SpecMask,
+}
+
+/// Specialization-gated lock allocator: groups owned only by unreached
+/// categories alias one lazily-created stub lock, so every `LockId`
+/// stays valid (a missed cross-subsystem edge degrades to harmless
+/// extra sharing instead of an index panic) while the engine never
+/// learns about the gated groups. Under [`SpecMask::full`] every call
+/// forwards straight to `Engine::add_lock`, keeping the allocation
+/// sequence bit-identical to an unspecialized build.
+struct SpecAlloc {
+    spec: SpecMask,
+    stub: Option<LockId>,
+    allocated: u32,
+}
+
+impl SpecAlloc {
+    fn lock<W>(
+        &mut self,
+        engine: &mut Engine<W>,
+        group: &'static str,
+        kind: LockKind,
+        label: &'static str,
+    ) -> LockId {
+        if self.spec.wants_group(group) {
+            self.allocated += 1;
+            return engine.add_lock(kind, label);
+        }
+        if let Some(stub) = self.stub {
+            return stub;
+        }
+        self.allocated += 1;
+        let stub = engine.add_lock(LockKind::Spin, "spec.stub");
+        self.stub = Some(stub);
+        stub
+    }
 }
 
 /// One simulated kernel.
@@ -217,6 +257,13 @@ pub struct KernelInstance {
     pub coverage: CoverageSet,
     /// Total syscalls dispatched (diagnostics).
     pub syscalls: u64,
+    /// Specialization mask this instance was built from.
+    pub spec: SpecMask,
+    /// Engine locks actually allocated at construction (footprint
+    /// metric: specialization must strictly shrink this).
+    pub locks_allocated: u32,
+    /// Daemons actually spawned (set by `spawn_daemons`).
+    pub daemons_spawned: u32,
 }
 
 impl KernelInstance {
@@ -224,45 +271,50 @@ impl KernelInstance {
     pub fn build<W>(engine: &mut Engine<W>, idx: usize, cfg: InstanceConfig) -> Self {
         let n = cfg.cores.len();
         let mem_pages = cfg.mem_mib * 256; // 4 KiB pages
+        let mut ga = SpecAlloc {
+            spec: cfg.spec,
+            stub: None,
+            allocated: 0,
+        };
         let locks = InstanceLocks {
             runqueue: (0..n)
-                .map(|_| engine.add_lock(LockKind::Spin, "runqueue"))
+                .map(|_| ga.lock(engine, "runqueue", LockKind::Spin, "runqueue"))
                 .collect(),
-            tasklist: engine.add_lock(LockKind::RwLock, "tasklist"),
-            pidmap: engine.add_lock(LockKind::Spin, "pidmap"),
+            tasklist: ga.lock(engine, "tasklist", LockKind::RwLock, "tasklist"),
+            pidmap: ga.lock(engine, "pidmap", LockKind::Spin, "pidmap"),
             mmap_sem: (0..n)
-                .map(|_| engine.add_lock(LockKind::RwLock, "mmap_sem"))
+                .map(|_| ga.lock(engine, "mmap_sem", LockKind::RwLock, "mmap_sem"))
                 .collect(),
             page_table: (0..n)
-                .map(|_| engine.add_lock(LockKind::Spin, "page_table"))
+                .map(|_| ga.lock(engine, "page_table", LockKind::Spin, "page_table"))
                 .collect(),
             fdtable: (0..n)
-                .map(|_| engine.add_lock(LockKind::Spin, "fdtable"))
+                .map(|_| ga.lock(engine, "fdtable", LockKind::Spin, "fdtable"))
                 .collect(),
-            zone: engine.add_lock(LockKind::Spin, "zone"),
-            lru: engine.add_lock(LockKind::Spin, "lru"),
-            slab_depot: engine.add_lock(LockKind::Spin, "slab_depot"),
-            dcache: engine.add_lock(LockKind::Spin, "dcache"),
-            inode_sb: engine.add_lock(LockKind::Spin, "inode_sb"),
-            rename: engine.add_lock(LockKind::Mutex, "rename"),
-            journal: engine.add_lock(LockKind::Mutex, "journal"),
+            zone: ga.lock(engine, "zone", LockKind::Spin, "zone"),
+            lru: ga.lock(engine, "lru", LockKind::Spin, "lru"),
+            slab_depot: ga.lock(engine, "slab_depot", LockKind::Spin, "slab_depot"),
+            dcache: ga.lock(engine, "dcache", LockKind::Spin, "dcache"),
+            inode_sb: ga.lock(engine, "inode_sb", LockKind::Spin, "inode_sb"),
+            rename: ga.lock(engine, "rename", LockKind::Mutex, "rename"),
+            journal: ga.lock(engine, "journal", LockKind::Mutex, "journal"),
             futex: (0..FUTEX_BUCKETS)
-                .map(|_| engine.add_lock(LockKind::Spin, "futex_bucket"))
+                .map(|_| ga.lock(engine, "futex", LockKind::Spin, "futex_bucket"))
                 .collect(),
-            ipc_ids: engine.add_lock(LockKind::RwLock, "ipc_ids"),
+            ipc_ids: ga.lock(engine, "ipc_ids", LockKind::RwLock, "ipc_ids"),
             ipc_obj: (0..n)
-                .map(|_| engine.add_lock(LockKind::Mutex, "ipc_obj"))
+                .map(|_| ga.lock(engine, "ipc_obj", LockKind::Mutex, "ipc_obj"))
                 .collect(),
-            cred: engine.add_lock(LockKind::Spin, "cred"),
-            audit: engine.add_lock(LockKind::Spin, "audit"),
-            cgroup: engine.add_lock(LockKind::Spin, "cgroup"),
+            cred: ga.lock(engine, "cred", LockKind::Spin, "cred"),
+            audit: ga.lock(engine, "audit", LockKind::Spin, "audit"),
+            cgroup: ga.lock(engine, "cgroup", LockKind::Spin, "cgroup"),
             sock_buckets: (0..n.max(1))
-                .map(|_| engine.add_lock(LockKind::Spin, "sock_bucket"))
+                .map(|_| ga.lock(engine, "sock_buckets", LockKind::Spin, "sock_bucket"))
                 .collect(),
             nic_queue: (0..n.clamp(1, 8))
-                .map(|_| engine.add_lock(LockKind::Spin, "nic_queue"))
+                .map(|_| ga.lock(engine, "nic_queue", LockKind::Spin, "nic_queue"))
                 .collect(),
-            softirq: engine.add_lock(LockKind::Spin, "softirq"),
+            softirq: ga.lock(engine, "softirq", LockKind::Spin, "softirq"),
         };
         let rcu = engine.add_rcu_domain(n as u32);
         KernelInstance {
@@ -277,6 +329,9 @@ impl KernelInstance {
             state: SubsysState::init(n, mem_pages),
             coverage: CoverageSet::new(),
             syscalls: 0,
+            spec: cfg.spec,
+            locks_allocated: ga.allocated,
+            daemons_spawned: 0,
             cores: cfg.cores,
         }
     }
@@ -319,6 +374,7 @@ mod tests {
                 tenancy: TenancyProfile::none(),
                 cost: CostModel::default(),
                 disk,
+                spec: SpecMask::full(),
             },
         );
         assert_eq!(inst.n_cores(), 4);
@@ -331,6 +387,46 @@ mod tests {
         assert_eq!(inst.slot_of(cores[2]), Some(2));
         let other = CoreId(99);
         assert_eq!(inst.slot_of(other), None);
+    }
+
+    #[test]
+    fn specialized_build_gates_locks_but_keeps_ids_valid() {
+        use crate::syscalls::SysNo;
+        let build = |spec: SpecMask| {
+            let mut eng: Engine<()> = Engine::new((), EngineParams::default(), 1);
+            let disk = eng.add_device(ksa_desim::DeviceModel::nvme_ssd());
+            let cores: Vec<CoreId> = (0..4).map(|_| eng.add_core(Default::default())).collect();
+            KernelInstance::build(
+                &mut eng,
+                0,
+                InstanceConfig {
+                    cores,
+                    mem_mib: 512,
+                    virt: VirtProfile::native(),
+                    tenancy: TenancyProfile::none(),
+                    cost: CostModel::default(),
+                    disk,
+                    spec,
+                },
+            )
+        };
+        let full = build(SpecMask::full());
+        // A network-only kernel: sched/mm/fs/ipc/perm locks collapse
+        // onto the stub, networking and infrastructure stay real.
+        let net = build(
+            SpecMask::empty()
+                .allow(SysNo::Socket)
+                .allow(SysNo::Sendto)
+                .allow(SysNo::Recvfrom),
+        );
+        assert!(net.locks_allocated < full.locks_allocated);
+        // Gated groups alias one lock; real groups stay distinct.
+        assert_eq!(net.locks.runqueue[0], net.locks.tasklist);
+        assert_eq!(net.locks.journal, net.locks.futex[0]);
+        assert_ne!(net.locks.sock_buckets[0], net.locks.softirq);
+        assert_ne!(net.locks.zone, net.locks.runqueue[0]);
+        // The full mask allocates every group for real.
+        assert_ne!(full.locks.runqueue[0], full.locks.tasklist);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod latency;
 pub mod ops;
 pub mod params;
 pub mod prog;
+pub mod spec;
 pub mod state;
 pub mod subsystems;
 pub mod syscalls;
@@ -62,5 +63,6 @@ pub use latency::{Attribution, AttributionTable, RawCall};
 pub use ops::{KOp, OpSeq, VmExitKind};
 pub use params::CostModel;
 pub use prog::{Arg, Call, Program};
+pub use spec::SpecMask;
 pub use syscalls::SysNo;
 pub use world::{HasKernel, KernelWorld};

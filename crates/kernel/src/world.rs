@@ -85,6 +85,7 @@ mod tests {
     use super::*;
     use crate::instance::{InstanceConfig, TenancyProfile, VirtProfile};
     use crate::params::CostModel;
+    use crate::spec::SpecMask;
     use ksa_desim::{DeviceModel, Engine, EngineParams};
 
     fn build_world(splits: &[usize]) -> KernelWorld {
@@ -103,6 +104,7 @@ mod tests {
                     tenancy: TenancyProfile::none(),
                     cost: CostModel::default(),
                     disk,
+                    spec: SpecMask::full(),
                 },
             );
             world.push_instance(inst);
@@ -136,6 +138,7 @@ mod tests {
                     tenancy: TenancyProfile::none(),
                     cost: CostModel::default(),
                     disk,
+                    spec: SpecMask::full(),
                 },
             )
         };

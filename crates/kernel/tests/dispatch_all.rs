@@ -6,6 +6,7 @@ use ksa_kernel::coverage::CoverageSet;
 use ksa_kernel::dispatch::dispatch;
 use ksa_kernel::instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
 use ksa_kernel::params::CostModel;
+use ksa_kernel::spec::SpecMask;
 use ksa_kernel::syscalls::SysNo;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +27,7 @@ fn build(n_cores: usize, virt: VirtProfile, tenancy: TenancyProfile) -> KernelIn
             tenancy,
             cost: CostModel::default(),
             disk,
+            spec: SpecMask::full(),
         },
     )
 }

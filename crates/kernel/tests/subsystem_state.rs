@@ -7,6 +7,7 @@ use ksa_kernel::dispatch::dispatch;
 use ksa_kernel::instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
 use ksa_kernel::ops::KOp;
 use ksa_kernel::params::CostModel;
+use ksa_kernel::spec::SpecMask;
 use ksa_kernel::state::FdKind;
 use ksa_kernel::syscalls::SysNo;
 use rand::rngs::SmallRng;
@@ -36,6 +37,7 @@ impl Fixture {
                 tenancy: TenancyProfile::none(),
                 cost: CostModel::default(),
                 disk,
+                spec: SpecMask::full(),
             },
         );
         Self {

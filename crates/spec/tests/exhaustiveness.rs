@@ -1,0 +1,121 @@
+//! Exhaustiveness gates for the specialization tables: a future eighth
+//! category (or a new syscall, daemon or lock group) cannot silently
+//! dodge specialization — it must show up in the footprint registry and
+//! the prefix map before these tests pass again.
+
+use ksa_spec::block_category;
+
+use ksa_kernel::spec::{SpecMask, ALL_DAEMONS, FOOTPRINT, GATED_LOCK_GROUPS, INFRA_LOCK_GROUPS};
+use ksa_kernel::{Category, SysNo};
+
+/// Every sysno maps to exactly one *primary* category, and that primary
+/// is the head of its (non-empty) category list.
+#[test]
+fn every_sysno_has_exactly_one_primary_category() {
+    for &no in &SysNo::ALL {
+        let cats = no.categories();
+        assert!(!cats.is_empty(), "{} has no categories", no.name());
+        assert_eq!(
+            no.primary_category(),
+            cats[0],
+            "{}: primary is not the head of its category list",
+            no.name()
+        );
+        assert_eq!(
+            cats.iter().filter(|&&c| c == no.primary_category()).count(),
+            1,
+            "{}: primary category listed more than once",
+            no.name()
+        );
+    }
+}
+
+/// The footprint registry covers every category, in `Category::ALL`
+/// order, and every daemon / gated lock group is owned by at least one
+/// category (otherwise specialization could never gate it in, i.e. the
+/// full mask would not be full).
+#[test]
+fn every_category_has_a_registered_footprint() {
+    assert_eq!(FOOTPRINT.len(), Category::ALL.len());
+    for (i, f) in FOOTPRINT.iter().enumerate() {
+        assert_eq!(
+            f.cat,
+            Category::ALL[i],
+            "footprint registry out of order at {i}"
+        );
+        assert_eq!(f.cat.index(), i, "Category::index disagrees with ALL");
+        // Footprint entries must reference known names only.
+        for d in f.daemons {
+            assert!(ALL_DAEMONS.contains(d), "{}: unknown daemon {d}", f.cat);
+        }
+        for g in f.lock_groups {
+            assert!(
+                GATED_LOCK_GROUPS.contains(g),
+                "{}: unknown lock group {g}",
+                f.cat
+            );
+        }
+    }
+    for d in ALL_DAEMONS {
+        assert!(
+            FOOTPRINT.iter().any(|f| f.daemons.contains(&d)),
+            "daemon {d} is owned by no category"
+        );
+    }
+    for g in GATED_LOCK_GROUPS {
+        assert!(
+            FOOTPRINT.iter().any(|f| f.lock_groups.contains(&g)),
+            "lock group {g} is owned by no category"
+        );
+        assert!(
+            !INFRA_LOCK_GROUPS.contains(&g),
+            "lock group {g} is both gated and infrastructure"
+        );
+    }
+}
+
+/// Every category's subsystem block prefix resolves back to it, so
+/// coverage-driven derivation can reach every subsystem.
+#[test]
+fn every_category_has_a_block_prefix() {
+    let probe = [
+        ("sched.ctx", Category::ProcessSched),
+        ("mm.alloc.pcp", Category::Memory),
+        ("io.submit", Category::FileIo),
+        ("fs.path_walk", Category::Filesystem),
+        ("ipc.pipe.create", Category::Ipc),
+        ("perm.cred.update", Category::Permissions),
+        ("net.tx.enqueue", Category::Network),
+    ];
+    assert_eq!(probe.len(), Category::ALL.len());
+    for (name, cat) in probe {
+        assert_eq!(block_category(name), Some(cat), "{name}");
+        // The err.-tagged twin maps identically.
+        assert_eq!(block_category(&format!("err.{name}")), Some(cat));
+    }
+    // Infrastructure prefixes belong to no single category.
+    for name in ["cgroup.charge", "daemon.flusher.commit", "err.spec.enosys"] {
+        assert_eq!(block_category(name), None, "{name}");
+    }
+}
+
+/// The full mask wants every daemon and every lock group; the empty
+/// mask wants only infrastructure. (The construction-level twin of the
+/// registry checks above.)
+#[test]
+fn masks_and_registry_agree_at_the_extremes() {
+    let full = SpecMask::full();
+    let empty = SpecMask::empty();
+    for d in ALL_DAEMONS {
+        assert!(full.wants_daemon(d));
+        assert!(!empty.wants_daemon(d));
+    }
+    for g in GATED_LOCK_GROUPS {
+        assert!(full.wants_group(g));
+        assert!(!empty.wants_group(g));
+    }
+    for g in INFRA_LOCK_GROUPS {
+        assert!(full.wants_group(g));
+        assert!(empty.wants_group(g));
+    }
+}

@@ -9,6 +9,7 @@ use ksa_kernel::coverage::CoverageSet;
 use ksa_kernel::dispatch::dispatch;
 use ksa_kernel::instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
 use ksa_kernel::params::CostModel;
+use ksa_kernel::spec::SpecMask;
 use ksa_kernel::state::SubsysState;
 use ksa_kernel::Program;
 use rand::rngs::SmallRng;
@@ -40,6 +41,7 @@ impl Sandbox {
                 tenancy: TenancyProfile::none(),
                 cost: CostModel::default(),
                 disk,
+                spec: SpecMask::full(),
             },
         );
         Self {

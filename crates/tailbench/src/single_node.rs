@@ -9,9 +9,9 @@
 use std::rc::Rc;
 
 use ksa_desim::{Engine, EngineParams, Ns, TraceConfig, TraceLog};
-use ksa_envsim::{build_env, EnvKind, EnvSpec, Machine};
+use ksa_envsim::{build_env_with, EnvKind, EnvSpec, Machine};
 use ksa_kernel::prog::Corpus;
-use ksa_kernel::AttributionTable;
+use ksa_kernel::{AttributionTable, SpecMask};
 use ksa_stats::Samples;
 use ksa_varbench::worker::{site_bases, CorpusWorker};
 
@@ -42,6 +42,10 @@ pub struct SingleNodeConfig {
     /// Record per-core trace rings during the run (observationally
     /// neutral; attribution is always collected).
     pub trace: bool,
+    /// Specialization mask applied to every kernel instance. `None`
+    /// (and `Some(SpecMask::full())`) build the unspecialized kernel
+    /// bit-identically.
+    pub spec: Option<SpecMask>,
 }
 
 impl SingleNodeConfig {
@@ -60,6 +64,7 @@ impl SingleNodeConfig {
             util_pct: 75,
             seed,
             trace: false,
+            spec: None,
         }
     }
 
@@ -78,6 +83,7 @@ impl SingleNodeConfig {
             util_pct: 75,
             seed,
             trace: false,
+            spec: None,
         }
     }
 }
@@ -109,6 +115,11 @@ pub struct TailResult {
     pub client_retries: u64,
     /// Requests abandoned after the client's retry budget ran out.
     pub client_gave_up: u64,
+    /// Engine locks allocated across all kernel instances at build time
+    /// — the static footprint specialization shrinks.
+    pub locks_allocated: u32,
+    /// Kernel daemons spawned across all instances.
+    pub daemons_spawned: u32,
     /// The recorded trace (empty rings unless tracing was enabled).
     pub trace: TraceLog,
 }
@@ -200,7 +211,15 @@ fn run_node(
         EnvKind::Container(cfg.groups)
     };
     let spec = EnvSpec::new(cfg.machine, kind);
-    let built = build_env(&mut engine, &spec, cfg.seed);
+    let built = build_env_with(&mut engine, &spec, cfg.seed, cfg.spec);
+    let (locks_allocated, daemons_spawned) = {
+        use ksa_kernel::world::HasKernel;
+        let k = engine.world().kernel();
+        (
+            k.instances.iter().map(|i| i.locks_allocated).sum(),
+            k.instances.iter().map(|i| i.daemons_spawned).sum(),
+        )
+    };
     if cfg.trace {
         engine.set_trace(TraceConfig::enabled());
     }
@@ -309,6 +328,8 @@ fn run_node(
         noise_attrib,
         client_retries,
         client_gave_up,
+        locks_allocated,
+        daemons_spawned,
         trace,
     }
 }

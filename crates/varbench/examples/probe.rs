@@ -42,6 +42,7 @@ fn main() {
                 seed: 7,
                 max_events: 0,
                 trace: false,
+                spec: None,
             },
             &gen.corpus,
         )
@@ -76,6 +77,7 @@ fn main() {
             seed: 7,
             max_events: 0,
             trace: false,
+            spec: None,
         },
         &gen.corpus,
     )

@@ -20,10 +20,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
 use ksa_desim::{Engine, EngineParams, SimError, TraceConfig, TraceLog};
-use ksa_envsim::{build_env, EnvSpec};
+use ksa_envsim::{build_env_with, EnvSpec};
 use ksa_kernel::prog::Corpus;
 use ksa_kernel::world::{HasKernel, KernelWorld};
-use ksa_kernel::{AttributionTable, Category, SysNo};
+use ksa_kernel::{AttributionTable, Category, SpecMask, SysNo};
 use ksa_stats::Samples;
 
 use crate::contention::ContentionProfile;
@@ -51,6 +51,12 @@ pub struct RunConfig {
     /// *attribution* is always collected; this switch only governs the
     /// event rings exported as Chrome trace JSON.
     pub trace: bool,
+    /// Specialization mask applied to every kernel instance. `None`
+    /// (and `Some(SpecMask::full())`) is the unspecialized kernel,
+    /// bit-identical to a run without the field; a narrower mask gates
+    /// daemons and lock footprint and turns out-of-allowlist calls into
+    /// `ENOSYS` error paths.
+    pub spec: Option<SpecMask>,
 }
 
 /// Why a trial failed.
@@ -178,7 +184,7 @@ pub fn run_hooked(
 ) -> Result<RunResult, RunError> {
     let mut engine: Engine<KernelWorld> =
         Engine::new(KernelWorld::new(), EngineParams::default(), cfg.seed);
-    let built = build_env(&mut engine, &cfg.env, cfg.seed);
+    let built = build_env_with(&mut engine, &cfg.env, cfg.seed, cfg.spec);
     if cfg.max_events > 0 {
         engine.set_event_budget(cfg.max_events);
     }
@@ -482,6 +488,7 @@ mod tests {
             seed: 99,
             max_events: 0,
             trace: false,
+            spec: None,
         }
     }
 

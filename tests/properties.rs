@@ -10,6 +10,7 @@ use ksa_core::kernel::coverage::CoverageSet;
 use ksa_core::kernel::dispatch::dispatch_simple;
 use ksa_core::kernel::instance::{InstanceConfig, KernelInstance, TenancyProfile, VirtProfile};
 use ksa_core::kernel::params::CostModel;
+use ksa_core::kernel::spec::SpecMask;
 use ksa_core::kernel::SysNo;
 use ksa_core::stats::{quantile_sorted, BucketRow, Samples};
 use ksa_core::syzgen::{mutate, ProgramGenerator};
@@ -58,6 +59,7 @@ fn dispatch_never_unbalances_locks() {
                 tenancy: TenancyProfile::none(),
                 cost: CostModel::default(),
                 disk,
+                spec: SpecMask::full(),
             },
         );
         let mut call_rng = SmallRng::seed_from_u64(seed);
@@ -212,6 +214,7 @@ fn net_trial_replays_bit_identically() {
             seed,
             max_events: 0,
             trace: false,
+            spec: None,
         };
         let a = run(&cfg, &corpus).expect("net trial failed");
         let b = run(&cfg, &corpus).expect("net replay failed");
@@ -250,6 +253,7 @@ fn socket_buffers_bound_and_conserve_bytes() {
                 tenancy: TenancyProfile::none(),
                 cost: CostModel::default(),
                 disk,
+                spec: SpecMask::full(),
             },
         );
         let mut call_rng = SmallRng::seed_from_u64(seed);
@@ -346,6 +350,7 @@ fn tracing_has_zero_observer_effect() {
             seed,
             max_events: 0,
             trace,
+            spec: None,
         };
         let off = run(&cfg(false), &corpus).expect("untraced run failed");
         let on = run(&cfg(true), &corpus).expect("traced run failed");
@@ -392,6 +397,7 @@ fn traced_runs_replay_bit_identically() {
             seed,
             max_events: 0,
             trace: true,
+            spec: None,
         };
         let a = run(&cfg, &corpus).expect("traced run failed");
         let b = run(&cfg, &corpus).expect("traced replay failed");
@@ -429,6 +435,7 @@ fn attribution_components_sum_exactly() {
                 seed,
                 max_events: 0,
                 trace: false,
+                spec: None,
             },
             &corpus,
         )
@@ -538,6 +545,7 @@ fn parallel_runner_matches_sequential_bit_identically() {
                         seed: seed ^ (configs.len() as u64) << 8,
                         max_events: 0,
                         trace,
+                        spec: None,
                     });
                     faulted.push(fault);
                 }
@@ -596,6 +604,77 @@ fn parallel_runner_matches_sequential_bit_identically() {
             );
             assert_eq!(s.trace.merged(), p.trace.merged(), "{tag}: trace diverged");
         }
+    }
+}
+
+/// Specialization with a full-coverage profile is the identity: for
+/// every environment kind and pool width, a campaign run with
+/// `spec: Some(SpecMask::full())` digests bit-identically to the
+/// unspecialized (`spec: None`) campaign — the full mask gates nothing,
+/// so lock allocation order, daemon spawns and every dispatch must be
+/// untouched.
+#[test]
+fn full_allowlist_specialization_is_bit_identical() {
+    use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
+    use ksa_core::experiments::{net_corpus, Scale};
+    use ksa_core::varbench::{run_configs_jobs, RunConfig, RunResult};
+    let corpus = net_corpus(Scale::Tiny);
+    let machine = Machine {
+        cores: 4,
+        mem_mib: 2 * 1024,
+    };
+
+    // FNV-1a over everything the runner reports as simulated outcome.
+    let digest = |results: &[Result<RunResult, ksa_core::varbench::RunError>]| -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut fold = |v: u64| h = (h ^ v).wrapping_mul(0x100000001b3);
+        for r in results {
+            let r = r.as_ref().expect("trial failed");
+            fold(r.sim_ns);
+            fold(r.events);
+            for site in &r.sites {
+                fold(site.sysno as u64);
+                for &s in site.samples.raw() {
+                    fold(s);
+                }
+            }
+            fold(r.attrib.grand_total().total);
+            fold(r.contention.total_wait_ns());
+        }
+        h
+    };
+
+    let mk = |spec| -> Vec<RunConfig> {
+        let mut configs = Vec::new();
+        for seed in [41u64, 0xcafe] {
+            for kind in [EnvKind::Native, EnvKind::Vm(2), EnvKind::Container(4)] {
+                configs.push(RunConfig {
+                    env: EnvSpec::new(machine, kind),
+                    iterations: 2,
+                    sync: true,
+                    seed,
+                    max_events: 0,
+                    trace: false,
+                    spec,
+                });
+            }
+        }
+        configs
+    };
+    let plain = mk(None);
+    let full = mk(Some(SpecMask::full()));
+    let baseline = digest(&run_configs_jobs(&plain, &corpus, 1));
+    for jobs in [1usize, 4, 0] {
+        assert_eq!(
+            digest(&run_configs_jobs(&plain, &corpus, jobs)),
+            baseline,
+            "jobs {jobs}: unspecialized campaign not replayable"
+        );
+        assert_eq!(
+            digest(&run_configs_jobs(&full, &corpus, jobs)),
+            baseline,
+            "jobs {jobs}: full allowlist must gate nothing"
+        );
     }
 }
 
