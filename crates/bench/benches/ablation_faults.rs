@@ -132,6 +132,7 @@ fn main() {
             seed: 13,
             max_events: 0,
             trace: false,
+            metrics: false,
             spec: None,
         },
         &base,

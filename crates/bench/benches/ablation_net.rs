@@ -28,6 +28,7 @@ fn trial(corpus: &ksa_kernel::prog::Corpus, kind: EnvKind) -> RunResult {
             seed: 17,
             max_events: 0,
             trace: false,
+            metrics: false,
             spec: None,
         },
         corpus,

@@ -32,6 +32,7 @@ fn main() {
                     seed: 5,
                     max_events: 0,
                     trace: false,
+                    metrics: false,
                     spec: None,
                 },
                 &corpus,
@@ -54,6 +55,7 @@ fn main() {
                 seed: 5,
                 max_events: 0,
                 trace: false,
+                metrics: false,
                 spec: None,
             },
             &corpus,

@@ -27,6 +27,7 @@ fn main() {
                     seed: 3,
                     max_events: 0,
                     trace: false,
+                    metrics: false,
                     spec: None,
                 },
                 &corpus,
@@ -45,6 +46,7 @@ fn main() {
                 seed: 3,
                 max_events: 0,
                 trace: false,
+                metrics: false,
                 spec: None,
             },
             &corpus,

@@ -32,6 +32,7 @@ fn trial(corpus: &ksa_kernel::prog::Corpus, kind: EnvKind) -> RunResult {
             seed: 23,
             max_events: 0,
             trace: false,
+            metrics: false,
             spec: None,
         },
         corpus,

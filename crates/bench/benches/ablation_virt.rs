@@ -24,6 +24,7 @@ fn measure(free_hypervisor: bool, corpus: &ksa_kernel::prog::Corpus) -> RunResul
             seed: 9,
             max_events: 0,
             trace: false,
+            metrics: false,
             spec: None,
         },
         corpus,

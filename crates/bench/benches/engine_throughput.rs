@@ -55,6 +55,7 @@ fn main() {
                         seed: 1,
                         max_events: 0,
                         trace: false,
+                        metrics: false,
                         spec: None,
                     },
                     &corpus,

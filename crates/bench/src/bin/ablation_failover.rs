@@ -67,6 +67,7 @@ fn cluster_config(scale: Scale, seed: u64, jobs: usize) -> ClusterConfig {
             warmup: 0,
             util_pct: 92,
             trace: false,
+            metrics: false,
             spec: None,
             seed,
         },

@@ -27,6 +27,7 @@ fn main() {
                 warmup: 50,
                 util_pct: 10, // low load: sojourn ~= service demand
                 trace: false,
+                metrics: cli.metrics(),
                 spec: None,
                 seed: 5,
             };
@@ -34,6 +35,17 @@ fn main() {
         }
     }
     let results = run_points(&points, &noise, cli.jobs);
+    let mut merged = ksa_telemetry::Registry::disabled();
+    for ((app, cfg), res) in points.iter().zip(&results) {
+        merged.absorb(
+            &res.metrics,
+            &[
+                ("app", app.name),
+                ("virt", if cfg.virt { "kvm" } else { "docker" }),
+            ],
+        );
+    }
+    cli.write_metrics("calibrate", &merged, &[]);
     for ((app, cfg), res) in points.iter().zip(results) {
         let mean = res.sojourns.mean().unwrap_or(0.0);
         let expected = app.service_ns + app.jitter_ns / 2;

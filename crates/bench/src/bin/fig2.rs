@@ -4,12 +4,13 @@
 
 use ksa_bench::Cli;
 use ksa_core::analysis::{render_trends, surface_trends};
-use ksa_core::experiments::{default_corpus, fig2_jobs};
+use ksa_core::experiments::{default_corpus, fig2_metered};
 
 fn main() {
     let cli = Cli::parse();
     let corpus = default_corpus(cli.scale);
-    let result = fig2_jobs(&corpus.corpus, cli.scale, cli.seed, cli.jobs);
+    let (result, metered) =
+        fig2_metered(&corpus.corpus, cli.scale, cli.seed, cli.jobs, cli.metrics());
 
     let mut csv = String::from("category,vms,count,min,whisker_lo,q1,median,q3,whisker_hi,max\n");
     for cat in &result.categories {
@@ -38,4 +39,5 @@ fn main() {
     }
     println!("{}", render_trends(&surface_trends(&result)));
     cli.write_csv("fig2", &csv);
+    cli.write_metrics("fig2", &metered.registry, &metered.frames);
 }

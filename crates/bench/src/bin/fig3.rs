@@ -2,12 +2,12 @@
 //! versus with a 48-core syscall-noise corpus, KVM versus Docker.
 
 use ksa_bench::{cell_ns, Cli};
-use ksa_core::experiments::{fig3_jobs, noise_corpus};
+use ksa_core::experiments::{fig3_metered, noise_corpus};
 
 fn main() {
     let cli = Cli::parse();
     let noise = noise_corpus(cli.scale);
-    let rows = fig3_jobs(&noise, cli.scale, cli.seed, cli.jobs);
+    let (rows, metered) = fig3_metered(&noise, cli.scale, cli.seed, cli.jobs, cli.metrics());
 
     println!("Figure 3(a): 99th percentile latency, isolated");
     println!("{:<12}{:>14}{:>14}", "app", "KVM", "Docker");
@@ -57,4 +57,5 @@ fn main() {
         rows.iter().map(|r| r.docker_increase_pct()).sum::<f64>() / rows.len() as f64;
     println!("\naverage increase: KVM {avg_kvm:.1}%  Docker {avg_docker:.1}%");
     cli.write_csv("fig3", &csv);
+    cli.write_metrics("fig3", &metered.registry, &metered.frames);
 }

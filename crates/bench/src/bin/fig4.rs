@@ -2,12 +2,12 @@
 //! multi-tenant, KVM versus Docker.
 
 use ksa_bench::{cell_ns, Cli};
-use ksa_core::experiments::{fig4_jobs, noise_corpus};
+use ksa_core::experiments::{fig4_metered, noise_corpus};
 
 fn main() {
     let cli = Cli::parse();
     let noise = noise_corpus(cli.scale);
-    let rows = fig4_jobs(&noise, cli.scale, cli.seed, cli.jobs);
+    let (rows, metered) = fig4_metered(&noise, cli.scale, cli.seed, cli.jobs, cli.metrics());
 
     println!("Figure 4(a): cluster runtime, isolated");
     println!("{:<12}{:>14}{:>14}", "app", "KVM", "Docker");
@@ -59,4 +59,5 @@ fn main() {
         ));
     }
     cli.write_csv("fig4", &csv);
+    cli.write_metrics("fig4", &metered.registry, &metered.frames);
 }

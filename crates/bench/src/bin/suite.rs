@@ -31,9 +31,16 @@
 //! gated passes; the extra repeats only tighten the wall-clock numbers
 //! the artifact carries.
 //!
+//! Every run also (a) times a telemetry-on varbench campaign and emits
+//! an `engine_profile` section — dispatch/schedule/wake/spawn counters,
+//! event-queue peak, events/sec — the ROADMAP engine-overhaul baseline,
+//! and (b) appends a one-line wall-clock/throughput record to
+//! `BENCH_history.jsonl` keyed by the `KSA_GIT_SHA`/`GITHUB_SHA`
+//! environment variable (no clock or repo access from the suite itself).
+//!
 //! ```text
 //! suite [--jobs N] [--out PATH] [--baseline PATH] [--write-baseline PATH]
-//!       [--min-speedup F] [--profile N]
+//!       [--history PATH] [--min-speedup F] [--profile N]
 //! ```
 //!
 //! Exit codes: 0 ok · 2 baseline drift · 3 speedup below gate ·
@@ -47,8 +54,9 @@ use ksa_core::KernelSurfaceArea;
 use ksa_desim::NodeFaultPlan;
 use ksa_envsim::{container_sweep, vm_sweep, EnvKind, EnvSpec, Machine};
 use ksa_json::Value;
+use ksa_kernel::latency::AttributionTable;
 use ksa_kernel::prog::Corpus;
-use ksa_kernel::SpecMask;
+use ksa_kernel::{attribution_frames, SpecMask};
 use ksa_tailbench::apps::{cluster_suite, suite as app_suite};
 use ksa_tailbench::single_node::{run_points, SingleNodeConfig};
 use ksa_varbench::{run_configs_jobs, RunConfig};
@@ -133,43 +141,45 @@ fn base_cfg(machine: Machine, kind: EnvKind) -> RunConfig {
         seed: SEED,
         max_events: 0,
         trace: false,
+        metrics: false,
         spec: None,
     }
 }
 
 fn main() {
-    let mut jobs = 0usize;
     let mut out_path = String::from("BENCH_suite.json");
     let mut baseline: Option<String> = None;
     let mut write_baseline: Option<String> = None;
+    let mut history: Option<String> = None;
     let mut min_speedup = 1.5f64;
     let mut profile = 0usize;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut val = |what: &str| {
-            args.next().unwrap_or_else(|| {
-                eprintln!("error: {what} needs a value");
-                std::process::exit(2);
-            })
-        };
-        match arg.as_str() {
-            "--jobs" => jobs = val("--jobs").parse().expect("--jobs: not a number"),
-            "--out" => out_path = val("--out"),
-            "--baseline" => baseline = Some(val("--baseline")),
-            "--write-baseline" => write_baseline = Some(val("--write-baseline")),
-            "--min-speedup" => {
-                min_speedup = val("--min-speedup")
-                    .parse()
-                    .expect("--min-speedup: not a number")
+    let cli = ksa_bench::Cli::parse_with(
+        "[--out PATH] [--baseline PATH] [--write-baseline PATH] [--history PATH] \
+         [--min-speedup F] [--profile N]",
+        |flag, args| {
+            match flag {
+                "--out" => out_path = args.value("--out"),
+                "--baseline" => baseline = Some(args.value("--baseline")),
+                "--write-baseline" => write_baseline = Some(args.value("--write-baseline")),
+                "--history" => history = Some(args.value("--history")),
+                "--min-speedup" => {
+                    min_speedup = args
+                        .value("--min-speedup")
+                        .parse()
+                        .expect("--min-speedup: not a number")
+                }
+                "--profile" => {
+                    profile = args
+                        .value("--profile")
+                        .parse()
+                        .expect("--profile: not a number")
+                }
+                _ => return false,
             }
-            "--profile" => profile = val("--profile").parse().expect("--profile: not a number"),
-            other => {
-                eprintln!("usage: suite [--jobs N] [--out PATH] [--baseline PATH] [--write-baseline PATH] [--min-speedup F] [--profile N]");
-                eprintln!("error: unknown argument {other}");
-                std::process::exit(2);
-            }
-        }
-    }
+            true
+        },
+    );
+    let jobs = cli.jobs;
 
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -264,6 +274,7 @@ fn main() {
                                 warmup: 12,
                                 util_pct: 75,
                                 trace: false,
+                                metrics: false,
                                 spec: None,
                                 seed: SEED,
                             },
@@ -313,6 +324,7 @@ fn main() {
                                 warmup: 0,
                                 util_pct: 92,
                                 trace: false,
+                                metrics: false,
                                 spec: None,
                                 seed: SEED,
                             },
@@ -358,6 +370,7 @@ fn main() {
                         warmup: 0,
                         util_pct: 92,
                         trace: false,
+                        metrics: false,
                         spec: None,
                         seed: SEED,
                     },
@@ -415,6 +428,7 @@ fn main() {
                                 warmup: 10,
                                 util_pct: 10,
                                 trace: false,
+                                metrics: false,
                                 spec: None,
                                 seed: SEED,
                             },
@@ -520,6 +534,75 @@ fn main() {
         total_par as f64 / 1e6
     );
 
+    // Engine self-profile: one metered varbench campaign with telemetry
+    // on, timed for wall clock. Dispatch/schedule/wake/spawn counts and
+    // the queue peak come from the engine's own counters; with the
+    // events/sec this section is the ROADMAP engine-overhaul baseline.
+    let (engine_profile, profile_metrics, profile_attrib) = {
+        let kinds = [
+            EnvKind::Native,
+            EnvKind::Vm(machine.cores),
+            EnvKind::Container(machine.cores),
+        ];
+        let configs: Vec<RunConfig> = kinds
+            .iter()
+            .map(|&k| RunConfig {
+                metrics: true,
+                ..base_cfg(machine, k)
+            })
+            .collect();
+        let t0 = Instant::now();
+        let results = run_configs_jobs(&configs, &corpus, jobs);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let (mut sim_ns, mut samples) = (0u64, 0u64);
+        let mut queue_peak = 0u64;
+        let mut totals = [0u64; 5];
+        const COUNTERS: [&str; 5] = [
+            "engine_events_dispatched",
+            "engine_events_scheduled",
+            "engine_process_wakes",
+            "engine_processes_spawned",
+            "engine_timer_ticks",
+        ];
+        let mut merged = ksa_telemetry::Registry::disabled();
+        let mut attrib = AttributionTable::default();
+        for r in results {
+            let res = r.unwrap_or_else(|e| panic!("suite engine profile trial failed: {e}"));
+            sim_ns += res.sim_ns;
+            samples += res.metrics.samples_taken;
+            queue_peak = queue_peak.max(res.metrics.total("engine_event_queue_peak"));
+            for (t, name) in totals.iter_mut().zip(COUNTERS) {
+                *t += res.metrics.total(name);
+            }
+            merged.absorb(&res.metrics, &[("env", &res.config.env.kind.label())]);
+            attrib.merge(&res.attrib);
+        }
+        let eps = totals[0] as f64 / (wall_ns.max(1) as f64 / 1e9);
+        eprintln!(
+            "suite: engine profile  {:>8.1}ms wall  {:>9.0} ev/s  queue peak {queue_peak}",
+            wall_ns as f64 / 1e6,
+            eps,
+        );
+        let profile = Value::object([
+            ("wall_ns", Value::from(wall_ns)),
+            ("sim_ns", Value::from(sim_ns)),
+            ("events_dispatched", Value::from(totals[0])),
+            ("events_scheduled", Value::from(totals[1])),
+            ("process_wakes", Value::from(totals[2])),
+            ("processes_spawned", Value::from(totals[3])),
+            ("timer_ticks", Value::from(totals[4])),
+            ("event_queue_peak", Value::from(queue_peak)),
+            ("telemetry_samples", Value::from(samples)),
+            ("events_per_sec", Value::from(eps)),
+        ]);
+        (profile, merged, attrib)
+    };
+    cli.write_metrics(
+        "suite",
+        &profile_metrics,
+        &attribution_frames(&profile_attrib),
+    );
+
     let mut report_fields = vec![
         ("version", Value::from(1u64)),
         ("seed", Value::from(SEED)),
@@ -528,6 +611,7 @@ fn main() {
         ("total_seq_wall_ns", Value::from(total_seq)),
         ("total_par_wall_ns", Value::from(total_par)),
         ("overall_speedup", Value::from(overall)),
+        ("engine_profile", engine_profile.clone()),
         ("experiments", Value::array(rows)),
     ];
 
@@ -567,6 +651,38 @@ fn main() {
     let report = Value::object(report_fields);
     std::fs::write(&out_path, report.render()).expect("write suite report");
     eprintln!("suite: wrote {out_path}");
+
+    // One-line wall-clock/throughput history record, appended per run
+    // and keyed by the git SHA from the environment — the suite itself
+    // never reads a clock or the repo, so records stay deterministic
+    // modulo wall time.
+    {
+        use std::io::Write;
+        let history_path = history.unwrap_or_else(|| "BENCH_history.jsonl".to_string());
+        let sha = std::env::var("KSA_GIT_SHA")
+            .or_else(|_| std::env::var("GITHUB_SHA"))
+            .unwrap_or_else(|_| "unknown".to_string());
+        let line = Value::object([
+            ("sha", Value::str(sha)),
+            ("seed", Value::from(SEED)),
+            ("hardware_threads", Value::from(threads)),
+            ("parallel_jobs", Value::from(resolved)),
+            ("total_seq_wall_ns", Value::from(total_seq)),
+            ("total_par_wall_ns", Value::from(total_par)),
+            ("overall_speedup", Value::from(overall)),
+            (
+                "engine_events_per_sec",
+                engine_profile.get("events_per_sec").unwrap().clone(),
+            ),
+        ]);
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .expect("open history file");
+        writeln!(f, "{}", line.render()).expect("append history line");
+        eprintln!("suite: appended history to {history_path}");
+    }
 
     if let Some(path) = write_baseline {
         // The baseline is the gated (machine-independent) subset only.

@@ -3,7 +3,7 @@
 //! containers.
 
 use ksa_bench::Cli;
-use ksa_core::experiments::{default_corpus, table2_jobs};
+use ksa_core::experiments::{default_corpus, table2_metered};
 
 fn main() {
     let cli = Cli::parse();
@@ -16,12 +16,14 @@ fn main() {
         corpus.stats.blocks,
         t0.elapsed()
     );
-    let result = table2_jobs(&corpus.corpus, cli.scale, cli.seed, cli.jobs);
+    let (result, metered) =
+        table2_metered(&corpus.corpus, cli.scale, cli.seed, cli.jobs, cli.metrics());
     println!("{}", result.median.render());
     println!("{}", result.p99.render());
     println!("{}", result.max.render());
     cli.write_csv("table2_median", &result.median.to_csv());
     cli.write_csv("table2_p99", &result.p99.to_csv());
     cli.write_csv("table2_max", &result.max.to_csv());
+    cli.write_metrics("table2", &metered.registry, &metered.frames);
     eprintln!("total {:?}", t0.elapsed());
 }

@@ -1,105 +1,11 @@
-//! Shared plumbing for the experiment binaries.
-//!
-//! Every binary accepts:
-//!
-//! * `--tiny` / `--quick` / `--full` — experiment scale (default quick),
-//! * `--seed <n>` — trial seed (default 42),
-//! * `--jobs <n>` — pool workers for independent trials (default 0 =
-//!   auto: `KSA_JOBS` or available parallelism; 1 = sequential; results
-//!   are bit-identical for every value),
-//! * `--csv <dir>` — also write CSV artifacts into `dir`,
-//! * `--trace-out <path>` — write a Chrome-trace JSON of the run's
-//!   recorded trace (bins that record one).
+//! Shared plumbing for the experiment binaries: CLI parsing and artifact
+//! writing in [`cli`], table-cell formatting, and the offline
+//! [`microbench`] harness. See [`cli`] for the flags every binary
+//! accepts.
 
-use ksa_core::experiments::Scale;
-use std::path::PathBuf;
+pub mod cli;
 
-/// Parsed common CLI options.
-#[derive(Debug, Clone)]
-pub struct Cli {
-    /// Experiment scale.
-    pub scale: Scale,
-    /// Trial seed.
-    pub seed: u64,
-    /// Pool workers for independent trials (0 = auto).
-    pub jobs: usize,
-    /// CSV output directory.
-    pub csv: Option<PathBuf>,
-    /// Chrome-trace JSON output path.
-    pub trace_out: Option<PathBuf>,
-}
-
-impl Cli {
-    /// Parses `std::env::args`; exits with usage on errors.
-    pub fn parse() -> Self {
-        let mut scale = Scale::Quick;
-        let mut seed = 42;
-        let mut jobs = 0;
-        let mut csv = None;
-        let mut trace_out = None;
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--tiny" => scale = Scale::Tiny,
-                "--quick" => scale = Scale::Quick,
-                "--full" => scale = Scale::Full,
-                "--seed" => {
-                    seed = args
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage("--seed needs a number"));
-                }
-                "--jobs" => {
-                    jobs = args
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage("--jobs needs a number"));
-                }
-                "--csv" => {
-                    csv = Some(PathBuf::from(
-                        args.next().unwrap_or_else(|| usage("--csv needs a dir")),
-                    ));
-                }
-                "--trace-out" => {
-                    trace_out = Some(PathBuf::from(
-                        args.next()
-                            .unwrap_or_else(|| usage("--trace-out needs a path")),
-                    ));
-                }
-                "--help" | "-h" => usage(""),
-                other => usage(&format!("unknown argument: {other}")),
-            }
-        }
-        Cli {
-            scale,
-            seed,
-            jobs,
-            csv,
-            trace_out,
-        }
-    }
-
-    /// Writes `content` as `<name>.csv` when `--csv` was given.
-    pub fn write_csv(&self, name: &str, content: &str) {
-        if let Some(dir) = &self.csv {
-            std::fs::create_dir_all(dir).expect("create csv dir");
-            let path = dir.join(format!("{name}.csv"));
-            std::fs::write(&path, content).expect("write csv");
-            eprintln!("wrote {}", path.display());
-        }
-    }
-}
-
-fn usage(msg: &str) -> ! {
-    if !msg.is_empty() {
-        eprintln!("error: {msg}");
-    }
-    eprintln!(
-        "usage: <bin> [--tiny|--quick|--full] [--seed N] [--jobs N] [--csv DIR] \
-         [--trace-out PATH]"
-    );
-    std::process::exit(if msg.is_empty() { 0 } else { 2 });
-}
+pub use cli::Cli;
 
 /// Formats a nanosecond value for table cells.
 pub fn cell_ns(ns: u64) -> String {

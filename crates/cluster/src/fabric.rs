@@ -286,7 +286,9 @@ pub fn run_cluster_faulted(
     plan: &NodeFaultPlan,
     fab: &FabricConfig,
 ) -> ClusterResult {
-    let base: Vec<Vec<Ns>> = run_nodes(app, cfg, noise_corpus);
+    let per_node = run_nodes(app, cfg, noise_corpus);
+    let metrics = crate::merge_node_metrics(&per_node);
+    let base: Vec<Vec<Ns>> = per_node.into_iter().map(|(d, _)| d).collect();
     let nodes = cfg.nodes;
     let mut rec = Recorder::new(nodes);
     let mut rep = FabricReport::default();
@@ -445,6 +447,7 @@ pub fn run_cluster_faulted(
         fabric: Some(rep),
         coverage: rec.cov,
         trace: rec.trace,
+        metrics,
     }
 }
 

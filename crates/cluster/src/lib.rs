@@ -70,6 +70,7 @@ impl ClusterConfig {
                 // kernel interference directly becomes drain time.
                 util_pct: 92,
                 trace: false,
+                metrics: false,
                 seed,
                 spec: None,
             },
@@ -96,6 +97,7 @@ impl ClusterConfig {
                 warmup: 0,
                 util_pct: 92,
                 trace: false,
+                metrics: false,
                 seed,
                 spec: None,
             },
@@ -124,6 +126,9 @@ pub struct ClusterResult {
     pub coverage: CoverageSet,
     /// Per-node fabric trace rings (empty for healthy runs).
     pub trace: TraceLog,
+    /// Telemetry merged across nodes, each node's series labelled
+    /// `node=<index>` (inert unless [`SingleNodeConfig::metrics`]).
+    pub metrics: ksa_telemetry::Registry,
 }
 
 impl ClusterResult {
@@ -171,20 +176,21 @@ impl ClusterResult {
 /// barrier (max) semantics.
 pub fn run_cluster(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus) -> ClusterResult {
     // Each node simulation yields `iterations` durations.
-    let per_node: Vec<Vec<Ns>> = run_nodes(app, cfg, noise_corpus);
+    let per_node = run_nodes(app, cfg, noise_corpus);
+    let metrics = merge_node_metrics(&per_node);
 
     let mut iteration_ns = Vec::with_capacity(cfg.iterations as usize);
     for it in 0..cfg.iterations as usize {
         let max = per_node
             .iter()
-            .map(|n| n.get(it).copied().unwrap_or(0))
+            .map(|(n, _)| n.get(it).copied().unwrap_or(0))
             .max()
             .unwrap_or(0);
         iteration_ns.push(max + cfg.barrier_ns);
     }
     let total_ns = iteration_ns.iter().sum();
     let mean_node_ns = {
-        let sums: Vec<Ns> = per_node.iter().map(|n| n.iter().sum()).collect();
+        let sums: Vec<Ns> = per_node.iter().map(|(n, _)| n.iter().sum()).collect();
         let total: u128 = sums.iter().map(|&s| s as u128).sum();
         (total / sums.len().max(1) as u128) as Ns + cfg.barrier_ns * cfg.iterations
     };
@@ -196,17 +202,33 @@ pub fn run_cluster(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus)
         fabric: None,
         coverage: CoverageSet::new(),
         trace: TraceLog::default(),
+        metrics,
     }
 }
 
+/// Folds per-node registries into one, labelling each node's series
+/// `node=<index>`. Inert (and allocation-free) when nodes ran without
+/// telemetry.
+pub(crate) fn merge_node_metrics(
+    per_node: &[(Vec<Ns>, ksa_telemetry::Registry)],
+) -> ksa_telemetry::Registry {
+    let mut merged = ksa_telemetry::Registry::disabled();
+    for (i, (_, reg)) in per_node.iter().enumerate() {
+        let node = i.to_string();
+        merged.absorb(reg, &[("node", node.as_str())]);
+    }
+    merged
+}
+
 /// Simulates every node on the work-stealing pool, returning per-node
-/// iteration durations in node order. Node seeds derive from the node
-/// *index*, so scheduling cannot reach the simulated results.
+/// `(iteration durations, telemetry)` in node order. Node seeds derive
+/// from the node *index*, so scheduling cannot reach the simulated
+/// results.
 pub(crate) fn run_nodes(
     app: &AppProfile,
     cfg: &ClusterConfig,
     noise_corpus: &Corpus,
-) -> Vec<Vec<Ns>> {
+) -> Vec<(Vec<Ns>, ksa_telemetry::Registry)> {
     ksa_desim::pool::parallel_indexed(cfg.threads, cfg.nodes, |node| {
         let mut node_cfg = cfg.node;
         node_cfg.seed = cfg
@@ -221,7 +243,7 @@ pub(crate) fn run_nodes(
             cfg.iterations,
             cfg.requests_per_iter,
         );
-        res.batch_durations
+        (res.batch_durations, res.metrics)
     })
 }
 
@@ -291,6 +313,36 @@ mod tests {
         let a = run_cluster(app, &cfg, &corpus());
         let b = run_cluster(app, &cfg, &corpus());
         assert_eq!(a.iteration_ns, b.iteration_ns);
+    }
+
+    #[test]
+    fn node_metrics_merge_with_node_labels_and_stay_neutral() {
+        let app = &suite()[1];
+        let mut cfg = ClusterConfig::quick(false, false, 9);
+        cfg.nodes = 3;
+        let off = run_cluster(app, &cfg, &corpus());
+        cfg.node.metrics = true;
+        let on = run_cluster(app, &cfg, &corpus());
+        assert_eq!(
+            off.iteration_ns, on.iteration_ns,
+            "telemetry must not move cluster results"
+        );
+        assert!(!off.metrics.enabled());
+        assert!(on.metrics.enabled());
+        // Every node contributed a labelled copy of its series.
+        for node in ["0", "1", "2"] {
+            let label = [("tenant", "0"), ("node", node)];
+            let reqs = on.metrics.value_of("tenant_requests", &label);
+            assert_eq!(
+                reqs,
+                Some(cfg.iterations * cfg.requests_per_iter),
+                "node {node}: per-node request count"
+            );
+        }
+        assert_eq!(
+            on.metrics.total("tenant_requests"),
+            cfg.nodes as u64 * cfg.iterations * cfg.requests_per_iter
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub fn cluster_config_to_json(cfg: &ClusterConfig) -> Value {
                 ("warmup", Value::from(cfg.node.warmup as u64)),
                 ("util_pct", Value::from(cfg.node.util_pct)),
                 ("trace", Value::Bool(cfg.node.trace)),
+                ("metrics", Value::Bool(cfg.node.metrics)),
                 ("seed", Value::from(cfg.node.seed)),
             ]),
         ),
@@ -60,6 +61,7 @@ pub fn cluster_config_from_json(v: &Value) -> Result<ClusterConfig, Error> {
             warmup: node.get("warmup")?.as_u64()? as usize,
             util_pct: node.get("util_pct")?.as_u64()?,
             trace: node.get("trace")?.as_bool()?,
+            metrics: node.get("metrics")?.as_bool()?,
             seed: node.get("seed")?.as_u64()?,
             spec: None,
         },

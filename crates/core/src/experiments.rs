@@ -7,12 +7,15 @@
 
 use ksa_cluster::{run_cluster, ClusterConfig};
 use ksa_envsim::{container_sweep, vm_sweep, EnvKind, EnvSpec, Machine, SweepRow};
+use ksa_kernel::latency::AttributionTable;
 use ksa_kernel::prog::Corpus;
-use ksa_kernel::Category;
+use ksa_kernel::{attribution_frames, Category};
 use ksa_stats::{BucketTable, ViolinSummary};
 use ksa_syzgen::{generate, GenConfig, GeneratedCorpus};
 use ksa_tailbench::apps::{cluster_suite, suite, AppProfile};
 use ksa_tailbench::single_node::{run_points, SingleNodeConfig};
+use ksa_telemetry::export::Frame;
+use ksa_telemetry::Registry;
 use ksa_varbench::{run_configs_jobs, RunConfig, RunResult};
 
 /// Experiment scale.
@@ -211,6 +214,21 @@ pub fn table2(corpus: &Corpus, scale: Scale, seed: u64) -> Table2Result {
 /// [`table2`] with an explicit `--jobs` worker count (0 = auto,
 /// 1 = sequential); results are identical for every count.
 pub fn table2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Table2Result {
+    table2_metered(corpus, scale, seed, jobs, false).0
+}
+
+/// [`table2_jobs`] with optional telemetry: when `metrics` is set every
+/// trial runs with its registry enabled and the returned [`Metered`]
+/// carries the merged series (labelled `env=<kind>`) plus latency-
+/// taxonomy flamegraph frames. Telemetry is strictly observational —
+/// the [`Table2Result`] is bit-identical either way.
+pub fn table2_metered(
+    corpus: &Corpus,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    metrics: bool,
+) -> (Table2Result, Metered) {
     let machine = scale.machine();
     let kinds = [
         EnvKind::Native,
@@ -226,6 +244,7 @@ pub fn table2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Tab
             seed,
             max_events: 0,
             trace: false,
+            metrics,
             spec: None,
         })
         .collect();
@@ -233,15 +252,47 @@ pub fn table2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Tab
     let mut median = BucketTable::new("Table 2a: median system call runtimes (cumulative %)");
     let mut p99 = BucketTable::new("Table 2b: 99th percentile system call runtimes (cumulative %)");
     let mut max = BucketTable::new("Table 2c: worst-case system call runtimes (cumulative %)");
+    let mut metered = Metered::default();
     for (kind, mut res) in kinds.into_iter().zip(results) {
         let meds = res.per_site(None, |s| s.median());
         let p99s = res.per_site(None, |s| s.p99());
         let maxes = res.per_site(None, |s| s.max());
+        metered.fold_trial(&[("env", &kind.label())], &res.metrics, &res.attrib);
         median.push_values(kind.label(), &meds);
         p99.push_values(kind.label(), &p99s);
         max.push_values(kind.label(), &maxes);
     }
-    Table2Result { median, p99, max }
+    metered.finish();
+    (Table2Result { median, p99, max }, metered)
+}
+
+/// Telemetry captured alongside an experiment when its `_metered`
+/// variant runs with `metrics` on: the trials' registries merged under
+/// distinguishing labels, plus flamegraph frames folded from the
+/// aggregated 13-component latency taxonomy (see
+/// [`ksa_kernel::attribution_frames`]). Empty/disabled when metrics
+/// were off.
+#[derive(Debug, Clone, Default)]
+pub struct Metered {
+    /// Merged telemetry across trials.
+    pub registry: Registry,
+    /// `category;component` stacks weighted in nanoseconds.
+    pub frames: Vec<Frame>,
+    attrib: AttributionTable,
+}
+
+impl Metered {
+    /// Absorbs one trial's registry under `labels` and accumulates its
+    /// attribution table for the frame fold.
+    fn fold_trial(&mut self, labels: &[(&str, &str)], reg: &Registry, attrib: &AttributionTable) {
+        self.registry.absorb(reg, labels);
+        self.attrib.merge(attrib);
+    }
+
+    /// Folds the accumulated attribution into `frames`.
+    fn finish(&mut self) {
+        self.frames = attribution_frames(&self.attrib);
+    }
 }
 
 /// Unwraps a campaign where every trial is expected to complete,
@@ -288,6 +339,18 @@ pub fn fig2(corpus: &Corpus, scale: Scale, seed: u64) -> Fig2Result {
 /// [`fig2`] with an explicit `--jobs` worker count. The native filter
 /// run and the whole VM sweep go through the pool as one batch.
 pub fn fig2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Fig2Result {
+    fig2_metered(corpus, scale, seed, jobs, false).0
+}
+
+/// [`fig2_jobs`] with optional telemetry (labels: `env=<kind>`); see
+/// [`table2_metered`] for the contract.
+pub fn fig2_metered(
+    corpus: &Corpus,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    metrics: bool,
+) -> (Fig2Result, Metered) {
     let machine = scale.machine();
     let sweep = vm_sweep(machine);
     // One batch: the native run (which decides the site filter) plus
@@ -299,6 +362,7 @@ pub fn fig2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Fig2R
         seed,
         max_events: 0,
         trace: false,
+        metrics,
         spec: None,
     }];
     configs.extend(sweep.iter().map(|row| RunConfig {
@@ -308,16 +372,32 @@ pub fn fig2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Fig2R
         seed,
         max_events: 0,
         trace: false,
+        metrics,
         spec: None,
     }));
     let mut results = expect_trials("fig2", run_configs_jobs(&configs, corpus, jobs)).into_iter();
+    let mut metered = Metered::default();
     let mut native = results.next().expect("fig2 native trial missing");
+    metered.fold_trial(
+        &[("env", &native.config.env.kind.label())],
+        &native.metrics,
+        &native.attrib,
+    );
     let keep: Vec<bool> = native
         .sites
         .iter_mut()
         .map(|s| s.samples.median().unwrap_or(0) >= 10_000)
         .collect();
-    let mut per_config: Vec<RunResult> = results.collect();
+    let per_config: Vec<RunResult> = results.collect();
+    for res in &per_config {
+        metered.fold_trial(
+            &[("env", &res.config.env.kind.label())],
+            &res.metrics,
+            &res.attrib,
+        );
+    }
+    metered.finish();
+    let mut per_config = per_config;
 
     let mut categories = Vec::new();
     for cat in Category::ALL {
@@ -339,10 +419,13 @@ pub fn fig2_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Fig2R
             violins,
         });
     }
-    Fig2Result {
-        vm_counts: sweep.iter().map(|r| r.count).collect(),
-        categories,
-    }
+    (
+        Fig2Result {
+            vm_counts: sweep.iter().map(|r| r.count).collect(),
+            categories,
+        },
+        metered,
+    )
 }
 
 // ---------------------------------------------------------------- Table 3
@@ -356,6 +439,18 @@ pub fn table3(corpus: &Corpus, scale: Scale, seed: u64) -> BucketTable {
 /// [`table3`] with an explicit `--jobs` worker count: the container
 /// sweep runs as one parallel batch.
 pub fn table3_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> BucketTable {
+    table3_metered(corpus, scale, seed, jobs, false).0
+}
+
+/// [`table3_jobs`] with optional telemetry (labels: `env=<kind>`); see
+/// [`table2_metered`] for the contract.
+pub fn table3_metered(
+    corpus: &Corpus,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    metrics: bool,
+) -> (BucketTable, Metered) {
     let machine = scale.machine();
     let sweep = container_sweep(machine);
     let configs: Vec<RunConfig> = sweep
@@ -367,17 +462,25 @@ pub fn table3_jobs(corpus: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Buc
             seed,
             max_events: 0,
             trace: false,
+            metrics,
             spec: None,
         })
         .collect();
     let results = expect_trials("table3", run_configs_jobs(&configs, corpus, jobs));
+    let mut metered = Metered::default();
     let mut table =
         BucketTable::new("Table 3: worst-case (max) syscall runtimes in Docker (cumulative %)");
     for (row, mut res) in sweep.iter().zip(results) {
         let maxes = res.per_site(None, |s| s.max());
+        metered.fold_trial(
+            &[("env", &res.config.env.kind.label())],
+            &res.metrics,
+            &res.attrib,
+        );
         table.push_values(format!("{} ctnrs", row.count), &maxes);
     }
-    table
+    metered.finish();
+    (table, metered)
 }
 
 // ---------------------------------------------------------------- Figure 3
@@ -429,6 +532,18 @@ pub fn fig3(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig3Row> {
 /// since point seeds are a pure function of grid position, the result
 /// rows are identical for every worker count.
 pub fn fig3_jobs(noise: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Vec<Fig3Row> {
+    fig3_metered(noise, scale, seed, jobs, false).0
+}
+
+/// [`fig3_jobs`] with optional telemetry (labels: `app`, `virt`,
+/// `noise` per grid point); see [`table2_metered`] for the contract.
+pub fn fig3_metered(
+    noise: &Corpus,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    metrics: bool,
+) -> (Vec<Fig3Row>, Metered) {
     let (machine, groups) = match scale {
         Scale::Tiny => (
             Machine {
@@ -461,6 +576,7 @@ pub fn fig3_jobs(noise: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Vec<Fi
         warmup: (scale.requests() / 10) as usize,
         util_pct: 75,
         trace: false,
+        metrics,
         seed,
         spec: None,
     };
@@ -486,8 +602,22 @@ pub fn fig3_jobs(noise: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Vec<Fi
         }
     }
     let results = run_points(&points, noise, jobs);
+    let mut metered = Metered::default();
+    for ((app, cfg), res) in points.iter().zip(&results) {
+        metered.fold_trial(
+            &[
+                ("app", app.name),
+                ("virt", if cfg.virt { "kvm" } else { "docker" }),
+                ("noise", if cfg.noise { "on" } else { "off" }),
+            ],
+            &res.metrics,
+            &res.noise_attrib,
+        );
+    }
+    metered.finish();
     let reps = reps as usize;
-    apps.iter()
+    let rows = apps
+        .iter()
         .zip(results.chunks(GRID.len() * reps))
         .map(|(app, chunk)| {
             let mean_p99 = |g: usize| {
@@ -505,7 +635,8 @@ pub fn fig3_jobs(noise: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Vec<Fi
                 docker_noise: mean_p99(3),
             }
         })
-        .collect()
+        .collect();
+    (rows, metered)
 }
 
 // ---------------------------------------------------------------- Figure 4
@@ -546,6 +677,21 @@ pub fn fig4(noise: &Corpus, scale: Scale, seed: u64) -> Vec<Fig4Row> {
 /// simulations (0 = auto, 1 = sequential); node seeds derive from node
 /// indices, so every count yields the same rows.
 pub fn fig4_jobs(noise: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Vec<Fig4Row> {
+    fig4_metered(noise, scale, seed, jobs, false).0
+}
+
+/// [`fig4_jobs`] with optional telemetry. Per-node registries arrive
+/// already merged under `node=<i>` labels (see
+/// [`ksa_cluster::run_cluster`]); this adds `app`/`virt`/`noise` on
+/// top. Cluster runs carry no attribution table, so the metered frames
+/// stay empty.
+pub fn fig4_metered(
+    noise: &Corpus,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    metrics: bool,
+) -> (Vec<Fig4Row>, Metered) {
     let (nodes, iterations, per_iter) = scale.cluster();
     let node_machine = match scale {
         Scale::Tiny => Machine {
@@ -574,22 +720,40 @@ pub fn fig4_jobs(noise: &Corpus, scale: Scale, seed: u64, jobs: usize) -> Vec<Fi
             warmup: 0,
             util_pct: 92,
             trace: false,
+            metrics,
             seed,
             spec: None,
         },
         barrier_ns: 40_000,
         threads: jobs,
     };
-    cluster_suite()
+    let mut metered = Metered::default();
+    let empty_attrib = AttributionTable::default();
+    let mut cell = |app: &AppProfile, virt: bool, with_noise: bool| {
+        let res = run_cluster(app, &mk_cfg(virt, with_noise), noise);
+        metered.fold_trial(
+            &[
+                ("app", app.name),
+                ("virt", if virt { "kvm" } else { "docker" }),
+                ("noise", if with_noise { "on" } else { "off" }),
+            ],
+            &res.metrics,
+            &empty_attrib,
+        );
+        res.total_ns
+    };
+    let rows = cluster_suite()
         .iter()
         .map(|app| Fig4Row {
             app: app.name.to_string(),
-            kvm_isolated: run_cluster(app, &mk_cfg(true, false), noise).total_ns,
-            docker_isolated: run_cluster(app, &mk_cfg(false, false), noise).total_ns,
-            kvm_noise: run_cluster(app, &mk_cfg(true, true), noise).total_ns,
-            docker_noise: run_cluster(app, &mk_cfg(false, true), noise).total_ns,
+            kvm_isolated: cell(app, true, false),
+            docker_isolated: cell(app, false, false),
+            kvm_noise: cell(app, true, true),
+            docker_noise: cell(app, false, true),
         })
-        .collect()
+        .collect();
+    metered.finish();
+    (rows, metered)
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use ksa_telemetry::{MetricId, Registry, TelemetryConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -224,14 +225,75 @@ pub struct EngineState {
     blocked_since: Vec<Ns>,
     trace_cfg: TraceConfig,
     trace: TraceLog,
+    /// Engine self-profiling metrics (inert unless
+    /// [`Engine::set_telemetry`] enabled them). Purely observational:
+    /// counters and gauges only, never clock/RNG/scheduling state.
+    telem: Registry,
+    em: EngineMetrics,
+}
+
+/// Cached metric ids for the engine's own hot-path instrumentation.
+/// All [`MetricId::NONE`] while telemetry is disabled, so every update
+/// is a single-branch no-op.
+#[derive(Clone, Copy)]
+struct EngineMetrics {
+    /// Events popped and dispatched (`engine_events_dispatched`).
+    dispatched: MetricId,
+    /// Events pushed onto the heap — the engine's allocation-rate
+    /// proxy, since each event is a heap slot and the heap grows by
+    /// doubling (`engine_events_scheduled`).
+    scheduled: MetricId,
+    /// Event-queue depth after each dispatch (`engine_event_queue_depth`).
+    queue_depth: MetricId,
+    /// Peak event-queue depth (`engine_event_queue_peak`).
+    queue_peak: MetricId,
+    /// Process wakes delivered (`engine_process_wakes`).
+    wakes: MetricId,
+    /// Processes spawned (`engine_processes_spawned`).
+    spawned: MetricId,
+    /// Timer interrupts charged against compute slices, post-coalescing
+    /// (`engine_timer_ticks`).
+    timer_ticks: MetricId,
+}
+
+impl EngineMetrics {
+    const NONE: EngineMetrics = EngineMetrics {
+        dispatched: MetricId::NONE,
+        scheduled: MetricId::NONE,
+        queue_depth: MetricId::NONE,
+        queue_peak: MetricId::NONE,
+        wakes: MetricId::NONE,
+        spawned: MetricId::NONE,
+        timer_ticks: MetricId::NONE,
+    };
+
+    fn register(reg: &mut Registry) -> EngineMetrics {
+        EngineMetrics {
+            dispatched: reg.counter("engine_events_dispatched", &[]),
+            scheduled: reg.counter("engine_events_scheduled", &[]),
+            queue_depth: reg.gauge("engine_event_queue_depth", &[]),
+            queue_peak: reg.gauge("engine_event_queue_peak", &[]),
+            wakes: reg.counter("engine_process_wakes", &[]),
+            spawned: reg.counter("engine_processes_spawned", &[]),
+            timer_ticks: reg.counter("engine_timer_ticks", &[]),
+        }
+    }
 }
 
 impl EngineState {
+    #[inline]
+    fn telem_on(&self) -> bool {
+        self.telem.enabled()
+    }
+
     fn schedule(&mut self, t: Ns, kind: EventKind) {
         debug_assert!(t >= self.clock, "scheduling into the past");
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(Event { t, seq, kind }));
+        if self.telem_on() {
+            self.telem.add(self.em.scheduled, 1);
+        }
     }
 
     fn wake_at(&mut self, t: Ns, pid: Pid, reason: WakeReason) {
@@ -514,6 +576,8 @@ impl<W> Engine<W> {
                 blocked_since: Vec::new(),
                 trace_cfg: TraceConfig::disabled(),
                 trace: TraceLog::default(),
+                telem: Registry::disabled(),
+                em: EngineMetrics::NONE,
             },
             procs: Vec::new(),
             world,
@@ -587,6 +651,10 @@ impl<W> Engine<W> {
         self.st.blocked_since.push(0);
         if !daemon {
             self.st.live_users += 1;
+        }
+        if self.st.telem_on() {
+            let id = self.st.em.spawned;
+            self.st.telem.add(id, 1);
         }
         self.st.wake_at(start_at, pid, WakeReason::Start);
         pid
@@ -694,6 +762,43 @@ impl<W> Engine<W> {
         taken
     }
 
+    /// Installs a telemetry configuration, replacing any previously
+    /// recorded metrics. With telemetry disabled (the default) every
+    /// metric update is a single-branch no-op; either way simulated
+    /// results are bit-identical — the registry is purely observational
+    /// and is only read from the virtual clock.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.st.telem = Registry::new(cfg);
+        self.st.em = if cfg.enabled {
+            EngineMetrics::register(&mut self.st.telem)
+        } else {
+            EngineMetrics::NONE
+        };
+    }
+
+    /// The engine's self-profiling metrics recorded so far.
+    pub fn telemetry(&self) -> &Registry {
+        &self.st.telem
+    }
+
+    /// Takes ownership of the recorded metrics after flushing a final
+    /// sample at the current clock, leaving a fresh registry with the
+    /// same configuration.
+    pub fn take_telemetry(&mut self) -> Registry {
+        if self.st.telem.enabled() {
+            self.st.telem.force_sample(self.st.clock);
+        }
+        let cfg = self.st.telem.config();
+        let taken = std::mem::take(&mut self.st.telem);
+        self.st.telem = Registry::new(cfg);
+        self.st.em = if cfg.enabled {
+            EngineMetrics::register(&mut self.st.telem)
+        } else {
+            EngineMetrics::NONE
+        };
+        taken
+    }
+
     /// Installs a fault plan, clearing any previous hit counters. Call
     /// before `run`; handlers consult the plan through [`SimCtx`].
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
@@ -747,6 +852,14 @@ impl<W> Engine<W> {
             }
             processed += 1;
             self.st.clock = ev.t;
+            if self.st.telem_on() {
+                let em = self.st.em;
+                let depth = self.st.events.len() as u64;
+                self.st.telem.add(em.dispatched, 1);
+                self.st.telem.set(em.queue_depth, depth);
+                self.st.telem.set_max(em.queue_peak, depth);
+                self.st.telem.sample_tick(self.st.clock);
+            }
             match ev.kind {
                 EventKind::Wake(pid, reason) => self.run_process(pid, reason),
                 EventKind::IpiAck(token) => {
@@ -818,6 +931,10 @@ impl<W> Engine<W> {
             self.st
                 .trace_push(pid, TraceEventKind::Wake { reason: wake.tag() });
         }
+        if self.st.telem_on() {
+            let id = self.st.em.wakes;
+            self.st.telem.add(id, 1);
+        }
         let mut proc = self.procs[pid.index()]
             .proc
             .take()
@@ -860,6 +977,10 @@ impl<W> Engine<W> {
                     lat.add(LatComp::SoftirqWait, queued[OccClass::Softirq as usize]);
                     lat.add(LatComp::DaemonWait, queued[OccClass::Daemon as usize]);
                     lat.add(LatComp::IrqWait, queued[OccClass::Irq as usize]);
+                    if st.telem_on() && ticks > 0 {
+                        let id = st.em.timer_ticks;
+                        st.telem.add(id, ticks);
+                    }
                     if st.trace_on() {
                         if ticks > 0 {
                             st.trace_push(
@@ -1163,6 +1284,71 @@ mod tests {
         let res = eng.run().unwrap();
         assert_eq!(res.clock, 150);
         assert_eq!(probe.get(), 150);
+    }
+
+    #[test]
+    fn telemetry_records_self_profile_without_observer_effect() {
+        let run = |telem: bool| {
+            let mut eng = engine();
+            let c = eng.add_core(CoreConfig {
+                tick_period: 40,
+                tick_cost: 3,
+            });
+            if telem {
+                eng.set_telemetry(ksa_telemetry::TelemetryConfig::enabled());
+            }
+            eng.spawn(
+                c,
+                Box::new(Scripted::new(vec![Effect::Delay(100), Effect::Delay(50)])),
+                0,
+            );
+            let res = eng.run().unwrap();
+            let reg = eng.take_telemetry();
+            (res.clock, res.events, reg)
+        };
+        let (clock_off, events_off, reg_off) = run(false);
+        let (clock_on, events_on, reg_on) = run(true);
+        assert_eq!(clock_off, clock_on, "telemetry must not perturb results");
+        assert_eq!(events_off, events_on);
+        assert!(!reg_off.enabled());
+        assert_eq!(reg_off.metrics().len(), 0, "disabled registry stays empty");
+
+        assert_eq!(reg_on.value_of("engine_processes_spawned", &[]), Some(1));
+        assert_eq!(
+            reg_on.value_of("engine_events_dispatched", &[]),
+            Some(events_on),
+            "every processed event is counted"
+        );
+        let scheduled = reg_on.value_of("engine_events_scheduled", &[]).unwrap();
+        assert!(scheduled >= events_on, "all dispatched events were pushed");
+        // Delay(100)/tick 40 → 2 ticks; Delay(50) → 1 tick.
+        assert_eq!(reg_on.value_of("engine_timer_ticks", &[]), Some(3));
+        assert!(reg_on.value_of("engine_process_wakes", &[]).unwrap() >= 2);
+        assert!(reg_on.samples_taken >= 1, "final flush sampled the rings");
+    }
+
+    #[test]
+    fn take_telemetry_leaves_a_fresh_enabled_registry() {
+        let mut eng = engine();
+        let c = eng.add_core(CoreConfig {
+            tick_period: 0,
+            tick_cost: 0,
+        });
+        eng.set_telemetry(ksa_telemetry::TelemetryConfig::enabled());
+        eng.spawn(c, Box::new(Scripted::new(vec![Effect::Delay(10)])), 0);
+        eng.run().unwrap();
+        let first = eng.take_telemetry();
+        assert!(first.value_of("engine_events_dispatched", &[]).unwrap() > 0);
+        // A second run reuses the fresh registry with the same config.
+        eng.spawn(
+            c,
+            Box::new(Scripted::new(vec![Effect::Delay(10)])),
+            eng.now(),
+        );
+        eng.run().unwrap();
+        let second = eng.take_telemetry();
+        assert!(second.enabled());
+        assert_eq!(second.value_of("engine_processes_spawned", &[]), Some(1));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod spec;
 pub mod state;
 pub mod subsystems;
 pub mod syscalls;
+pub mod telemetry;
 pub mod world;
 
 pub use category::Category;
@@ -65,4 +66,5 @@ pub use params::CostModel;
 pub use prog::{Arg, Call, Program};
 pub use spec::SpecMask;
 pub use syscalls::SysNo;
+pub use telemetry::{attribution_frames, KernelTelemetry};
 pub use world::{HasKernel, KernelWorld};

@@ -1,10 +1,12 @@
 //! The kernel world: every kernel instance in the environment plus the
 //! core → instance mapping.
 
-use ksa_desim::CoreId;
+use ksa_desim::{CoreId, LatSnapshot, Ns};
 
 use crate::instance::KernelInstance;
-use crate::latency::AttributionTable;
+use crate::latency::{Attribution, AttributionTable};
+use crate::syscalls::SysNo;
+use crate::telemetry::KernelTelemetry;
 
 /// All kernel instances in one simulated machine.
 #[derive(Debug, Default)]
@@ -16,6 +18,9 @@ pub struct KernelWorld {
     /// Per-syscall latency attribution accumulated by the executors;
     /// the harness drains it (`std::mem::take`) after the run.
     pub attrib: AttributionTable,
+    /// Kernel telemetry (inert by default); the harness installs an
+    /// enabled facade before the run and drains it afterwards.
+    pub metrics: KernelTelemetry,
 }
 
 impl KernelWorld {
@@ -59,6 +64,29 @@ impl KernelWorld {
     /// Total syscalls dispatched across all instances.
     pub fn total_syscalls(&self) -> u64 {
         self.instances.iter().map(|i| i.syscalls).sum()
+    }
+
+    /// Records one completed syscall in both the attribution table and
+    /// the telemetry counters, and takes a coalesced gauge sample when
+    /// one is due. The single entry point keeps the two views in exact
+    /// agreement: telemetry per-category sums equal the table's because
+    /// both see the same [`Attribution`] under the same category rule.
+    pub fn observe_syscall(
+        &mut self,
+        no: SysNo,
+        before: &LatSnapshot,
+        after: &LatSnapshot,
+        vm_exit: Ns,
+        now: Ns,
+    ) -> Attribution {
+        let attrib = self.attrib.record(no, before, after, vm_exit);
+        if self.metrics.enabled() {
+            self.metrics.observe_call(no, &attrib);
+            if self.metrics.due(now) {
+                self.metrics.sample(now, &self.instances);
+            }
+        }
+        attrib
     }
 }
 

@@ -189,6 +189,66 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_answers_every_query() {
+        let h = Log2Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_bucket(), None);
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile_upper_bound(p), None, "p={p}");
+        }
+        let mut merged = Log2Histogram::new();
+        merged.merge(&h);
+        assert!(merged.is_empty(), "merging empties stays empty");
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile_to_its_bucket() {
+        let mut h = Log2Histogram::new();
+        h.record(700); // bucket 9: [512, 1024)
+        assert_eq!(h.count(), 1);
+        assert!(!h.is_empty());
+        let (_, hi) = Log2Histogram::bucket_range(Log2Histogram::bucket_of(700));
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile_upper_bound(p), Some(hi), "p={p}");
+        }
+        assert_eq!(h.max_bucket(), Some(9));
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        assert_eq!(h.buckets[63], 3, "all huge values land in bucket 63");
+        assert_eq!(h.max_bucket(), Some(63));
+        // The top bucket's upper edge saturates at u64::MAX rather than
+        // wrapping to 2^64.
+        assert_eq!(h.percentile_upper_bound(100.0), Some(u64::MAX));
+        assert_eq!(h.render().lines().count(), 1);
+    }
+
+    #[test]
+    fn percentile_upper_bound_is_monotone_in_p() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 3, 70, 700, 7_000, 1 << 20, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        let mut last = 0u64;
+        for tenth in 0..=1000 {
+            let p = tenth as f64 / 10.0;
+            let bound = h.percentile_upper_bound(p).expect("non-empty");
+            assert!(
+                bound >= last,
+                "p={p}: bound {bound} dropped below previous {last}"
+            );
+            last = bound;
+        }
+        assert_eq!(last, u64::MAX, "p=100 reaches the top sample's bucket");
+    }
+
+    #[test]
     fn max_bucket_tracks_worst_case() {
         let mut h = Log2Histogram::new();
         assert_eq!(h.max_bucket(), None);

@@ -216,6 +216,15 @@ impl ServerWorker {
             queue_ns: self.queue_ns,
             service,
         });
+        let now = ctx.now();
+        let k = &mut ctx.world.kernel;
+        if k.metrics.enabled() {
+            k.metrics
+                .observe_request(self.app_id, sojourn, self.queue_ns);
+            if k.metrics.due(now) {
+                k.metrics.sample(now, &k.instances);
+            }
+        }
         let q = &mut ctx.world.queues[self.app_id];
         q.completed += 1;
         if q.completed == q.batch_target {

@@ -42,6 +42,9 @@ pub struct SingleNodeConfig {
     /// Record per-core trace rings during the run (observationally
     /// neutral; attribution is always collected).
     pub trace: bool,
+    /// Collect telemetry (engine self-profile plus kernel gauges and
+    /// per-tenant request series). Observationally neutral like `trace`.
+    pub metrics: bool,
     /// Specialization mask applied to every kernel instance. `None`
     /// (and `Some(SpecMask::full())`) build the unspecialized kernel
     /// bit-identically.
@@ -64,6 +67,7 @@ impl SingleNodeConfig {
             util_pct: 75,
             seed,
             trace: false,
+            metrics: false,
             spec: None,
         }
     }
@@ -83,6 +87,7 @@ impl SingleNodeConfig {
             util_pct: 75,
             seed,
             trace: false,
+            metrics: false,
             spec: None,
         }
     }
@@ -122,6 +127,9 @@ pub struct TailResult {
     pub daemons_spawned: u32,
     /// The recorded trace (empty rings unless tracing was enabled).
     pub trace: TraceLog,
+    /// The merged telemetry registry (inert unless
+    /// [`SingleNodeConfig::metrics`]).
+    pub metrics: ksa_telemetry::Registry,
 }
 
 /// Runs one app under `cfg` (Figure 3 point). `noise_corpus` is only
@@ -205,6 +213,13 @@ fn run_node(
 
     let mut engine: Engine<TbWorld> =
         Engine::new(TbWorld::new(), EngineParams::default(), cfg.seed);
+    if cfg.metrics {
+        use ksa_kernel::world::HasKernel;
+        use ksa_telemetry::TelemetryConfig;
+        engine.set_telemetry(TelemetryConfig::enabled());
+        engine.world_mut().kernel_mut().metrics =
+            ksa_kernel::KernelTelemetry::new(TelemetryConfig::enabled());
+    }
     let kind = if cfg.virt {
         EnvKind::Vm(cfg.groups)
     } else {
@@ -313,6 +328,24 @@ fn run_node(
     let mut samples = Samples::from_values(kept);
     let p99 = samples.p99().unwrap_or(0);
     let trace = engine.take_trace();
+    let now = engine.now();
+    let kernel_metrics = {
+        let kw = &mut engine.world_mut().kernel;
+        kw.metrics.finish(now, &kw.instances)
+    };
+    let mut metrics = engine.take_telemetry();
+    if metrics.enabled() {
+        for (label, acq, cont, total_wait, _max, _hist) in engine.all_lock_wait_stats() {
+            let labels = [("label", label.to_string())];
+            let a = metrics.counter("lock_acquisitions", &labels);
+            let c = metrics.counter("lock_contended", &labels);
+            let w = metrics.counter("lock_wait_ns", &labels);
+            metrics.add(a, acq);
+            metrics.add(c, cont);
+            metrics.add(w, total_wait);
+        }
+    }
+    metrics.absorb(&kernel_metrics, &[]);
     let request_attrib = std::mem::take(&mut engine.world_mut().request_attrib);
     let noise_attrib = std::mem::take(&mut engine.world_mut().kernel.attrib);
     let client_retries = engine.world().client_retries;
@@ -331,6 +364,7 @@ fn run_node(
         locks_allocated,
         daemons_spawned,
         trace,
+        metrics,
     }
 }
 
@@ -506,6 +540,36 @@ mod tests {
         assert_eq!(lossy.sim_ns, again.sim_ns);
         assert_eq!(lossy.client_retries, again.client_retries);
         assert_eq!(lossy.client_gave_up, again.client_gave_up);
+    }
+
+    #[test]
+    fn metrics_are_neutral_and_count_every_request() {
+        let app = &suite()[1];
+        let cfg = SingleNodeConfig::quick(false, true, 19);
+        let off = run_single_node(app, &cfg, &noise_corpus());
+        let on = run_single_node(
+            app,
+            &SingleNodeConfig {
+                metrics: true,
+                ..cfg
+            },
+            &noise_corpus(),
+        );
+        assert_eq!(off.p99, on.p99, "telemetry must not move the tail");
+        assert_eq!(off.sim_ns, on.sim_ns);
+        assert_eq!(off.sojourns.raw(), on.sojourns.raw());
+        assert!(!off.metrics.enabled());
+        assert!(on.metrics.enabled());
+        // Per-tenant request series cover every request the server
+        // completed (warmup included: telemetry sees the raw stream).
+        assert_eq!(on.metrics.total("tenant_requests"), cfg.requests);
+        // The noise co-runners' syscalls land in the category counters,
+        // mirroring the noise attribution table exactly.
+        assert_eq!(
+            on.metrics.total("syscall_ns"),
+            on.noise_attrib.grand_total().total
+        );
+        assert!(on.metrics.samples_taken >= 1);
     }
 
     #[test]

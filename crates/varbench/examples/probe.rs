@@ -42,6 +42,7 @@ fn main() {
                 seed: 7,
                 max_events: 0,
                 trace: false,
+                metrics: false,
                 spec: None,
             },
             &gen.corpus,
@@ -77,6 +78,7 @@ fn main() {
             seed: 7,
             max_events: 0,
             trace: false,
+            metrics: false,
             spec: None,
         },
         &gen.corpus,

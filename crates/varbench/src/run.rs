@@ -23,8 +23,9 @@ use ksa_desim::{Engine, EngineParams, SimError, TraceConfig, TraceLog};
 use ksa_envsim::{build_env_with, EnvSpec};
 use ksa_kernel::prog::Corpus;
 use ksa_kernel::world::{HasKernel, KernelWorld};
-use ksa_kernel::{AttributionTable, Category, SpecMask, SysNo};
+use ksa_kernel::{AttributionTable, Category, KernelTelemetry, SpecMask, SysNo};
 use ksa_stats::Samples;
+use ksa_telemetry::{Registry, TelemetryConfig};
 
 use crate::contention::ContentionProfile;
 use crate::worker::{site_bases, CorpusWorker};
@@ -51,6 +52,11 @@ pub struct RunConfig {
     /// *attribution* is always collected; this switch only governs the
     /// event rings exported as Chrome trace JSON.
     pub trace: bool,
+    /// Collect telemetry (engine self-profile counters plus kernel
+    /// subsystem gauges and per-category syscall series). Strictly
+    /// observational like `trace`: a disabled run is bit-identical to
+    /// one that never heard of telemetry (`ablation_obs` gates this).
+    pub metrics: bool,
     /// Specialization mask applied to every kernel instance. `None`
     /// (and `Some(SpecMask::full())`) is the unspecialized kernel,
     /// bit-identical to a run without the field; a narrower mask gates
@@ -143,6 +149,10 @@ pub struct RunResult {
     pub attrib: AttributionTable,
     /// The recorded trace (empty rings unless [`RunConfig::trace`]).
     pub trace: TraceLog,
+    /// The merged telemetry registry: engine self-profile, kernel
+    /// subsystem gauges, per-category syscall counters and per-label
+    /// lock-wait totals (inert unless [`RunConfig::metrics`]).
+    pub metrics: Registry,
 }
 
 impl RunResult {
@@ -184,6 +194,10 @@ pub fn run_hooked(
 ) -> Result<RunResult, RunError> {
     let mut engine: Engine<KernelWorld> =
         Engine::new(KernelWorld::new(), EngineParams::default(), cfg.seed);
+    if cfg.metrics {
+        engine.set_telemetry(TelemetryConfig::enabled());
+        engine.world_mut().kernel_mut().metrics = KernelTelemetry::new(TelemetryConfig::enabled());
+    }
     let built = build_env_with(&mut engine, &cfg.env, cfg.seed, cfg.spec);
     if cfg.max_events > 0 {
         engine.set_event_budget(cfg.max_events);
@@ -245,6 +259,26 @@ pub fn run_hooked(
         contention.add_waits(label, acq, cont, total_wait, max_wait);
     }
     let trace = engine.take_trace();
+    let now = engine.now();
+    let kernel_metrics = {
+        let kw = engine.world_mut().kernel_mut();
+        kw.metrics.finish(now, &kw.instances)
+    };
+    let mut metrics = engine.take_telemetry();
+    if metrics.enabled() {
+        // Fold the engine's per-label lock-wait stats in: the "lockstat"
+        // view of software interference, grouped by lock label.
+        for (label, acq, cont, total_wait, _max, _hist) in engine.all_lock_wait_stats() {
+            let labels = [("label", label.to_string())];
+            let a = metrics.counter("lock_acquisitions", &labels);
+            let c = metrics.counter("lock_contended", &labels);
+            let w = metrics.counter("lock_wait_ns", &labels);
+            metrics.add(a, acq);
+            metrics.add(c, cont);
+            metrics.add(w, total_wait);
+        }
+    }
+    metrics.absorb(&kernel_metrics, &[]);
     let attrib = std::mem::take(&mut engine.world_mut().kernel_mut().attrib);
     Ok(RunResult {
         config: *cfg,
@@ -254,6 +288,7 @@ pub fn run_hooked(
         contention,
         attrib,
         trace,
+        metrics,
     })
 }
 
@@ -488,6 +523,7 @@ mod tests {
             seed: 99,
             max_events: 0,
             trace: false,
+            metrics: false,
             spec: None,
         }
     }
@@ -887,6 +923,72 @@ mod tests {
         assert!(
             err.contains("stall") || err.contains("livelock") || err.contains("budget"),
             "error string should describe the stall: {err}"
+        );
+    }
+
+    #[test]
+    fn metrics_are_observationally_neutral() {
+        // The ablation_obs gate in unit-test form: a metered run must be
+        // bit-identical to an unmetered one — same clock, same samples,
+        // same event count.
+        let corpus = tiny_corpus();
+        let off = run(&cfg(EnvKind::Vm(2), 2), &corpus).unwrap();
+        let on = run(
+            &RunConfig {
+                metrics: true,
+                ..cfg(EnvKind::Vm(2), 2)
+            },
+            &corpus,
+        )
+        .unwrap();
+        assert_eq!(off.sim_ns, on.sim_ns, "telemetry must not perturb timing");
+        assert_eq!(off.events, on.events, "telemetry must not add events");
+        for (a, b) in off.sites.iter().zip(&on.sites) {
+            assert_eq!(a.samples.raw(), b.samples.raw());
+        }
+        assert!(!off.metrics.enabled());
+        assert_eq!(off.metrics.metrics().len(), 0);
+        assert!(on.metrics.enabled());
+        assert!(on.metrics.samples_taken >= 1);
+    }
+
+    #[test]
+    fn metrics_totals_equal_the_attribution_table() {
+        // Exact-sum gate: per-category syscall_ns/syscall_calls series
+        // must mirror the attribution table to the nanosecond, and the
+        // engine's own dispatch counter must equal the processed count.
+        let corpus = tiny_corpus();
+        let res = run(
+            &RunConfig {
+                metrics: true,
+                ..cfg(EnvKind::Native, 3)
+            },
+            &corpus,
+        )
+        .unwrap();
+        let grand = res.attrib.grand_total();
+        assert_eq!(res.metrics.total("syscall_ns"), grand.total);
+        assert_eq!(res.metrics.total("syscall_calls"), res.attrib.calls());
+        for (cat, (calls, agg)) in &res.attrib.by_category {
+            let label = [("category", cat.name())];
+            assert_eq!(
+                res.metrics.value_of("syscall_calls", &label),
+                Some(*calls),
+                "{cat:?}: call count"
+            );
+            assert_eq!(
+                res.metrics.value_of("syscall_ns", &label),
+                Some(agg.total),
+                "{cat:?}: total ns"
+            );
+        }
+        // Engine self-profile rode along in the same registry.
+        assert_eq!(res.metrics.total("engine_events_dispatched"), res.events);
+        // Lock-wait fold matches the engine's contention profile (both
+        // are read from the same per-lock grant bookkeeping).
+        assert_eq!(
+            res.metrics.total("lock_wait_ns"),
+            res.contention.total_wait_ns()
         );
     }
 

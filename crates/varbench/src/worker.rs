@@ -154,12 +154,15 @@ impl CorpusWorker {
                     enter: false,
                 });
             }
+            let now = ctx.now();
             let (world, _faults) = ctx.world_and_faults();
-            let attrib =
-                world
-                    .kernel_mut()
-                    .attrib
-                    .record(no, &self.lat_before, &after, runner.vm_exit_ns());
+            let attrib = world.kernel_mut().observe_syscall(
+                no,
+                &self.lat_before,
+                &after,
+                runner.vm_exit_ns(),
+                now,
+            );
             // The components-tile-the-timeline invariant: the decomposed
             // call must account for every recorded nanosecond.
             debug_assert_eq!(attrib.total, latency, "attribution must sum to latency");

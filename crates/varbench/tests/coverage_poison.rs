@@ -57,6 +57,7 @@ fn cfg(seed: u64) -> RunConfig {
         seed,
         max_events: 0,
         trace: false,
+        metrics: false,
         spec: None,
     }
 }

@@ -76,6 +76,7 @@ fn main() {
                 seed: 42,
                 max_events: 0,
                 trace,
+                metrics: false,
                 spec: None,
             },
             &corpus,

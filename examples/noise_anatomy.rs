@@ -26,6 +26,7 @@ fn main() {
                 seed: 77,
                 max_events: 0,
                 trace: false,
+                metrics: false,
                 spec: None,
             },
             &corpus.corpus,

@@ -42,6 +42,7 @@ fn main() {
                 seed: 42,
                 max_events: 0,
                 trace: false,
+                metrics: false,
                 spec: None,
             },
             &generated.corpus,

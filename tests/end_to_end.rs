@@ -25,6 +25,7 @@ fn corpus_to_measurement_pipeline() {
             seed: 1,
             max_events: 0,
             trace: false,
+            metrics: false,
             spec: None,
         },
         &corpus.corpus,
@@ -59,6 +60,7 @@ fn isolation_bounds_the_tail() {
                 seed: 3,
                 max_events: 0,
                 trace: false,
+                metrics: false,
                 spec: None,
             },
             &corpus.corpus,
@@ -94,6 +96,7 @@ fn virtualization_costs_at_the_median() {
                 seed: 4,
                 max_events: 0,
                 trace: false,
+                metrics: false,
                 spec: None,
             },
             &corpus.corpus,

@@ -214,6 +214,7 @@ fn net_trial_replays_bit_identically() {
             seed,
             max_events: 0,
             trace: false,
+            metrics: false,
             spec: None,
         };
         let a = run(&cfg, &corpus).expect("net trial failed");
@@ -350,6 +351,7 @@ fn tracing_has_zero_observer_effect() {
             seed,
             max_events: 0,
             trace,
+            metrics: false,
             spec: None,
         };
         let off = run(&cfg(false), &corpus).expect("untraced run failed");
@@ -397,6 +399,7 @@ fn traced_runs_replay_bit_identically() {
             seed,
             max_events: 0,
             trace: true,
+            metrics: false,
             spec: None,
         };
         let a = run(&cfg, &corpus).expect("traced run failed");
@@ -435,6 +438,7 @@ fn attribution_components_sum_exactly() {
                 seed,
                 max_events: 0,
                 trace: false,
+                metrics: false,
                 spec: None,
             },
             &corpus,
@@ -545,6 +549,7 @@ fn parallel_runner_matches_sequential_bit_identically() {
                         seed: seed ^ (configs.len() as u64) << 8,
                         max_events: 0,
                         trace,
+                        metrics: false,
                         spec: None,
                     });
                     faulted.push(fault);
@@ -655,6 +660,7 @@ fn full_allowlist_specialization_is_bit_identical() {
                     seed,
                     max_events: 0,
                     trace: false,
+                    metrics: false,
                     spec,
                 });
             }
