@@ -110,17 +110,17 @@ fn main() {
     // Gate 2: telemetry totals are exactly the attribution sums.
     let grand = on.attrib.grand_total();
     let mut per_cat_ok = true;
-    for (cat, (calls, agg)) in &on.attrib.by_category {
+    for (cat, (calls, agg)) in on.attrib.by_category() {
         let label = [("category", cat.name())];
         per_cat_ok &= on.metrics.value_of("syscall_calls", &label) == Some(*calls)
             && on.metrics.value_of("syscall_ns", &label) == Some(agg.total);
     }
     gates.check(
         "attribution/per-category",
-        per_cat_ok && !on.attrib.by_category.is_empty(),
+        per_cat_ok && on.attrib.by_category().next().is_some(),
         format!(
             "{} categories: syscall_calls/syscall_ns match the table exactly",
-            on.attrib.by_category.len()
+            on.attrib.by_category().count()
         ),
     );
     gates.check(

@@ -40,11 +40,18 @@
 //!
 //! ```text
 //! suite [--jobs N] [--out PATH] [--baseline PATH] [--write-baseline PATH]
-//!       [--history PATH] [--min-speedup F] [--profile N]
+//!       [--history PATH] [--min-speedup F] [--profile N] [--floor F]
 //! ```
 //!
 //! Exit codes: 0 ok · 2 baseline drift · 3 speedup below gate ·
-//! 4 parallel/sequential divergence.
+//! 4 parallel/sequential divergence · 5 events/sec below the committed
+//! perf floor.
+//!
+//! The perf floor: when the baseline carries an `events_per_sec_floor`
+//! field, the engine profile's measured events/sec must not fall below
+//! it (exit 5). `KSA_SKIP_PERF_FLOOR=1` skips the check on underpowered
+//! runners. `--write-baseline` carries the floor forward from the read
+//! baseline; `--floor F` sets or overrides it when regenerating.
 
 use std::time::Instant;
 
@@ -153,9 +160,10 @@ fn main() {
     let mut history: Option<String> = None;
     let mut min_speedup = 1.5f64;
     let mut profile = 0usize;
+    let mut floor_flag: Option<f64> = None;
     let cli = ksa_bench::Cli::parse_with(
         "[--out PATH] [--baseline PATH] [--write-baseline PATH] [--history PATH] \
-         [--min-speedup F] [--profile N]",
+         [--min-speedup F] [--profile N] [--floor F]",
         |flag, args| {
             match flag {
                 "--out" => out_path = args.value("--out"),
@@ -173,6 +181,13 @@ fn main() {
                         .value("--profile")
                         .parse()
                         .expect("--profile: not a number")
+                }
+                "--floor" => {
+                    floor_flag = Some(
+                        args.value("--floor")
+                            .parse()
+                            .expect("--floor: not a number"),
+                    )
                 }
                 _ => return false,
             }
@@ -305,7 +320,7 @@ fn main() {
             Box::new(|jobs| {
                 let apps = cluster_suite();
                 let mut d = Digest::new();
-                let mut sim_ns = 0u64;
+                let (mut sim_ns, mut events) = (0u64, 0u64);
                 for app in apps.iter().take(2) {
                     for (virt, with_noise) in [(true, false), (false, true)] {
                         let cfg = ClusterConfig {
@@ -333,6 +348,10 @@ fn main() {
                         };
                         let res = run_cluster(app, &cfg, &noise);
                         sim_ns += res.total_ns;
+                        // Engine events from the node simulations: without
+                        // them this experiment reported events_per_sec 0.0
+                        // and escaped all throughput accounting.
+                        events += res.events;
                         for &it in &res.iteration_ns {
                             d.fold(it);
                         }
@@ -341,7 +360,7 @@ fn main() {
                 }
                 SimOut {
                     sim_ns,
-                    events: 0,
+                    events,
                     digest: d,
                 }
             }),
@@ -403,7 +422,7 @@ fn main() {
                 }
                 SimOut {
                     sim_ns: res.total_ns,
-                    events: 0,
+                    events: res.events,
                     digest: d,
                 }
             }),
@@ -684,31 +703,48 @@ fn main() {
         eprintln!("suite: appended history to {history_path}");
     }
 
+    // Parse the baseline (if any) once: the drift gate and the perf
+    // floor both read it, and --write-baseline carries its floor
+    // forward.
+    let base_doc: Option<Value> = baseline.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("suite: cannot read baseline {path}: {e}"));
+        ksa_json::parse(&text).expect("baseline: invalid JSON")
+    });
+    let baseline_floor: Option<f64> = base_doc
+        .as_ref()
+        .and_then(|b| b.get("events_per_sec_floor").ok())
+        .map(|v| v.as_f64().expect("events_per_sec_floor: not a number"));
+    let floor_out = floor_flag.or(baseline_floor);
+
     if let Some(path) = write_baseline {
-        // The baseline is the gated (machine-independent) subset only.
-        let gated = Value::object([
-            ("version", Value::from(1u64)),
-            ("seed", Value::from(SEED)),
-            (
-                "experiments",
-                Value::array(
-                    report
-                        .get("experiments")
-                        .unwrap()
-                        .as_array()
-                        .unwrap()
-                        .iter()
-                        .map(|e| {
-                            Value::object([
-                                ("name", e.get("name").unwrap().clone()),
-                                ("sim_ns", e.get("sim_ns").unwrap().clone()),
-                                ("events", e.get("events").unwrap().clone()),
-                                ("digest", e.get("digest").unwrap().clone()),
-                            ])
-                        }),
-                ),
+        // The baseline is the gated (machine-independent) subset only,
+        // plus the perf floor (carried from the read baseline or set
+        // with --floor).
+        let mut gated_fields = vec![("version", Value::from(1u64)), ("seed", Value::from(SEED))];
+        if let Some(floor) = floor_out {
+            gated_fields.push(("events_per_sec_floor", Value::from(floor)));
+        }
+        gated_fields.push((
+            "experiments",
+            Value::array(
+                report
+                    .get("experiments")
+                    .unwrap()
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|e| {
+                        Value::object([
+                            ("name", e.get("name").unwrap().clone()),
+                            ("sim_ns", e.get("sim_ns").unwrap().clone()),
+                            ("events", e.get("events").unwrap().clone()),
+                            ("digest", e.get("digest").unwrap().clone()),
+                        ])
+                    }),
             ),
-        ]);
+        ));
+        let gated = Value::object(gated_fields);
         std::fs::write(&path, gated.render()).expect("write baseline");
         eprintln!("suite: wrote baseline {path}");
     }
@@ -717,10 +753,8 @@ fn main() {
         std::process::exit(4);
     }
 
-    if let Some(path) = baseline {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("suite: cannot read baseline {path}: {e}"));
-        let base = ksa_json::parse(&text).expect("baseline: invalid JSON");
+    if let Some(base) = &base_doc {
+        let path = baseline.as_deref().unwrap_or_default();
         let mut drift = false;
         for be in base.get("experiments").unwrap().as_array().unwrap() {
             let name = be.get("name").unwrap().as_str().unwrap();
@@ -770,5 +804,32 @@ fn main() {
         eprintln!("suite: speedup gate passed ({overall:.2}x >= {min_speedup:.2}x)");
     } else {
         eprintln!("suite: speedup gate skipped ({threads} hardware threads, {resolved} workers)");
+    }
+
+    // Perf floor: the engine profile's events/sec must not fall below
+    // the committed floor — the regression tripwire for the hot-path
+    // overhaul. KSA_SKIP_PERF_FLOOR is the escape hatch for runners too
+    // slow to meaningfully compare against the committed measurement.
+    if let Some(floor) = baseline_floor {
+        let eps = engine_profile
+            .get("events_per_sec")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        if std::env::var_os("KSA_SKIP_PERF_FLOOR").is_some() {
+            eprintln!(
+                "suite: perf floor skipped (KSA_SKIP_PERF_FLOOR set; measured {eps:.0} ev/s, \
+                 floor {floor:.0})"
+            );
+        } else if eps < floor {
+            eprintln!(
+                "suite: engine profile throughput {eps:.0} ev/s is below the committed floor \
+                 {floor:.0} ev/s — a hot-path regression (set KSA_SKIP_PERF_FLOOR=1 on \
+                 underpowered runners)"
+            );
+            std::process::exit(5);
+        } else {
+            eprintln!("suite: perf floor passed ({eps:.0} ev/s >= {floor:.0} ev/s)");
+        }
     }
 }

@@ -288,7 +288,8 @@ pub fn run_cluster_faulted(
 ) -> ClusterResult {
     let per_node = run_nodes(app, cfg, noise_corpus);
     let metrics = crate::merge_node_metrics(&per_node);
-    let base: Vec<Vec<Ns>> = per_node.into_iter().map(|(d, _)| d).collect();
+    let events = per_node.iter().map(|(_, _, e)| e).sum();
+    let base: Vec<Vec<Ns>> = per_node.into_iter().map(|(d, _, _)| d).collect();
     let nodes = cfg.nodes;
     let mut rec = Recorder::new(nodes);
     let mut rep = FabricReport::default();
@@ -448,6 +449,7 @@ pub fn run_cluster_faulted(
         coverage: rec.cov,
         trace: rec.trace,
         metrics,
+        events,
     }
 }
 

@@ -129,6 +129,10 @@ pub struct ClusterResult {
     /// Telemetry merged across nodes, each node's series labelled
     /// `node=<index>` (inert unless [`SingleNodeConfig::metrics`]).
     pub metrics: ksa_telemetry::Registry,
+    /// Engine events processed, summed over every node simulation —
+    /// the simulated-work unit the bench suite converts to
+    /// events/second throughput.
+    pub events: u64,
 }
 
 impl ClusterResult {
@@ -178,19 +182,20 @@ pub fn run_cluster(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus)
     // Each node simulation yields `iterations` durations.
     let per_node = run_nodes(app, cfg, noise_corpus);
     let metrics = merge_node_metrics(&per_node);
+    let events = per_node.iter().map(|(_, _, e)| e).sum();
 
     let mut iteration_ns = Vec::with_capacity(cfg.iterations as usize);
     for it in 0..cfg.iterations as usize {
         let max = per_node
             .iter()
-            .map(|(n, _)| n.get(it).copied().unwrap_or(0))
+            .map(|(n, _, _)| n.get(it).copied().unwrap_or(0))
             .max()
             .unwrap_or(0);
         iteration_ns.push(max + cfg.barrier_ns);
     }
     let total_ns = iteration_ns.iter().sum();
     let mean_node_ns = {
-        let sums: Vec<Ns> = per_node.iter().map(|(n, _)| n.iter().sum()).collect();
+        let sums: Vec<Ns> = per_node.iter().map(|(n, _, _)| n.iter().sum()).collect();
         let total: u128 = sums.iter().map(|&s| s as u128).sum();
         (total / sums.len().max(1) as u128) as Ns + cfg.barrier_ns * cfg.iterations
     };
@@ -203,6 +208,7 @@ pub fn run_cluster(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus)
         coverage: CoverageSet::new(),
         trace: TraceLog::default(),
         metrics,
+        events,
     }
 }
 
@@ -210,10 +216,10 @@ pub fn run_cluster(app: &AppProfile, cfg: &ClusterConfig, noise_corpus: &Corpus)
 /// `node=<index>`. Inert (and allocation-free) when nodes ran without
 /// telemetry.
 pub(crate) fn merge_node_metrics(
-    per_node: &[(Vec<Ns>, ksa_telemetry::Registry)],
+    per_node: &[(Vec<Ns>, ksa_telemetry::Registry, u64)],
 ) -> ksa_telemetry::Registry {
     let mut merged = ksa_telemetry::Registry::disabled();
-    for (i, (_, reg)) in per_node.iter().enumerate() {
+    for (i, (_, reg, _)) in per_node.iter().enumerate() {
         let node = i.to_string();
         merged.absorb(reg, &[("node", node.as_str())]);
     }
@@ -221,14 +227,14 @@ pub(crate) fn merge_node_metrics(
 }
 
 /// Simulates every node on the work-stealing pool, returning per-node
-/// `(iteration durations, telemetry)` in node order. Node seeds derive
-/// from the node *index*, so scheduling cannot reach the simulated
-/// results.
+/// `(iteration durations, telemetry, engine events)` in node order.
+/// Node seeds derive from the node *index*, so scheduling cannot reach
+/// the simulated results.
 pub(crate) fn run_nodes(
     app: &AppProfile,
     cfg: &ClusterConfig,
     noise_corpus: &Corpus,
-) -> Vec<(Vec<Ns>, ksa_telemetry::Registry)> {
+) -> Vec<(Vec<Ns>, ksa_telemetry::Registry, u64)> {
     ksa_desim::pool::parallel_indexed(cfg.threads, cfg.nodes, |node| {
         let mut node_cfg = cfg.node;
         node_cfg.seed = cfg
@@ -243,7 +249,7 @@ pub(crate) fn run_nodes(
             cfg.iterations,
             cfg.requests_per_iter,
         );
-        (res.batch_durations, res.metrics)
+        (res.batch_durations, res.metrics, res.events)
     })
 }
 

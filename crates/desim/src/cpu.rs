@@ -69,8 +69,9 @@ pub struct CoreState {
     /// nonzero, IPIs to this core are deferred.
     pub irq_depth: u32,
     /// IPI acknowledgements deferred until interrupts are re-enabled.
-    /// Each entry is `(ipi_token, handler_ns)`.
-    pub deferred_acks: Vec<(u64, Ns)>,
+    /// Each entry is `(ipi_token, handler_ns)`; tokens index the
+    /// engine's IPI slab.
+    pub deferred_acks: Vec<(u32, Ns)>,
     /// Total CPU time stolen from this core by interrupt handlers — kept
     /// for diagnostics ("OS noise" accounting).
     pub stolen: Ns,

@@ -1,13 +1,21 @@
-//! The event engine: virtual clock, event heap and effect dispatch.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+//! The event engine: virtual clock, event queue and effect dispatch.
+//!
+//! The scheduling core is built for raw single-trial speed (see
+//! DESIGN.md, "engine hot path"): events live in an index-addressed
+//! slab queue ([`EventQueue`]) instead of a `BinaryHeap` of boxed
+//! records, IPI bookkeeping is a dense slab keyed by token index, and
+//! same-time wake trains (lock grants, barrier releases, queue
+//! signals) coalesce into a single queue operation. All of it is
+//! bit-identical to the naive one-event-per-wake formulation because
+//! `(t, seq)` is a total order — see the determinism notes on
+//! [`EventQueue`].
 
 use ksa_telemetry::{MetricId, Registry, TelemetryConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cpu::{CoreConfig, CoreId, CoreState, OccClass};
+use crate::equeue::EventQueue;
 use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::iodev::{DevId, DeviceModel, DeviceState};
 use crate::lock::{LockId, LockKind, LockMode, LockState, WAIT_HIST_BUCKETS};
@@ -145,26 +153,14 @@ pub struct SimResult {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
     Wake(Pid, WakeReason),
-    IpiAck(u64),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    t: Ns,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.t, self.seq).cmp(&(other.t, other.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+    /// A coalesced train of same-time wakes: index into
+    /// `EngineState::batches`. Dispatch unpacks the train in push
+    /// order, which is bit-identical to one event per wake (the train's
+    /// wakes would have held consecutive seqs and popped back-to-back),
+    /// but costs one queue operation instead of N.
+    WakeBatch(u32),
+    /// IPI acknowledgement; the token indexes `EngineState::ipis`.
+    IpiAck(u32),
 }
 
 #[derive(Debug)]
@@ -183,7 +179,10 @@ struct RcuDomain {
     n_cores: u32,
 }
 
-#[derive(Debug)]
+/// Slab entry for an in-flight IPI broadcast; the slot index is the
+/// token carried by `EventKind::IpiAck`. Token values never reach
+/// records, traces or digests, so free-list reuse is unobservable.
+#[derive(Debug, Clone, Copy)]
 struct IpiPending {
     sender: Pid,
     remaining: u32,
@@ -196,16 +195,28 @@ struct IpiPending {
 /// while the engine still holds its own `Box`.
 pub struct EngineState {
     clock: Ns,
-    seq: u64,
-    events: BinaryHeap<Reverse<Event>>,
+    events: EventQueue<EventKind>,
     cores: Vec<CoreState>,
     locks: Vec<LockState>,
     queues: Vec<QueueState>,
     barriers: Vec<BarrierState>,
     rcu: Vec<RcuDomain>,
     devices: Vec<DeviceState>,
-    ipis: HashMap<u64, IpiPending>,
-    next_ipi: u64,
+    /// In-flight IPI broadcasts, slab-allocated; tokens are indices.
+    ipis: Vec<IpiPending>,
+    ipi_free: Vec<u32>,
+    /// Wake-train buffers behind `EventKind::WakeBatch`. Dispatched
+    /// buffers are cleared and recycled through `batch_free`, so the
+    /// steady state allocates nothing.
+    batches: Vec<Vec<(Pid, WakeReason)>>,
+    batch_free: Vec<u32>,
+    /// Reusable scratch for lock-release grant lists.
+    grant_buf: Vec<(Pid, LockMode, Ns)>,
+    /// Per-pid `done` flags, dense so the hot wake path never touches
+    /// the boxed process table just to skip a finished pid.
+    proc_done: Vec<bool>,
+    /// Per-pid label of what the process is blocked on (diagnostics).
+    proc_blocked_on: Vec<&'static str>,
     records: Vec<Record>,
     params: EngineParams,
     rng: StdRng,
@@ -288,9 +299,7 @@ impl EngineState {
 
     fn schedule(&mut self, t: Ns, kind: EventKind) {
         debug_assert!(t >= self.clock, "scheduling into the past");
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Reverse(Event { t, seq, kind }));
+        self.events.push(t, kind);
         if self.telem_on() {
             self.telem.add(self.em.scheduled, 1);
         }
@@ -298,6 +307,49 @@ impl EngineState {
 
     fn wake_at(&mut self, t: Ns, pid: Pid, reason: WakeReason) {
         self.schedule(t, EventKind::Wake(pid, reason));
+    }
+
+    /// Hands out an empty (capacity-retaining) wake-train buffer and
+    /// its slab index. The slot is left empty until `commit_train`.
+    fn take_train(&mut self) -> (u32, Vec<(Pid, WakeReason)>) {
+        match self.batch_free.pop() {
+            Some(b) => {
+                let buf = std::mem::take(&mut self.batches[b as usize]);
+                (b, buf)
+            }
+            None => {
+                self.batches.push(Vec::new());
+                (self.batches.len() as u32 - 1, Vec::new())
+            }
+        }
+    }
+
+    /// Schedules a filled wake train at `t`. Trains of length >= 2
+    /// coalesce into one `WakeBatch` queue operation; a singleton is a
+    /// plain `Wake` (and an empty train schedules nothing). The
+    /// `scheduled` counter advances by the train length either way, so
+    /// telemetry totals match the one-event-per-wake formulation.
+    fn commit_train(&mut self, t: Ns, b: u32, mut train: Vec<(Pid, WakeReason)>) {
+        match train.len() {
+            0 => {
+                self.batches[b as usize] = train;
+                self.batch_free.push(b);
+            }
+            1 => {
+                let (pid, reason) = train[0];
+                train.clear();
+                self.batches[b as usize] = train;
+                self.batch_free.push(b);
+                self.wake_at(t, pid, reason);
+            }
+            n => {
+                self.batches[b as usize] = train;
+                self.events.push(t, EventKind::WakeBatch(b));
+                if self.telem_on() {
+                    self.telem.add(self.em.scheduled, n as u64);
+                }
+            }
+        }
     }
 
     #[inline]
@@ -332,8 +384,13 @@ impl EngineState {
         }
     }
 
-    /// Grants released-lock waiters: bookkeeping plus wake events.
-    fn grant(&mut self, lock: LockId, granted: Vec<(Pid, LockMode, Ns)>) {
+    /// Grants released-lock waiters: bookkeeping plus wake events. All
+    /// grants of one release share a wake time, so they coalesce into a
+    /// single wake train.
+    fn grant(&mut self, lock: LockId, granted: &[(Pid, LockMode, Ns)]) {
+        if granted.is_empty() {
+            return;
+        }
         let kind = self.locks[lock.index()].kind;
         let label = self.locks[lock.index()].label;
         let delay = match kind {
@@ -342,12 +399,13 @@ impl EngineState {
                 self.params.spin_handoff + self.params.sched_wakeup
             }
         };
-        for (pid, mode, since) in granted {
+        let t = self.clock + delay;
+        let (b, mut train) = self.take_train();
+        for &(pid, mode, since) in granted {
             if kind == LockKind::Spin {
                 let core = self.proc_core[pid.index()];
                 self.cores[core.index()].irq_depth += 1;
             }
-            let t = self.clock + delay;
             // The waiter owns the lock from its wake time onward; its
             // wait ran from enqueue to that wake (handoff included).
             let wait = t - since;
@@ -368,8 +426,9 @@ impl EngineState {
                     },
                 );
             }
-            self.wake_at(t, pid, WakeReason::LockGranted(lock));
+            train.push((pid, WakeReason::LockGranted(lock)));
         }
+        self.commit_train(t, b, train);
     }
 
     /// Releases `lock` on behalf of `pid`, waking any granted waiters and
@@ -406,8 +465,27 @@ impl EngineState {
                 }
             }
         }
-        let granted = self.locks[lock.index()].release(pid);
-        self.grant(lock, granted);
+        let mut granted = std::mem::take(&mut self.grant_buf);
+        self.locks[lock.index()].release_into(pid, &mut granted);
+        self.grant(lock, &granted);
+        granted.clear();
+        self.grant_buf = granted;
+    }
+
+    /// Allocates an IPI slab slot; the returned token rides in
+    /// `EventKind::IpiAck` events.
+    fn alloc_ipi(&mut self, sender: Pid, remaining: u32) -> u32 {
+        let pending = IpiPending { sender, remaining };
+        match self.ipi_free.pop() {
+            Some(i) => {
+                self.ipis[i as usize] = pending;
+                i
+            }
+            None => {
+                self.ipis.push(pending);
+                self.ipis.len() as u32 - 1
+            }
+        }
     }
 }
 
@@ -454,13 +532,15 @@ impl<'a, W> SimCtx<'a, W> {
     pub fn signal(&mut self, queue: QueueId, n: usize) -> usize {
         let mut woken = 0;
         let t = self.st.clock + self.st.params.sched_wakeup;
+        let (b, mut train) = self.st.take_train();
         while woken < n {
             let Some(pid) = self.st.queues[queue.0 as usize].waiting.pop_front() else {
                 break;
             };
-            self.st.wake_at(t, pid, WakeReason::Signaled(queue));
+            train.push((pid, WakeReason::Signaled(queue)));
             woken += 1;
         }
+        self.st.commit_train(t, b, train);
         woken
     }
 
@@ -525,6 +605,16 @@ impl<'a, W> SimCtx<'a, W> {
         }
     }
 
+    /// [`SimCtx::lat_snapshot`] into a caller-owned snapshot, reusing
+    /// its `lock_waits` allocation. Syscall-bracketing callers take two
+    /// snapshots per call, so the reuse removes two Vec clones from
+    /// every simulated syscall.
+    pub fn lat_snapshot_into(&self, out: &mut LatSnapshot) {
+        out.comps = self.st.lat[self.pid.index()];
+        out.lock_waits
+            .clone_from(&self.st.lock_waits[self.pid.index()]);
+    }
+
     /// Splits the context into the world and the fault state, so code that
     /// holds `&mut W` (e.g. a kernel dispatch loop) can still consult the
     /// fault plan without a double mutable borrow of the context.
@@ -533,16 +623,15 @@ impl<'a, W> SimCtx<'a, W> {
     }
 }
 
-struct ProcSlot<W> {
-    proc: Option<Box<dyn Process<W>>>,
-    done: bool,
-    blocked_on: &'static str,
-}
-
 /// The discrete-event engine. See the crate docs for the model.
+///
+/// Process state is struct-of-arrays: the boxed state machines live
+/// here, while the dense per-pid scalars the hot path actually probes
+/// (`done`, `blocked_on`, core binding, latency breakdowns) live in
+/// contiguous `Vec`s on [`EngineState`].
 pub struct Engine<W> {
     st: EngineState,
-    procs: Vec<ProcSlot<W>>,
+    procs: Vec<Option<Box<dyn Process<W>>>>,
     world: W,
 }
 
@@ -552,16 +641,20 @@ impl<W> Engine<W> {
         Self {
             st: EngineState {
                 clock: 0,
-                seq: 0,
-                events: BinaryHeap::new(),
+                events: EventQueue::new(),
                 cores: Vec::new(),
                 locks: Vec::new(),
                 queues: Vec::new(),
                 barriers: Vec::new(),
                 rcu: Vec::new(),
                 devices: Vec::new(),
-                ipis: HashMap::new(),
-                next_ipi: 0,
+                ipis: Vec::new(),
+                ipi_free: Vec::new(),
+                batches: Vec::new(),
+                batch_free: Vec::new(),
+                grant_buf: Vec::new(),
+                proc_done: Vec::new(),
+                proc_blocked_on: Vec::new(),
                 records: Vec::new(),
                 params,
                 rng: StdRng::seed_from_u64(seed),
@@ -638,11 +731,9 @@ impl<W> Engine<W> {
         let pid = Pid(self.procs.len() as u32);
         let daemon = proc.is_daemon();
         let kind = proc.kind();
-        self.procs.push(ProcSlot {
-            proc: Some(proc),
-            done: false,
-            blocked_on: "start",
-        });
+        self.procs.push(Some(proc));
+        self.st.proc_done.push(false);
+        self.st.proc_blocked_on.push("start");
         self.st.proc_core.push(core);
         self.st.proc_daemon.push(daemon);
         self.st.proc_kind.push(kind);
@@ -833,47 +924,70 @@ impl<W> Engine<W> {
     /// `deadline`, whichever comes first.
     pub fn run_until(&mut self, deadline: Ns) -> Result<SimResult, SimError> {
         let mut processed: u64 = 0;
+        let budget = self.st.event_budget;
         while self.st.live_users > 0 {
-            let Some(Reverse(ev)) = self.st.events.pop() else {
+            let Some((t, seq, kind)) = self.st.events.pop() else {
                 return Err(self.stall_error(processed, false));
             };
-            if ev.t > deadline {
-                // Put it back so a later run_until can continue.
-                self.st.events.push(Reverse(ev));
+            if t > deadline {
+                // Park it back at its original key so a later
+                // run_until can continue exactly where this one stopped.
+                self.st.events.push_keyed(t, seq, kind);
                 break;
             }
-            if self.st.event_budget != 0 && processed >= self.st.event_budget {
-                // Watchdog: the run keeps generating events without the
-                // user processes finishing. Park the event for a possible
-                // resume and report a structured livelock instead of
-                // spinning forever.
-                self.st.events.push(Reverse(ev));
-                return Err(self.stall_error(processed, true));
-            }
-            processed += 1;
-            self.st.clock = ev.t;
-            if self.st.telem_on() {
-                let em = self.st.em;
-                let depth = self.st.events.len() as u64;
-                self.st.telem.add(em.dispatched, 1);
-                self.st.telem.set(em.queue_depth, depth);
-                self.st.telem.set_max(em.queue_peak, depth);
-                self.st.telem.sample_tick(self.st.clock);
-            }
-            match ev.kind {
-                EventKind::Wake(pid, reason) => self.run_process(pid, reason),
+            match kind {
+                EventKind::Wake(pid, reason) => {
+                    if budget != 0 && processed >= budget {
+                        // Watchdog: the run keeps generating events
+                        // without the user processes finishing. Park the
+                        // event for a possible resume and report a
+                        // structured livelock instead of spinning forever.
+                        self.st.events.push_keyed(t, seq, kind);
+                        return Err(self.stall_error(processed, true));
+                    }
+                    processed += 1;
+                    self.st.clock = t;
+                    self.dispatch_telem();
+                    self.run_process(pid, reason);
+                }
+                EventKind::WakeBatch(b) => {
+                    // Each sub-wake counts as one dispatched/processed
+                    // event, with the budget checked before each one —
+                    // exactly as if the train were N separate events.
+                    let mut train = std::mem::take(&mut self.st.batches[b as usize]);
+                    for i in 0..train.len() {
+                        if budget != 0 && processed >= budget {
+                            // Re-park the undispatched tail of the train
+                            // at the original key; its wakes stay ahead
+                            // of any later same-time arrivals.
+                            train.drain(..i);
+                            self.st.batches[b as usize] = train;
+                            self.st.events.push_keyed(t, seq, EventKind::WakeBatch(b));
+                            return Err(self.stall_error(processed, true));
+                        }
+                        processed += 1;
+                        self.st.clock = t;
+                        self.dispatch_telem();
+                        let (pid, reason) = train[i];
+                        self.run_process(pid, reason);
+                    }
+                    train.clear();
+                    self.st.batches[b as usize] = train;
+                    self.st.batch_free.push(b);
+                }
                 EventKind::IpiAck(token) => {
-                    let done = {
-                        let p = self
-                            .st
-                            .ipis
-                            .get_mut(&token)
-                            .expect("ack for unknown IPI token");
-                        p.remaining -= 1;
-                        p.remaining == 0
-                    };
-                    if done {
-                        let sender = self.st.ipis.remove(&token).unwrap().sender;
+                    if budget != 0 && processed >= budget {
+                        self.st.events.push_keyed(t, seq, kind);
+                        return Err(self.stall_error(processed, true));
+                    }
+                    processed += 1;
+                    self.st.clock = t;
+                    self.dispatch_telem();
+                    let p = &mut self.st.ipis[token as usize];
+                    p.remaining -= 1;
+                    if p.remaining == 0 {
+                        let sender = p.sender;
+                        self.st.ipi_free.push(token);
                         self.run_process(sender, WakeReason::IpiDone);
                     }
                 }
@@ -886,19 +1000,32 @@ impl<W> Engine<W> {
         })
     }
 
+    /// Per-dispatch telemetry: counters, queue-depth gauges and the
+    /// time-series sampler. Inert (one branch) without telemetry.
+    #[inline]
+    fn dispatch_telem(&mut self) {
+        if self.st.telem_on() {
+            let em = self.st.em;
+            let depth = self.st.events.len() as u64;
+            self.st.telem.add(em.dispatched, 1);
+            self.st.telem.set(em.queue_depth, depth);
+            self.st.telem.set_max(em.queue_peak, depth);
+            self.st.telem.sample_tick(self.st.clock);
+        }
+    }
+
     fn stall_error(&self, events: u64, livelock: bool) -> SimError {
         let blocked = self
             .procs
             .iter()
             .enumerate()
-            .filter(|(_, s)| !s.done)
+            .filter(|&(i, _)| !self.st.proc_done[i])
             .map(|(i, s)| {
                 let label = s
-                    .proc
                     .as_ref()
                     .map(|p| p.label().to_string())
                     .unwrap_or_default();
-                (Pid(i as u32), label, s.blocked_on.to_string())
+                (Pid(i as u32), label, self.st.proc_blocked_on[i].to_string())
             })
             .collect();
         SimError::Stalled {
@@ -910,7 +1037,7 @@ impl<W> Engine<W> {
     }
 
     fn run_process(&mut self, pid: Pid, mut wake: WakeReason) {
-        if self.procs[pid.index()].done {
+        if self.st.proc_done[pid.index()] {
             return;
         }
         // Settle unknown-duration blocks now that the wake time is known.
@@ -936,7 +1063,6 @@ impl<W> Engine<W> {
             self.st.telem.add(id, 1);
         }
         let mut proc = self.procs[pid.index()]
-            .proc
             .take()
             .expect("process resumed re-entrantly");
         let core = self.st.proc_core[pid.index()];
@@ -999,7 +1125,7 @@ impl<W> Engine<W> {
                         );
                     }
                     st.wake_at(end, pid, WakeReason::Timer);
-                    self.procs[pid.index()].blocked_on = "delay";
+                    st.proc_blocked_on[pid.index()] = "delay";
                     break;
                 }
                 Effect::Sleep(n) => {
@@ -1013,7 +1139,7 @@ impl<W> Engine<W> {
                         );
                     }
                     st.wake_at(now + n, pid, WakeReason::Timer);
-                    self.procs[pid.index()].blocked_on = "sleep";
+                    st.proc_blocked_on[pid.index()] = "sleep";
                     break;
                 }
                 Effect::Acquire(lock, mode) => {
@@ -1051,7 +1177,7 @@ impl<W> Engine<W> {
                             },
                         );
                     }
-                    self.procs[pid.index()].blocked_on = st.locks[lock.index()].label;
+                    st.proc_blocked_on[pid.index()] = st.locks[lock.index()].label;
                     break;
                 }
                 Effect::Ipi {
@@ -1078,15 +1204,7 @@ impl<W> Engine<W> {
                             },
                         );
                     }
-                    let token = st.next_ipi;
-                    st.next_ipi += 1;
-                    st.ipis.insert(
-                        token,
-                        IpiPending {
-                            sender: pid,
-                            remaining: targets.len() as u32,
-                        },
-                    );
+                    let token = st.alloc_ipi(pid, targets.len() as u32);
                     for target in targets {
                         debug_assert_ne!(target, core, "IPI to own core");
                         let tc = &mut st.cores[target.index()];
@@ -1098,7 +1216,7 @@ impl<W> Engine<W> {
                             st.schedule(t, EventKind::IpiAck(token));
                         }
                     }
-                    self.procs[pid.index()].blocked_on = "ipi";
+                    st.proc_blocked_on[pid.index()] = "ipi";
                     break;
                 }
                 Effect::Io { dev, bytes } => {
@@ -1126,7 +1244,7 @@ impl<W> Engine<W> {
                         );
                     }
                     st.wake_at(done, pid, WakeReason::IoDone);
-                    self.procs[pid.index()].blocked_on = "io";
+                    st.proc_blocked_on[pid.index()] = "io";
                     break;
                 }
                 Effect::Barrier(b) => {
@@ -1145,13 +1263,17 @@ impl<W> Engine<W> {
                         );
                     }
                     if full {
+                        // All participants release at the same instant:
+                        // one coalesced wake train.
                         let release = now + st.params.barrier_release;
-                        let waiters = std::mem::take(&mut st.barriers[b.0 as usize].waiting);
-                        for w in waiters {
-                            st.wake_at(release, w, WakeReason::BarrierReleased);
-                        }
+                        let mut waiters = std::mem::take(&mut st.barriers[b.0 as usize].waiting);
+                        let (train_id, mut train) = st.take_train();
+                        train.extend(waiters.iter().map(|&w| (w, WakeReason::BarrierReleased)));
+                        st.commit_train(release, train_id, train);
+                        waiters.clear();
+                        st.barriers[b.0 as usize].waiting = waiters;
                     }
-                    self.procs[pid.index()].blocked_on = "barrier";
+                    st.proc_blocked_on[pid.index()] = "barrier";
                     break;
                 }
                 Effect::Wait(q) => {
@@ -1165,7 +1287,7 @@ impl<W> Engine<W> {
                             },
                         );
                     }
-                    self.procs[pid.index()].blocked_on = "queue";
+                    st.proc_blocked_on[pid.index()] = "queue";
                     break;
                 }
                 Effect::RcuSync(r) => {
@@ -1192,11 +1314,11 @@ impl<W> Engine<W> {
                         );
                     }
                     st.wake_at(now + gp + jitter, pid, WakeReason::RcuDone);
-                    self.procs[pid.index()].blocked_on = "rcu";
+                    st.proc_blocked_on[pid.index()] = "rcu";
                     break;
                 }
                 Effect::Done => {
-                    self.procs[pid.index()].done = true;
+                    st.proc_done[pid.index()] = true;
                     if !st.proc_daemon[pid.index()] {
                         st.live_users -= 1;
                     }
@@ -1204,7 +1326,7 @@ impl<W> Engine<W> {
                 }
             }
         }
-        self.procs[pid.index()].proc = Some(proc);
+        self.procs[pid.index()] = Some(proc);
     }
 }
 

@@ -14,8 +14,7 @@
 //! determinism is what lets the fuzzer *mutate schedules* the way it
 //! mutates programs.
 
-use std::collections::HashMap;
-
+use crate::fxmap::FxHashMap;
 use crate::time::Ns;
 
 /// The class of failure a site can inject.
@@ -36,6 +35,13 @@ impl FaultKind {
         FaultKind::IoError,
         FaultKind::LockTimeout,
     ];
+
+    /// Dense index of this kind (its position in [`FaultKind::ALL`]),
+    /// used to address per-kind lookup tables without hashing the kind.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
 
     /// Short stable name (used in serialized plans and reports).
     pub fn name(self) -> &'static str {
@@ -93,8 +99,9 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Per-kind default schedule for sites without an explicit entry.
     defaults: [(FaultKind, FaultScheduleSlot); 3],
-    /// Site-specific schedules.
-    sites: HashMap<(FaultKind, String), FaultSchedule>,
+    /// Site-specific schedules, one map per kind so the hot lookup is
+    /// a single `&str` probe — no `(kind, String)` key allocation.
+    sites: [FxHashMap<String, FaultSchedule>; 3],
 }
 
 /// Internal: a schedule slot that defaults to `Never`.
@@ -128,7 +135,7 @@ impl FaultPlan {
                 (FaultKind::IoError, FaultScheduleSlot::default()),
                 (FaultKind::LockTimeout, FaultScheduleSlot::default()),
             ],
-            sites: HashMap::new(),
+            sites: Default::default(),
         }
     }
 
@@ -137,7 +144,10 @@ impl FaultPlan {
         self.defaults
             .iter()
             .all(|(_, s)| s.0 == FaultSchedule::Never)
-            && self.sites.values().all(|s| *s == FaultSchedule::Never)
+            && self
+                .sites
+                .iter()
+                .all(|m| m.values().all(|s| *s == FaultSchedule::Never))
     }
 
     /// Sets the schedule for one site (builder style).
@@ -148,7 +158,7 @@ impl FaultPlan {
 
     /// Sets the schedule for one site.
     pub fn set_site(&mut self, kind: FaultKind, site: impl Into<String>, sched: FaultSchedule) {
-        self.sites.insert((kind, site.into()), sched);
+        self.sites[kind.index()].insert(site.into(), sched);
     }
 
     /// Sets the default schedule for every site of `kind` (builder style).
@@ -163,7 +173,7 @@ impl FaultPlan {
 
     /// The schedule governing `(kind, site)`.
     pub fn schedule_for(&self, kind: FaultKind, site: &str) -> FaultSchedule {
-        if let Some(s) = self.sites.get(&(kind, site.to_string())) {
+        if let Some(s) = self.sites[kind.index()].get(site) {
             return *s;
         }
         self.defaults
@@ -175,9 +185,11 @@ impl FaultPlan {
 
     /// Iterates the explicitly scheduled sites.
     pub fn scheduled_sites(&self) -> impl Iterator<Item = (FaultKind, &str, FaultSchedule)> {
-        self.sites
-            .iter()
-            .map(|((k, s), sched)| (*k, s.as_str(), *sched))
+        FaultKind::ALL.into_iter().flat_map(move |k| {
+            self.sites[k.index()]
+                .iter()
+                .map(move |(s, sched)| (k, s.as_str(), *sched))
+        })
     }
 }
 
@@ -196,7 +208,10 @@ pub struct InjectedFault {
 #[derive(Debug, Clone, Default)]
 pub struct FaultState {
     plan: FaultPlan,
-    hits: HashMap<(FaultKind, String), u64>,
+    /// Per-kind hit counters. The steady-state path (a re-hit of a
+    /// known site) is one Fx probe with a `&str` key; the site string
+    /// is only allocated on a site's first-ever hit.
+    hits: [FxHashMap<String, u64>; 3],
     injected: Vec<InjectedFault>,
 }
 
@@ -205,7 +220,7 @@ impl FaultState {
     pub fn new(plan: FaultPlan) -> Self {
         FaultState {
             plan,
-            hits: HashMap::new(),
+            hits: Default::default(),
             injected: Vec::new(),
         }
     }
@@ -213,7 +228,7 @@ impl FaultState {
     /// Replaces the plan and clears all counters.
     pub fn reset(&mut self, plan: FaultPlan) {
         self.plan = plan;
-        self.hits.clear();
+        self.hits.iter_mut().for_each(|m| m.clear());
         self.injected.clear();
     }
 
@@ -221,7 +236,7 @@ impl FaultState {
     /// schedules replay from hit 1 (a fresh "VM boot" under the same
     /// plan).
     pub fn rearm(&mut self) {
-        self.hits.clear();
+        self.hits.iter_mut().for_each(|m| m.clear());
         self.injected.clear();
     }
 
@@ -235,12 +250,17 @@ impl FaultState {
     /// advances regardless of the verdict so `Nth` schedules address
     /// individual dynamic occurrences.
     pub fn should_fail(&mut self, kind: FaultKind, site: &str) -> bool {
-        let hit = self
-            .hits
-            .entry((kind, site.to_string()))
-            .and_modify(|h| *h += 1)
-            .or_insert(1);
-        let hit = *hit;
+        let map = &mut self.hits[kind.index()];
+        let hit = match map.get_mut(site) {
+            Some(h) => {
+                *h += 1;
+                *h
+            }
+            None => {
+                map.insert(site.to_string(), 1);
+                1
+            }
+        };
         let sched = self.plan.schedule_for(kind, site);
         let fail = sched.decides(self.plan.seed, kind, site, hit);
         if fail {
@@ -255,15 +275,16 @@ impl FaultState {
 
     /// Hit counters, in arbitrary order: `(kind, site, hits)`.
     pub fn hit_counts(&self) -> impl Iterator<Item = (FaultKind, &str, u64)> {
-        self.hits.iter().map(|((k, s), h)| (*k, s.as_str(), *h))
+        FaultKind::ALL.into_iter().flat_map(move |k| {
+            self.hits[k.index()]
+                .iter()
+                .map(move |(s, h)| (k, s.as_str(), *h))
+        })
     }
 
     /// Total hits registered for `(kind, site)`.
     pub fn hits_at(&self, kind: FaultKind, site: &str) -> u64 {
-        self.hits
-            .get(&(kind, site.to_string()))
-            .copied()
-            .unwrap_or(0)
+        self.hits[kind.index()].get(site).copied().unwrap_or(0)
     }
 
     /// Every fault injected so far, in injection order.

@@ -1,0 +1,127 @@
+//! Vendored Fx-style hasher for hot-path lookup tables.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, which is
+//! DoS-resistant but costs tens of nanoseconds per short key — real
+//! money on tables probed once per simulated syscall (fault sites, IPI
+//! tokens). This is the multiply-xor scheme rustc uses internally
+//! (firefox's original "Fx" hash): one rotate, one xor, one multiply
+//! per word. All keys here are simulation-internal (static site names,
+//! small integers), so hash-flooding resistance buys nothing.
+//!
+//! Vendored by hand because the workspace takes no external
+//! dependencies. Iteration order of an `FxHashMap` differs from the
+//! default hasher's and from insertion order — callers that fold map
+//! contents into deterministic output must sort first (they already do;
+//! see `FaultState::hit_counts`).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold 8 bytes at a time, then the sub-word tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in tail.iter().enumerate() {
+                word |= (b as u64) << (8 * i);
+            }
+            self.add_to_hash(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_and_int_keys_round_trip() {
+        let mut m: FxHashMap<String, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(format!("site.{i}"), i);
+        }
+        for i in 0..1000u64 {
+            // &str lookup against String keys must work (Borrow).
+            assert_eq!(m.get(format!("site.{i}").as_str()), Some(&i));
+        }
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            assert!(s.insert(i * 7));
+        }
+        assert!(s.contains(&21));
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_hasher_instances() {
+        fn h(bytes: &[u8]) -> u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        }
+        assert_eq!(h(b"alloc.page"), h(b"alloc.page"));
+        assert_ne!(h(b"alloc.page"), h(b"alloc.slab"));
+        // Sub-word tails must contribute.
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefghi"));
+    }
+}

@@ -46,7 +46,9 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod equeue;
 pub mod fault;
+pub mod fxmap;
 pub mod iodev;
 pub mod lock;
 pub mod netdev;
@@ -59,10 +61,12 @@ pub use cpu::{CoreConfig, CoreId, CoreState, OccClass};
 pub use engine::{
     BarrierId, Engine, EngineParams, QueueId, RcuId, Record, SimCtx, SimError, SimResult,
 };
+pub use equeue::{EventId, EventQueue};
 pub use fault::{
     Backoff, FaultKind, FaultPlan, FaultSchedule, FaultState, InjectedFault, LinkDegrade,
     LinkPartition, NodeCrash, NodeFaultPlan, NsWindow,
 };
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use iodev::{DevId, DeviceModel};
 pub use lock::{LockId, LockKind, LockMode, WAIT_HIST_BUCKETS};
 pub use netdev::{NicModel, NicState};

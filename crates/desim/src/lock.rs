@@ -152,7 +152,18 @@ impl LockState {
     /// Releases the lock held by `pid` (or one reader reference). Returns
     /// the set of waiters to grant now — `(pid, mode, enqueue time)` —
     /// either one exclusive waiter or a leading batch of shared waiters.
+    ///
+    /// Allocating convenience over [`LockState::release_into`]; the
+    /// engine's hot path passes a reusable buffer instead.
     pub fn release(&mut self, pid: Pid) -> Vec<(Pid, LockMode, Ns)> {
+        let mut granted = Vec::new();
+        self.release_into(pid, &mut granted);
+        granted
+    }
+
+    /// [`LockState::release`] appending the granted waiters to `out`
+    /// (which is not cleared first) instead of allocating.
+    pub fn release_into(&mut self, pid: Pid, out: &mut Vec<(Pid, LockMode, Ns)>) {
         match &mut self.holder {
             Holder::Exclusive(owner) => {
                 assert_eq!(*owner, pid, "{}: release by non-owner", self.label);
@@ -162,18 +173,17 @@ impl LockState {
                 assert!(*n > 0, "{}: reader release underflow", self.label);
                 *n -= 1;
                 if *n > 0 {
-                    return Vec::new();
+                    return;
                 }
                 self.holder = Holder::Free;
             }
             Holder::Free => panic!("{}: release of free lock", self.label),
         }
-        self.grant_waiters()
+        self.grant_waiters(out);
     }
 
     /// Pops the waiters that can run now that the lock is free.
-    fn grant_waiters(&mut self) -> Vec<(Pid, LockMode, Ns)> {
-        let mut granted = Vec::new();
+    fn grant_waiters(&mut self, granted: &mut Vec<(Pid, LockMode, Ns)>) {
         match self.waiters.front() {
             None => {}
             Some((_, LockMode::Exclusive, _)) => {
@@ -193,7 +203,6 @@ impl LockState {
                 self.holder = Holder::Shared(n);
             }
         }
-        granted
     }
 
     /// Enqueues `pid` as a waiter arriving at virtual time `now`.

@@ -177,19 +177,31 @@ pub struct LatSnapshot {
 impl LatSnapshot {
     /// Per-label lock wait accumulated between `earlier` and `self`.
     pub fn lock_waits_since(&self, earlier: &LatSnapshot) -> Vec<(&'static str, Ns)> {
-        self.lock_waits
-            .iter()
-            .map(|&(label, ns)| {
-                let before = earlier
-                    .lock_waits
-                    .iter()
-                    .find(|&&(l, _)| l == label)
-                    .map(|&(_, n)| n)
-                    .unwrap_or(0);
-                (label, ns - before)
-            })
-            .filter(|&(_, ns)| ns > 0)
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_lock_wait_since(earlier, |label, ns| out.push((label, ns)));
+        out
+    }
+
+    /// Visits each positive per-label lock-wait delta between `earlier`
+    /// and `self` without allocating (the once-per-simulated-syscall
+    /// attribution path).
+    #[inline]
+    pub fn for_each_lock_wait_since(
+        &self,
+        earlier: &LatSnapshot,
+        mut f: impl FnMut(&'static str, Ns),
+    ) {
+        for &(label, ns) in &self.lock_waits {
+            let before = earlier
+                .lock_waits
+                .iter()
+                .find(|&&(l, _)| l == label)
+                .map(|&(_, n)| n)
+                .unwrap_or(0);
+            if ns - before > 0 {
+                f(label, ns - before);
+            }
+        }
     }
 }
 

@@ -37,8 +37,9 @@ pub struct HCtx<'a> {
     pub cover: &'a mut CoverageSet,
     /// Fault-injection state consulted at failable points.
     pub faults: &'a mut FaultState,
-    /// The op sequence under construction.
-    pub seq: OpSeq,
+    /// The op sequence under construction (caller-held scratch; reused
+    /// across calls on the steady-state path).
+    pub seq: &'a mut OpSeq,
 }
 
 impl<'a> HCtx<'a> {
@@ -383,13 +384,34 @@ pub fn dispatch(
     cover: &mut CoverageSet,
     faults: &mut FaultState,
 ) -> OpSeq {
+    let mut seq = OpSeq::new();
+    dispatch_into(k, slot, no, args, rng, cover, faults, &mut seq);
+    seq
+}
+
+/// [`dispatch`] compiling into a caller-held scratch sequence (which is
+/// reset first) instead of allocating. The executors call this once per
+/// simulated syscall, so the scratch buffer caps steady-state dispatch
+/// at zero heap traffic.
+#[allow(clippy::too_many_arguments)]
+pub fn dispatch_into(
+    k: &mut KernelInstance,
+    slot: usize,
+    no: SysNo,
+    args: &[u64],
+    rng: &mut SmallRng,
+    cover: &mut CoverageSet,
+    faults: &mut FaultState,
+    seq: &mut OpSeq,
+) {
+    seq.reset();
     let mut h = HCtx {
         k,
         slot,
         rng,
         cover,
         faults,
-        seq: OpSeq::new(),
+        seq,
     };
     let a = |i: usize| args.get(i).copied().unwrap_or(0);
 
@@ -412,7 +434,7 @@ pub fn dispatch(
         cov_bucket!(h, "spec.enosys.sysno", no.index() as u32);
         fail!(h, Errno::ENOSYS, "spec.enosys");
         debug_assert!(h.seq.locks_balanced());
-        return h.seq;
+        return;
     }
 
     // Container tenancy: cgroup accounting on resource-consuming classes.
@@ -517,7 +539,6 @@ pub fn dispatch(
         "{}: unbalanced locks in op sequence",
         no.name()
     );
-    h.seq
 }
 
 /// Convenience wrapper used by tests: dispatch with throwaway coverage

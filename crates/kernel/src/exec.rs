@@ -38,13 +38,37 @@ pub struct OpRunner {
 }
 
 impl OpRunner {
+    /// Creates a finished runner with no steps. Executors hold one of
+    /// these persistently and [`OpRunner::relower`] each call into it,
+    /// reusing the step buffers.
+    pub fn empty() -> Self {
+        Self {
+            steps: Vec::new(),
+            at: 0,
+            exit_ns: 0,
+            exits: Vec::new(),
+        }
+    }
+
     /// Lowers `seq` for execution on `self_core` of `inst`.
     pub fn new(seq: &OpSeq, inst: &KernelInstance, self_core: CoreId) -> Self {
-        let mut steps = Vec::with_capacity(seq.ops.len());
+        let mut r = Self::empty();
+        r.relower(seq, inst, self_core);
+        r
+    }
+
+    /// Re-lowers this runner onto `seq`, reusing the step and exit
+    /// buffers' capacity (no allocation once warm).
+    pub fn relower(&mut self, seq: &OpSeq, inst: &KernelInstance, self_core: CoreId) {
+        self.steps.clear();
+        self.exits.clear();
+        self.at = 0;
+        self.exit_ns = 0;
+        let steps = &mut self.steps;
+        let exits = &mut self.exits;
         let mut exit_ns: Ns = 0;
-        let mut exits: Vec<(&'static str, Ns)> = Vec::new();
         let virt = inst.virt;
-        let delay = |steps: &mut Vec<RunStep>, ns: Ns| {
+        fn delay(steps: &mut Vec<RunStep>, ns: Ns) {
             if ns == 0 {
                 return;
             }
@@ -53,16 +77,16 @@ impl OpRunner {
             } else {
                 steps.push(RunStep::Block(Effect::Delay(ns)));
             }
-        };
+        }
         for op in &seq.ops {
             match *op {
-                KOp::Cpu(ns) => delay(&mut steps, virt.scale_cpu(ns)),
-                KOp::UserCpu(ns) => delay(&mut steps, ns),
-                KOp::MemTouch(ns) => delay(&mut steps, virt.scale_mem(ns)),
+                KOp::Cpu(ns) => delay(steps, virt.scale_cpu(ns)),
+                KOp::UserCpu(ns) => delay(steps, ns),
+                KOp::MemTouch(ns) => delay(steps, virt.scale_mem(ns)),
                 KOp::Lock(l, m) => steps.push(RunStep::Block(Effect::Acquire(l, m))),
                 KOp::Unlock(l) => steps.push(RunStep::Release(l)),
                 KOp::Tlb { pages } => {
-                    delay(&mut steps, virt.scale_cpu(inst.cost.tlb_local));
+                    delay(steps, virt.scale_cpu(inst.cost.tlb_local));
                     let targets: Vec<CoreId> = inst
                         .cores
                         .iter()
@@ -79,7 +103,7 @@ impl OpRunner {
                         exit_ns += kick_ns;
                         exits.push((VmExitKind::Apic.tag(), kick_ns));
                     }
-                    delay(&mut steps, kick_ns);
+                    delay(steps, kick_ns);
                     let handler_ns = virt.scale_cpu(
                         inst.cost.tlb_handler + inst.cost.tlb_handler_per_page * pages.min(512),
                     );
@@ -110,17 +134,12 @@ impl OpRunner {
                         exit_ns += cost;
                         exits.push((kind.tag(), cost));
                     }
-                    delay(&mut steps, cost);
+                    delay(steps, cost);
                 }
                 KOp::Nop => {}
             }
         }
-        Self {
-            steps,
-            at: 0,
-            exit_ns,
-            exits,
-        }
+        self.exit_ns = exit_ns;
     }
 
     /// Total virtualization-exit nanoseconds folded into this call's
@@ -148,11 +167,27 @@ impl OpRunner {
     /// in at lowering time.)
     pub fn step<W>(&mut self, ctx: &mut SimCtx<'_, W>) -> Option<Effect> {
         while self.at < self.steps.len() {
-            let step = self.steps[self.at].clone();
+            let step = &mut self.steps[self.at];
             self.at += 1;
             match step {
-                RunStep::Block(e) => return Some(e),
-                RunStep::Release(l) => ctx.release(l),
+                // Each step is issued at most once (`at` never rewinds),
+                // so the broadcast target list can be moved out instead
+                // of cloned — the variant stays in place for the
+                // diagnostic accessors.
+                RunStep::Block(Effect::Ipi {
+                    targets,
+                    handler_ns,
+                }) => {
+                    return Some(Effect::Ipi {
+                        targets: std::mem::take(targets),
+                        handler_ns: *handler_ns,
+                    })
+                }
+                RunStep::Block(e) => return Some(e.clone()),
+                RunStep::Release(l) => {
+                    let l = *l;
+                    ctx.release(l)
+                }
             }
         }
         None

@@ -162,13 +162,23 @@ pub struct RawCall {
 
 /// Aggregated per-run attribution, living in the kernel world so the
 /// executor can feed it and the harness can drain it after the run.
-#[derive(Debug, Clone, Default)]
+///
+/// The per-sysno and per-category aggregates are dense arrays indexed
+/// by [`SysNo::index`]/[`Category::index`] — `record` runs once per
+/// simulated syscall, and the map lookups it used to do were a
+/// measurable slice of the engine's per-event budget. The
+/// [`AttributionTable::by_sysno`]/[`AttributionTable::by_category`]
+/// iterators present the same touched-entries-in-declaration-order
+/// view the old sorted maps gave.
+#[derive(Debug, Clone)]
 pub struct AttributionTable {
-    /// `(calls, summed attribution)` per syscall.
-    pub by_sysno: BTreeMap<SysNo, (u64, Attribution)>,
+    /// `(calls, summed attribution)` per syscall, indexed by
+    /// [`SysNo::index`].
+    sysno: Vec<(u64, Attribution)>,
     /// `(calls, summed attribution)` per primary category (the first
-    /// category of the syscall, so category rows partition the calls).
-    pub by_category: BTreeMap<Category, (u64, Attribution)>,
+    /// category of the syscall, so category rows partition the calls),
+    /// indexed by [`Category::index`].
+    category: [(u64, Attribution); Category::ALL.len()],
     /// Total lock wait per lock label, across all calls.
     pub lock_wait_by_label: BTreeMap<&'static str, Ns>,
     /// When true, every call's raw attribution is retained in `raw`.
@@ -177,7 +187,39 @@ pub struct AttributionTable {
     pub raw: Vec<RawCall>,
 }
 
+impl Default for AttributionTable {
+    fn default() -> Self {
+        Self {
+            sysno: vec![Default::default(); SysNo::ALL.len()],
+            category: [Default::default(); Category::ALL.len()],
+            lock_wait_by_label: BTreeMap::new(),
+            keep_raw: false,
+            raw: Vec::new(),
+        }
+    }
+}
+
 impl AttributionTable {
+    /// `(sysno, (calls, summed attribution))` for every syscall with at
+    /// least one recorded call, in [`SysNo::ALL`] order.
+    pub fn by_sysno(&self) -> impl Iterator<Item = (SysNo, &(u64, Attribution))> {
+        SysNo::ALL
+            .iter()
+            .zip(&self.sysno)
+            .filter(|(_, e)| e.0 > 0)
+            .map(|(&no, e)| (no, e))
+    }
+
+    /// `(category, (calls, summed attribution))` for every category
+    /// with at least one recorded call, in [`Category::ALL`] order.
+    pub fn by_category(&self) -> impl Iterator<Item = (Category, &(u64, Attribution))> {
+        Category::ALL
+            .iter()
+            .zip(&self.category)
+            .filter(|(_, e)| e.0 > 0)
+            .map(|(&cat, e)| (cat, e))
+    }
+
     /// Records one completed call from the snapshots bracketing it.
     /// `vm_exit` is the op runner's statically-known exit overhead.
     /// Returns the call's attribution.
@@ -190,7 +232,7 @@ impl AttributionTable {
     ) -> Attribution {
         let delta = after.comps.since(&before.comps);
         let attrib = Attribution::from_delta(&delta, vm_exit);
-        let entry = self.by_sysno.entry(no).or_default();
+        let entry = &mut self.sysno[no.index()];
         entry.0 += 1;
         entry.1.add(&attrib);
         let cat = no
@@ -198,12 +240,12 @@ impl AttributionTable {
             .first()
             .copied()
             .unwrap_or(Category::ProcessSched);
-        let centry = self.by_category.entry(cat).or_default();
+        let centry = &mut self.category[cat.index()];
         centry.0 += 1;
         centry.1.add(&attrib);
-        for (label, ns) in after.lock_waits_since(before) {
+        after.for_each_lock_wait_since(before, |label, ns| {
             *self.lock_wait_by_label.entry(label).or_default() += ns;
-        }
+        });
         if self.keep_raw {
             self.raw.push(RawCall { no, attrib });
         }
@@ -212,13 +254,11 @@ impl AttributionTable {
 
     /// Merges another table into this one (cross-engine aggregation).
     pub fn merge(&mut self, other: &AttributionTable) {
-        for (no, (calls, attrib)) in &other.by_sysno {
-            let entry = self.by_sysno.entry(*no).or_default();
+        for (entry, (calls, attrib)) in self.sysno.iter_mut().zip(&other.sysno) {
             entry.0 += calls;
             entry.1.add(attrib);
         }
-        for (cat, (calls, attrib)) in &other.by_category {
-            let entry = self.by_category.entry(*cat).or_default();
+        for (entry, (calls, attrib)) in self.category.iter_mut().zip(&other.category) {
             entry.0 += calls;
             entry.1.add(attrib);
         }
@@ -232,13 +272,13 @@ impl AttributionTable {
 
     /// Total calls recorded.
     pub fn calls(&self) -> u64 {
-        self.by_sysno.values().map(|(n, _)| n).sum()
+        self.sysno.iter().map(|(n, _)| n).sum()
     }
 
     /// Grand-total attribution across all calls.
     pub fn grand_total(&self) -> Attribution {
         let mut out = Attribution::default();
-        for (_, attrib) in self.by_sysno.values() {
+        for (_, attrib) in &self.sysno {
             out.add(attrib);
         }
         out
@@ -259,7 +299,7 @@ impl AttributionTable {
             let _ = write!(out, " {:>12}", Attribution::COMPONENTS[i]);
         }
         out.push('\n');
-        for (cat, (calls, attrib)) in &self.by_category {
+        for (cat, &(calls, attrib)) in self.by_category() {
             let _ = write!(out, "{:<28} {:>8} {:>12}", cat.name(), calls, attrib.total);
             let vals = attrib.values();
             for &i in &live {
@@ -316,7 +356,7 @@ mod tests {
         let a1 = t.record(SysNo::Getpid, &snap(0, 0, 0), &snap(500, 0, 0), 100);
         assert!(a1.is_exact());
         t.record(SysNo::Getpid, &snap(500, 0, 0), &snap(900, 50, 50), 0);
-        let (calls, agg) = t.by_sysno[&SysNo::Getpid];
+        let (calls, agg) = t.sysno[SysNo::Getpid.index()];
         assert_eq!(calls, 2);
         assert_eq!(agg.total, 950);
         assert_eq!(agg.vm_exit, 100);
@@ -335,7 +375,7 @@ mod tests {
         let mut b = AttributionTable::default();
         b.record(SysNo::Getpid, &snap(0, 0, 0), &snap(200, 30, 30), 0);
         a.merge(&b);
-        let (calls, agg) = a.by_sysno[&SysNo::Getpid];
+        let (calls, agg) = a.sysno[SysNo::Getpid.index()];
         assert_eq!(calls, 2);
         assert_eq!(agg.total, 330);
         assert_eq!(a.lock_wait_by_label["zone"], 30);

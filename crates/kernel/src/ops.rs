@@ -104,6 +104,16 @@ impl OpSeq {
         Self::default()
     }
 
+    /// Clears the sequence for reuse, keeping the op buffer's capacity.
+    /// The steady-state dispatch path compiles every call into a caller-
+    /// held scratch sequence instead of allocating a fresh one.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.ops.clear();
+        self.result = 0;
+        self.error = None;
+    }
+
     /// Appends an op.
     #[inline]
     pub fn push(&mut self, op: KOp) {

@@ -161,11 +161,11 @@ impl Arg {
 
 impl SysNo {
     /// Stable index of the call in [`SysNo::ALL`] (serialization id).
+    /// `ALL` lists the variants in declaration order, so the index is
+    /// the discriminant — pinned by `sysno_all_is_declaration_order`.
+    #[inline]
     pub fn index(self) -> usize {
-        SysNo::ALL
-            .iter()
-            .position(|&n| n == self)
-            .expect("SysNo in ALL")
+        self as usize
     }
 
     /// Inverse of [`SysNo::index`].
@@ -273,6 +273,17 @@ mod tests {
                 Call::new(SysNo::Read, vec![Arg::Ref(0), Arg::Const(4096)]),
                 Call::new(SysNo::Close, vec![Arg::Ref(0)]),
             ],
+        }
+    }
+
+    /// `SysNo::index` casts the discriminant, which is only correct while
+    /// `SysNo::ALL` lists the variants in declaration order. Pin that.
+    #[test]
+    fn sysno_all_is_declaration_order() {
+        for (i, &no) in SysNo::ALL.iter().enumerate() {
+            assert_eq!(no as usize, i, "SysNo::ALL[{i}] = {no:?} out of order");
+            assert_eq!(no.index(), i);
+            assert_eq!(SysNo::from_index(i).ok(), Some(no));
         }
     }
 

@@ -28,7 +28,7 @@ use crate::syscalls::SysNo;
 /// [`ksa_telemetry::export::speedscope_json`].
 pub fn attribution_frames(table: &AttributionTable) -> Vec<ksa_telemetry::export::Frame> {
     let mut frames = Vec::new();
-    for (cat, (_calls, agg)) in &table.by_category {
+    for (cat, &(_calls, agg)) in table.by_category() {
         for (comp, ns) in Attribution::COMPONENTS.iter().zip(agg.values()) {
             if ns > 0 {
                 frames.push((vec![cat.name().to_string(), comp.to_string()], ns));

@@ -3,7 +3,7 @@
 
 use ksa_desim::{CoreId, Effect, LatSnapshot, Ns, Process, QueueId, SimCtx, WakeReason};
 use ksa_kernel::coverage::CoverageSet;
-use ksa_kernel::dispatch::dispatch;
+use ksa_kernel::dispatch::dispatch_into;
 use ksa_kernel::exec::OpRunner;
 use ksa_kernel::ops::OpSeq;
 use ksa_kernel::{Attribution, SysNo};
@@ -35,10 +35,14 @@ pub struct ServerWorker {
     rng: SmallRng,
     cover: CoverageSet,
     state: State,
-    runner: Option<OpRunner>,
+    runner: OpRunner,
+    runner_live: bool,
+    seq_buf: OpSeq,
+    sub_buf: OpSeq,
     arrival: u64,
     queue_ns: Ns,
     lat_before: LatSnapshot,
+    lat_after: LatSnapshot,
     vm_exit: Ns,
 }
 
@@ -66,10 +70,14 @@ impl ServerWorker {
             rng: SmallRng::seed_from_u64(seed),
             cover: CoverageSet::new(),
             state: State::Setup,
-            runner: None,
+            runner: OpRunner::empty(),
+            runner_live: false,
+            seq_buf: OpSeq::new(),
+            sub_buf: OpSeq::new(),
             arrival: 0,
             queue_ns: 0,
             lat_before: LatSnapshot::default(),
+            lat_after: LatSnapshot::default(),
             vm_exit: 0,
         }
     }
@@ -78,11 +86,11 @@ impl ServerWorker {
     /// and establish the loopback connection through the simulated net
     /// stack. Resulting fd layout: 0 = data file, 1 = listening socket,
     /// 2 = client socket, 3 = accepted (server-side) connection.
-    fn build_setup(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> OpRunner {
+    fn build_setup(&mut self, ctx: &mut SimCtx<'_, TbWorld>) {
         let (world, faults) = ctx.world_and_faults();
         let inst = &mut world.kernel.instances[self.instance];
         let port = self.slot as u64;
-        let mut seq = OpSeq::new();
+        self.seq_buf.reset();
         for (no, a0, a1) in [
             (SysNo::Open, self.slot as u64, 1),
             (SysNo::Socket, 1, 0),
@@ -95,7 +103,7 @@ impl ServerWorker {
             (SysNo::Pwrite, 0, 32_000),
             (SysNo::Pread, 0, 32_000),
         ] {
-            let sub = dispatch(
+            dispatch_into(
                 inst,
                 self.slot,
                 no,
@@ -103,25 +111,27 @@ impl ServerWorker {
                 &mut self.rng,
                 &mut self.cover,
                 faults,
+                &mut self.sub_buf,
             );
-            seq.ops.extend(sub.ops);
+            self.seq_buf.ops.extend_from_slice(&self.sub_buf.ops);
         }
-        OpRunner::new(&seq, inst, self.core)
+        self.runner.relower(&self.seq_buf, inst, self.core);
+        self.runner_live = true;
     }
 
     /// Builds one request's full execution: loopback send + socket
     /// receive through the simulated net stack, the app's kernel-call
     /// template, the (virtualization-sensitive) service compute, and the
     /// socket reply.
-    fn build_request(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> OpRunner {
+    fn build_request(&mut self, ctx: &mut SimCtx<'_, TbWorld>) {
         let (world, faults) = ctx.world_and_faults();
         let inst = &mut world.kernel.instances[self.instance];
-        let mut seq = OpSeq::new();
+        self.seq_buf.reset();
 
         // Client half of the loopback: push the request payload through
         // the simulated stack (skb alloc, demux, NIC doorbell) into the
         // server connection's receive buffer, then drain it server-side.
-        let sub = dispatch(
+        dispatch_into(
             inst,
             self.slot,
             SysNo::Sendto,
@@ -129,9 +139,10 @@ impl ServerWorker {
             &mut self.rng,
             &mut self.cover,
             faults,
+            &mut self.sub_buf,
         );
-        seq.ops.extend(sub.ops);
-        let sub = dispatch(
+        self.seq_buf.ops.extend_from_slice(&self.sub_buf.ops);
+        dispatch_into(
             inst,
             self.slot,
             SysNo::Recvfrom,
@@ -139,12 +150,13 @@ impl ServerWorker {
             &mut self.rng,
             &mut self.cover,
             faults,
+            &mut self.sub_buf,
         );
-        seq.ops.extend(sub.ops);
+        self.seq_buf.ops.extend_from_slice(&self.sub_buf.ops);
 
         // The app's kernel footprint.
         for &(no, a0, a1) in self.app.calls {
-            let sub = dispatch(
+            dispatch_into(
                 inst,
                 self.slot,
                 no,
@@ -152,8 +164,9 @@ impl ServerWorker {
                 &mut self.rng,
                 &mut self.cover,
                 faults,
+                &mut self.sub_buf,
             );
-            seq.ops.extend(sub.ops);
+            self.seq_buf.ops.extend_from_slice(&self.sub_buf.ops);
         }
 
         // Userspace service compute, split into the memory-bound part
@@ -165,12 +178,13 @@ impl ServerWorker {
                 0
             };
         let mem = total * self.app.mem_milli / 1000;
-        seq.mem(mem);
-        seq.push(ksa_kernel::ops::KOp::UserCpu(total - mem));
+        self.seq_buf.mem(mem);
+        self.seq_buf
+            .push(ksa_kernel::ops::KOp::UserCpu(total - mem));
 
         // Reply: server send (peer-routed to the client socket), then
         // the client drains it so buffers stay bounded across requests.
-        let sub = dispatch(
+        dispatch_into(
             inst,
             self.slot,
             SysNo::Sendto,
@@ -178,9 +192,10 @@ impl ServerWorker {
             &mut self.rng,
             &mut self.cover,
             faults,
+            &mut self.sub_buf,
         );
-        seq.ops.extend(sub.ops);
-        let sub = dispatch(
+        self.seq_buf.ops.extend_from_slice(&self.sub_buf.ops);
+        dispatch_into(
             inst,
             self.slot,
             SysNo::Recvfrom,
@@ -188,20 +203,24 @@ impl ServerWorker {
             &mut self.rng,
             &mut self.cover,
             faults,
+            &mut self.sub_buf,
         );
-        seq.ops.extend(sub.ops);
+        self.seq_buf.ops.extend_from_slice(&self.sub_buf.ops);
 
-        debug_assert!(seq.locks_balanced());
-        OpRunner::new(&seq, inst, self.core)
+        debug_assert!(self.seq_buf.locks_balanced());
+        self.runner.relower(&self.seq_buf, inst, self.core);
+        self.runner_live = true;
     }
 
     /// Finishes the in-flight request and looks for the next one.
     fn complete_and_next(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> Effect {
         let sojourn = ctx.now() - self.arrival;
         ctx.record(SOJOURN_KEY, sojourn);
-        let after = ctx.lat_snapshot();
-        let service =
-            Attribution::from_delta(&after.comps.since(&self.lat_before.comps), self.vm_exit);
+        ctx.lat_snapshot_into(&mut self.lat_after);
+        let service = Attribution::from_delta(
+            &self.lat_after.comps.since(&self.lat_before.comps),
+            self.vm_exit,
+        );
         // Decomposition must tile the sojourn exactly: time in queue plus
         // every attributed service nanosecond.
         debug_assert_eq!(self.queue_ns + service.total, sojourn);
@@ -239,12 +258,11 @@ impl ServerWorker {
             Some(req) => {
                 self.arrival = req.arrival;
                 self.queue_ns = ctx.now() - req.arrival;
-                self.lat_before = ctx.lat_snapshot();
-                let runner = self.build_request(ctx);
+                ctx.lat_snapshot_into(&mut self.lat_before);
+                self.build_request(ctx);
                 if ctx.trace_enabled() {
-                    runner.trace_exits(ctx);
+                    self.runner.trace_exits(ctx);
                 }
-                self.runner = Some(runner);
                 self.state = State::Running;
                 self.step(ctx)
             }
@@ -256,12 +274,13 @@ impl ServerWorker {
     }
 
     fn step(&mut self, ctx: &mut SimCtx<'_, TbWorld>) -> Effect {
-        if let Some(runner) = &mut self.runner {
-            if let Some(e) = runner.step(ctx) {
+        if self.runner_live {
+            if let Some(e) = self.runner.step(ctx) {
                 return e;
             }
         }
-        self.vm_exit = self.runner.take().map(|r| r.vm_exit_ns()).unwrap_or(0);
+        self.runner_live = false;
+        self.vm_exit = self.runner.vm_exit_ns();
         self.complete_and_next(ctx)
     }
 }
@@ -270,13 +289,13 @@ impl Process<TbWorld> for ServerWorker {
     fn resume(&mut self, ctx: &mut SimCtx<'_, TbWorld>, _wake: WakeReason) -> Effect {
         match self.state {
             State::Setup => {
-                if self.runner.is_none() {
-                    self.runner = Some(self.build_setup(ctx));
+                if !self.runner_live {
+                    self.build_setup(ctx);
                 }
-                if let Some(e) = self.runner.as_mut().unwrap().step(ctx) {
+                if let Some(e) = self.runner.step(ctx) {
                     return e;
                 }
-                self.runner = None;
+                self.runner_live = false;
                 self.next(ctx)
             }
             State::Idle => self.next(ctx),

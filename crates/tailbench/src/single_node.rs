@@ -6,7 +6,7 @@
 //! varbench corpus as noise); under Docker, the same split as 4
 //! containers on one shared kernel. Clients drive ~75% utilization.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ksa_desim::{Engine, EngineParams, Ns, TraceConfig, TraceLog};
 use ksa_envsim::{build_env_with, EnvKind, EnvSpec, Machine};
@@ -139,7 +139,25 @@ pub fn run_single_node(
     cfg: &SingleNodeConfig,
     noise_corpus: &Corpus,
 ) -> TailResult {
-    run_node(app, cfg, noise_corpus, None, None)
+    run_node(app, cfg, &SharedNoise::new(noise_corpus), None, None)
+}
+
+/// The noise corpus prepared for sharing across sweep points: the
+/// co-runner workers' owned handle plus the precomputed per-site record
+/// keys. Sweeps build this once so each point clones an `Arc`, not the
+/// corpus.
+struct SharedNoise {
+    corpus: Arc<Corpus>,
+    bases: Arc<Vec<u64>>,
+}
+
+impl SharedNoise {
+    fn new(corpus: &Corpus) -> Self {
+        Self {
+            corpus: Arc::new(corpus.clone()),
+            bases: Arc::new(site_bases(corpus)),
+        }
+    }
 }
 
 /// Runs one app under `cfg` with the client sending over a lossy link
@@ -151,7 +169,13 @@ pub fn run_single_node_retry(
     noise_corpus: &Corpus,
     policy: RetryPolicy,
 ) -> TailResult {
-    run_node(app, cfg, noise_corpus, None, Some(policy))
+    run_node(
+        app,
+        cfg,
+        &SharedNoise::new(noise_corpus),
+        None,
+        Some(policy),
+    )
 }
 
 /// Runs a whole sweep of independent `(app, config)` points concurrently
@@ -168,9 +192,11 @@ pub fn run_points(
     noise_corpus: &Corpus,
     jobs: usize,
 ) -> Vec<TailResult> {
+    let noise = SharedNoise::new(noise_corpus);
+    let noise = &noise;
     let tasks: Vec<_> = points
         .iter()
-        .map(|(app, cfg)| move || run_single_node(app, cfg, noise_corpus))
+        .map(|(app, cfg)| move || run_node(app, cfg, noise, None, None))
         .collect();
     let mut panic_payload = None;
     let results: Vec<Option<TailResult>> = ksa_desim::pool::run_tasks(jobs, tasks)
@@ -198,13 +224,19 @@ pub fn run_node_batched(
     batches: u64,
     per_batch: u64,
 ) -> TailResult {
-    run_node(app, cfg, noise_corpus, Some((batches, per_batch)), None)
+    run_node(
+        app,
+        cfg,
+        &SharedNoise::new(noise_corpus),
+        Some((batches, per_batch)),
+        None,
+    )
 }
 
 fn run_node(
     app: &AppProfile,
     cfg: &SingleNodeConfig,
-    noise_corpus: &Corpus,
+    noise: &SharedNoise,
     batched: Option<(u64, u64)>,
     retry: Option<RetryPolicy>,
 ) -> TailResult {
@@ -282,8 +314,7 @@ fn run_node(
     // Noise co-runners on the remaining cores.
     if cfg.noise && built.cores.len() > per_group {
         let noise_cores = &built.cores[per_group..];
-        let corpus_rc = Rc::new(noise_corpus.clone());
-        let bases = Rc::new(site_bases(noise_corpus));
+
         // The noise corpus barrier-synchronizes program starts across
         // all noise cores, exactly like the paper's varbench co-runner.
         let barrier = engine.add_barrier(noise_cores.len() as u32);
@@ -293,8 +324,8 @@ fn run_node(
                 engine.world().kernel().locate(core)
             };
             let w = CorpusWorker::new(
-                corpus_rc.clone(),
-                bases.clone(),
+                Arc::clone(&noise.corpus),
+                Arc::clone(&noise.bases),
                 usize::MAX,
                 Some(barrier),
                 core,

@@ -17,7 +17,7 @@
 //! `tests/properties.rs` pins this).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ksa_desim::{Engine, EngineParams, SimError, TraceConfig, TraceLog};
 use ksa_envsim::{build_env_with, EnvSpec};
@@ -192,6 +192,33 @@ pub fn run_hooked(
     corpus: &Corpus,
     hook: impl FnOnce(&mut Engine<KernelWorld>),
 ) -> Result<RunResult, RunError> {
+    let shared = SharedCorpus::new(corpus);
+    run_hooked_shared(cfg, &shared, hook)
+}
+
+/// A corpus prepared for sharing across trials: the workers' owned
+/// handle plus the precomputed per-site record keys. Campaign runners
+/// build this once so each trial clones an `Arc`, not the corpus.
+struct SharedCorpus {
+    corpus: Arc<Corpus>,
+    bases: Arc<Vec<u64>>,
+}
+
+impl SharedCorpus {
+    fn new(corpus: &Corpus) -> Self {
+        Self {
+            corpus: Arc::new(corpus.clone()),
+            bases: Arc::new(site_bases(corpus)),
+        }
+    }
+}
+
+fn run_hooked_shared(
+    cfg: &RunConfig,
+    shared: &SharedCorpus,
+    hook: impl FnOnce(&mut Engine<KernelWorld>),
+) -> Result<RunResult, RunError> {
+    let corpus = &*shared.corpus;
     let mut engine: Engine<KernelWorld> =
         Engine::new(KernelWorld::new(), EngineParams::default(), cfg.seed);
     if cfg.metrics {
@@ -207,8 +234,6 @@ pub fn run_hooked(
     }
     hook(&mut engine);
 
-    let corpus_rc = Rc::new(corpus.clone());
-    let bases = Rc::new(site_bases(corpus));
     let barrier = cfg
         .sync
         .then(|| engine.add_barrier(built.cores.len() as u32));
@@ -218,8 +243,8 @@ pub fn run_hooked(
             w.locate(core)
         };
         let worker = CorpusWorker::new(
-            corpus_rc.clone(),
-            bases.clone(),
+            Arc::clone(&shared.corpus),
+            Arc::clone(&shared.bases),
             cfg.iterations,
             barrier,
             core,
@@ -348,10 +373,12 @@ pub fn run_configs_hooked<H>(
 where
     H: Fn(usize, &mut Engine<KernelWorld>) + Sync,
 {
+    let shared = SharedCorpus::new(corpus);
+    let shared = &shared;
     let tasks: Vec<_> = configs
         .iter()
         .enumerate()
-        .map(|(i, cfg)| move || run_hooked(cfg, corpus, |engine| hook(i, engine)))
+        .map(|(i, cfg)| move || run_hooked_shared(cfg, shared, |engine| hook(i, engine)))
         .collect();
     ksa_desim::pool::run_tasks(jobs, tasks)
         .into_iter()
@@ -605,7 +632,7 @@ mod tests {
         let grand = res.attrib.grand_total();
         assert!(grand.total > 0);
         assert!(grand.is_exact(), "components must sum to total");
-        for (no, (calls, agg)) in &res.attrib.by_sysno {
+        for (no, (calls, agg)) in res.attrib.by_sysno() {
             assert!(*calls > 0);
             assert!(agg.is_exact(), "{}: inexact aggregate", no.name());
         }
@@ -969,7 +996,7 @@ mod tests {
         let grand = res.attrib.grand_total();
         assert_eq!(res.metrics.total("syscall_ns"), grand.total);
         assert_eq!(res.metrics.total("syscall_calls"), res.attrib.calls());
-        for (cat, (calls, agg)) in &res.attrib.by_category {
+        for (cat, (calls, agg)) in res.attrib.by_category() {
             let label = [("category", cat.name())];
             assert_eq!(
                 res.metrics.value_of("syscall_calls", &label),

@@ -141,8 +141,7 @@ pub fn attribution_json(table: &AttributionTable) -> String {
             "by_sysno",
             Value::object(
                 table
-                    .by_sysno
-                    .iter()
+                    .by_sysno()
                     .map(|(no, (calls, a))| (no.name(), attribution_value(*calls, a))),
             ),
         ),
@@ -150,8 +149,7 @@ pub fn attribution_json(table: &AttributionTable) -> String {
             "by_category",
             Value::object(
                 table
-                    .by_category
-                    .iter()
+                    .by_category()
                     .map(|(cat, (calls, a))| (cat.name(), attribution_value(*calls, a))),
             ),
         ),

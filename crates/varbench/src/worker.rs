@@ -1,13 +1,14 @@
 //! The per-core corpus worker process.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ksa_desim::{
     BarrierId, CoreId, Effect, LatSnapshot, Ns, Process, SimCtx, TraceEventKind, WakeReason,
 };
 use ksa_kernel::coverage::CoverageSet;
-use ksa_kernel::dispatch::dispatch;
+use ksa_kernel::dispatch::dispatch_into;
 use ksa_kernel::exec::OpRunner;
+use ksa_kernel::ops::OpSeq;
 use ksa_kernel::prog::Corpus;
 use ksa_kernel::world::HasKernel;
 use rand::rngs::SmallRng;
@@ -42,8 +43,8 @@ enum Phase {
 /// synchronizing each program start across all workers when `sync` is
 /// set.
 pub struct CorpusWorker {
-    corpus: Rc<Corpus>,
-    site_base: Rc<Vec<u64>>,
+    corpus: Arc<Corpus>,
+    site_base: Arc<Vec<u64>>,
     iterations: usize,
     sync: Option<BarrierId>,
     core: CoreId,
@@ -59,9 +60,13 @@ pub struct CorpusWorker {
     prog: usize,
     call: usize,
     results: Vec<u64>,
-    runner: Option<OpRunner>,
+    runner: OpRunner,
+    runner_live: bool,
+    seq_buf: OpSeq,
+    args_buf: Vec<u64>,
     call_start: Ns,
     lat_before: LatSnapshot,
+    lat_after: LatSnapshot,
     pending_result: u64,
 }
 
@@ -69,8 +74,8 @@ impl CorpusWorker {
     /// Creates a worker bound to (`core`, `instance`, `slot`).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        corpus: Rc<Corpus>,
-        site_base: Rc<Vec<u64>>,
+        corpus: Arc<Corpus>,
+        site_base: Arc<Vec<u64>>,
         iterations: usize,
         sync: Option<BarrierId>,
         core: CoreId,
@@ -95,9 +100,13 @@ impl CorpusWorker {
             prog: 0,
             call: 0,
             results: Vec::new(),
-            runner: None,
+            runner: OpRunner::empty(),
+            runner_live: false,
+            seq_buf: OpSeq::new(),
+            args_buf: Vec::new(),
             call_start: 0,
             lat_before: LatSnapshot::default(),
+            lat_after: LatSnapshot::default(),
             pending_result: 0,
         }
     }
@@ -105,38 +114,42 @@ impl CorpusWorker {
     /// Compiles the current call and arms its runner. Returns false when
     /// the current program is empty.
     fn begin_call<W: HasKernel>(&mut self, ctx: &mut SimCtx<'_, W>) -> bool {
-        let program = &self.corpus.programs[self.prog];
+        let corpus = Arc::clone(&self.corpus);
+        let program = &corpus.programs[self.prog];
         if self.call >= program.len() {
             return false;
         }
-        let call = program.calls[self.call].clone();
-        let args: Vec<u64> = call.args.iter().map(|a| a.resolve(&self.results)).collect();
+        let call = &program.calls[self.call];
+        self.args_buf.clear();
+        self.args_buf
+            .extend(call.args.iter().map(|a| a.resolve(&self.results)));
         // Snapshot the engine's latency accounting before the call so the
         // snapshot pair brackets exactly this call's interval (dispatch
         // and lowering consume no virtual time).
-        self.lat_before = ctx.lat_snapshot();
+        ctx.lat_snapshot_into(&mut self.lat_before);
         let (world, faults) = ctx.world_and_faults();
         let inst = &mut world.kernel_mut().instances[self.instance];
-        let seq = dispatch(
+        dispatch_into(
             inst,
             self.slot,
             call.no,
-            &args,
+            &self.args_buf,
             &mut self.rng,
             &mut self.cover,
             faults,
+            &mut self.seq_buf,
         );
-        self.pending_result = seq.result;
-        let runner = OpRunner::new(&seq, inst, self.core);
+        self.pending_result = self.seq_buf.result;
+        self.runner.relower(&self.seq_buf, inst, self.core);
+        self.runner_live = true;
         self.call_start = ctx.now();
         if ctx.trace_enabled() {
             ctx.trace_mark(TraceEventKind::Syscall {
                 no: call.no as u16,
                 enter: true,
             });
-            runner.trace_exits(ctx);
+            self.runner.trace_exits(ctx);
         }
-        self.runner = Some(runner);
         true
     }
 
@@ -145,9 +158,10 @@ impl CorpusWorker {
         let key = site_key(&self.site_base, self.prog, self.call);
         let latency = ctx.now() - self.call_start;
         ctx.record(key, latency);
-        if let Some(runner) = self.runner.take() {
+        if self.runner_live {
+            self.runner_live = false;
             let no = self.corpus.programs[self.prog].calls[self.call].no;
-            let after = ctx.lat_snapshot();
+            ctx.lat_snapshot_into(&mut self.lat_after);
             if ctx.trace_enabled() {
                 ctx.trace_mark(TraceEventKind::Syscall {
                     no: no as u16,
@@ -159,8 +173,8 @@ impl CorpusWorker {
             let attrib = world.kernel_mut().observe_syscall(
                 no,
                 &self.lat_before,
-                &after,
-                runner.vm_exit_ns(),
+                &self.lat_after,
+                self.runner.vm_exit_ns(),
                 now,
             );
             // The components-tile-the-timeline invariant: the decomposed
@@ -216,8 +230,8 @@ impl CorpusWorker {
 
     /// Steps the op runner, finishing the call when it runs dry.
     fn step_runner<W: HasKernel>(&mut self, ctx: &mut SimCtx<'_, W>) -> Effect {
-        if let Some(runner) = &mut self.runner {
-            if let Some(effect) = runner.step(ctx) {
+        if self.runner_live {
+            if let Some(effect) = self.runner.step(ctx) {
                 return effect;
             }
         }

@@ -448,13 +448,13 @@ fn attribution_components_sum_exactly() {
         assert!(grand.is_exact(), "{kind:?}: grand total not exact");
         assert!(grand.total > 0, "{kind:?}: nothing attributed");
         let mut sysno_sum = 0u64;
-        for (no, (calls, a)) in &res.attrib.by_sysno {
+        for (no, (calls, a)) in res.attrib.by_sysno() {
             assert!(a.is_exact(), "{kind:?}: {} row not exact", no.name());
             assert!(*calls > 0);
             sysno_sum += a.total;
         }
         assert_eq!(sysno_sum, grand.total, "{kind:?}: rows lost mass");
-        let cat_sum: u64 = res.attrib.by_category.values().map(|(_, a)| a.total).sum();
+        let cat_sum: u64 = res.attrib.by_category().map(|(_, (_, a))| a.total).sum();
         assert_eq!(cat_sum, grand.total, "{kind:?}: categories lost mass");
     }
 }
@@ -875,4 +875,155 @@ fn pool_panics_stay_isolated() {
             }
         }
     });
+}
+
+/// The slab event queue's free-list reuse is invisible to simulation
+/// outputs. Two layers:
+///
+/// 1. **Model check.** Under arbitrary random churn — pushes, pops and
+///    cancellations interleaved, so freed slots are constantly recycled
+///    and lazily-reclaimed cancelled entries linger in the heap — the
+///    queue pops exactly the `(t, seq)` order of a reference model, a
+///    second queue driven by the same script pops byte-identically, and
+///    the slab never materializes more slots than the peak number of
+///    outstanding heap entries (reuse actually happens).
+/// 2. **Campaign check.** A full varbench campaign — the workload whose
+///    sleep timers, lock queues and IPI fan-outs recycle slab slots
+///    millions of times — produces identical FNV digests across pool
+///    widths 1/4/auto and across a replay at every width.
+#[test]
+fn engine_slab_reuse_is_bit_identical() {
+    use ksa_core::desim::{EventId, EventQueue};
+
+    for_each_case("engine_slab_reuse_is_bit_identical", |seed, rng| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut twin: EventQueue<u32> = EventQueue::new();
+        // Reference model: the live key set. `seq` assignment is the
+        // queue's own, mirrored here by counting pushes.
+        let mut model: std::collections::BTreeSet<(u64, u64, u32)> = Default::default();
+        let mut live: Vec<(EventId, EventId, (u64, u64, u32))> = Vec::new();
+        let mut pushes = 0u64;
+        let mut pops = 0u64;
+        let mut peak_outstanding = 0usize;
+        let mut payload = 0u32;
+        for _ in 0..400 {
+            match rng.gen_range(0u32..10) {
+                // Push (~half the steps, so the queue stays populated).
+                0..=4 => {
+                    let t = rng.gen_range(0u64..50);
+                    payload += 1;
+                    let key = (t, pushes, payload);
+                    let id = q.push(t, payload);
+                    let tid = twin.push(t, payload);
+                    pushes += 1;
+                    model.insert(key);
+                    live.push((id, tid, key));
+                }
+                // Pop: both queues must yield the model minimum.
+                5..=7 => {
+                    let got = q.pop();
+                    assert_eq!(got, twin.pop(), "seed {seed:#x}: twin diverged");
+                    match model.pop_first() {
+                        Some((t, s, p)) => {
+                            assert_eq!(got, Some((t, s, p)), "seed {seed:#x}: wrong pop");
+                            pops += 1;
+                            live.retain(|(_, _, key)| *key != (t, s, p));
+                        }
+                        None => assert_eq!(got, None, "seed {seed:#x}: pop from empty"),
+                    }
+                }
+                // Cancel a random live event (stale ids exercised too:
+                // popped entries stay in `live` until the retain above).
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let i = rng.gen_range(0..live.len());
+                    let (id, tid, key) = live.swap_remove(i);
+                    assert_eq!(
+                        q.cancel(id),
+                        twin.cancel(tid),
+                        "seed {seed:#x}: cancel outcome diverged"
+                    );
+                    model.remove(&key);
+                }
+            }
+            // Heap entries never exceed pushes - successful pops (cancels
+            // leave their entry in place until it surfaces), so this is
+            // an upper bound on the slab the queue may materialize.
+            peak_outstanding = peak_outstanding.max((pushes - pops) as usize);
+        }
+        while let Some(got) = q.pop() {
+            assert_eq!(Some(got), twin.pop(), "seed {seed:#x}: drain diverged");
+            assert_eq!(
+                Some(got),
+                model.pop_first(),
+                "seed {seed:#x}: drain order wrong"
+            );
+        }
+        assert!(
+            model.is_empty(),
+            "seed {seed:#x}: model has leftover events"
+        );
+        assert!(
+            q.slab_len() <= peak_outstanding,
+            "seed {seed:#x}: slab grew to {} with peak {} outstanding — free list not reused",
+            q.slab_len(),
+            peak_outstanding
+        );
+    });
+
+    // Campaign layer: slab recycling at scale must be invisible to the
+    // simulated outputs for every pool width, twice.
+    use ksa_core::envsim::{EnvKind, EnvSpec, Machine};
+    use ksa_core::experiments::{default_corpus, Scale};
+    use ksa_core::varbench::{run_configs_jobs, RunConfig, RunResult};
+    let corpus = default_corpus(Scale::Tiny).corpus;
+    let machine = Machine {
+        cores: 4,
+        mem_mib: 2 * 1024,
+    };
+    let digest = |results: &[Result<RunResult, ksa_core::varbench::RunError>]| -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut fold = |v: u64| h = (h ^ v).wrapping_mul(0x100000001b3);
+        for r in results {
+            let r = r.as_ref().expect("trial failed");
+            fold(r.sim_ns);
+            fold(r.events);
+            for site in &r.sites {
+                fold(site.sysno as u64);
+                for &s in site.samples.raw() {
+                    fold(s);
+                }
+            }
+            fold(r.attrib.grand_total().total);
+            fold(r.contention.total_wait_ns());
+        }
+        h
+    };
+    let configs: Vec<RunConfig> = [53u64, 0xd00d]
+        .into_iter()
+        .flat_map(|seed| {
+            [EnvKind::Native, EnvKind::Vm(2), EnvKind::Container(4)]
+                .into_iter()
+                .map(move |kind| RunConfig {
+                    env: EnvSpec::new(machine, kind),
+                    iterations: 2,
+                    sync: true,
+                    seed,
+                    max_events: 0,
+                    trace: false,
+                    metrics: false,
+                    spec: None,
+                })
+        })
+        .collect();
+    let baseline = digest(&run_configs_jobs(&configs, &corpus, 1));
+    for jobs in [1usize, 4, 0] {
+        assert_eq!(
+            digest(&run_configs_jobs(&configs, &corpus, jobs)),
+            baseline,
+            "jobs {jobs}: slab-backed campaign not bit-identical on replay"
+        );
+    }
 }
