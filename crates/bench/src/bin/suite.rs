@@ -45,7 +45,9 @@
 //!
 //! Exit codes: 0 ok · 2 baseline drift · 3 speedup below gate ·
 //! 4 parallel/sequential divergence · 5 events/sec below the committed
-//! perf floor.
+//! perf floor · 6 malformed baseline file (unreadable, invalid JSON, or
+//! missing/mistyped gated fields — distinct from drift so CI can tell a
+//! corrupt committed baseline from a real behavioural change).
 //!
 //! The perf floor: when the baseline carries an `events_per_sec_floor`
 //! field, the engine profile's measured events/sec must not fall below
@@ -65,12 +67,30 @@ use ksa_kernel::latency::AttributionTable;
 use ksa_kernel::prog::Corpus;
 use ksa_kernel::{attribution_frames, SpecMask};
 use ksa_tailbench::apps::{cluster_suite, suite as app_suite};
+use ksa_tailbench::churn::{run_churn_points, ChurnConfig};
 use ksa_tailbench::single_node::{run_points, SingleNodeConfig};
 use ksa_varbench::{run_configs_jobs, RunConfig};
 
 /// The pinned suite seed: the committed baseline is only valid for this
 /// seed, so it is not a CLI knob.
 const SEED: u64 = 42;
+
+/// Exit code for a malformed baseline file — distinct from drift (2) so
+/// CI can tell "the committed baseline is corrupt" from "the simulation
+/// changed".
+const EXIT_BAD_BASELINE: i32 = 6;
+
+/// Reports exactly what is wrong with the baseline file and exits with
+/// the dedicated malformed-baseline code. Replaces the bare `unwrap`
+/// chains that used to turn a truncated or hand-edited baseline into an
+/// uninformative panic.
+fn baseline_malformed(path: &str, what: impl std::fmt::Display) -> ! {
+    eprintln!(
+        "suite: baseline {path} is malformed: {what} — regenerate it with \
+         --write-baseline (exit {EXIT_BAD_BASELINE} = corrupt baseline, not simulation drift)"
+    );
+    std::process::exit(EXIT_BAD_BASELINE);
+}
 
 /// FNV-1a over a stream of u64s — the digest the drift gate compares.
 #[derive(Clone, Copy)]
@@ -505,6 +525,50 @@ fn main() {
                 }
             }),
         ),
+        (
+            "churn",
+            Box::new(|jobs| {
+                // High-density tenant churn micro-experiment: one density
+                // point, shared-kernel containers vs partitioned VMs. The
+                // digest folds the per-run record-stream digest plus the
+                // headline metrics, and every run must pass the fd/socket
+                // slot-reuse hygiene audits — the pre-reuse allocator
+                // fails here before any baseline comparison.
+                let configs = [
+                    ChurnConfig::quick(EnvKind::Container(8), 48, SEED),
+                    ChurnConfig::quick(EnvKind::Vm(2), 48, SEED),
+                ];
+                let results = run_churn_points(&configs, jobs);
+                let mut d = Digest::new();
+                let (mut sim_ns, mut events) = (0u64, 0u64);
+                for r in &results {
+                    assert!(
+                        r.arrived == r.exited
+                            && r.fd_open_after == 0
+                            && r.sock_live_after == 0
+                            && r.tables_bounded,
+                        "churn hygiene violated: arrived {} exited {} fds_open {} \
+                         socks_live {} bounded {}",
+                        r.arrived,
+                        r.exited,
+                        r.fd_open_after,
+                        r.sock_live_after,
+                        r.tables_bounded
+                    );
+                    sim_ns += r.sim_ns;
+                    events += r.events;
+                    d.fold(r.digest);
+                    d.fold(r.cold_p99);
+                    d.fold(r.worst_tenant_p99);
+                    d.fold(r.requests_completed);
+                }
+                SimOut {
+                    sim_ns,
+                    events,
+                    digest: d,
+                }
+            }),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -708,13 +772,21 @@ fn main() {
     // forward.
     let base_doc: Option<Value> = baseline.as_ref().map(|path| {
         let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("suite: cannot read baseline {path}: {e}"));
-        ksa_json::parse(&text).expect("baseline: invalid JSON")
+            .unwrap_or_else(|e| baseline_malformed(path, format_args!("cannot read: {e}")));
+        ksa_json::parse(&text)
+            .unwrap_or_else(|e| baseline_malformed(path, format_args!("invalid JSON: {e}")))
     });
     let baseline_floor: Option<f64> = base_doc
         .as_ref()
         .and_then(|b| b.get("events_per_sec_floor").ok())
-        .map(|v| v.as_f64().expect("events_per_sec_floor: not a number"));
+        .map(|v| {
+            v.as_f64().unwrap_or_else(|e| {
+                baseline_malformed(
+                    baseline.as_deref().unwrap_or_default(),
+                    format_args!("events_per_sec_floor: {e}"),
+                )
+            })
+        });
     let floor_out = floor_flag.or(baseline_floor);
 
     if let Some(path) = write_baseline {
@@ -756,8 +828,15 @@ fn main() {
     if let Some(base) = &base_doc {
         let path = baseline.as_deref().unwrap_or_default();
         let mut drift = false;
-        for be in base.get("experiments").unwrap().as_array().unwrap() {
-            let name = be.get("name").unwrap().as_str().unwrap();
+        let base_rows = base
+            .get("experiments")
+            .and_then(|v| v.as_array())
+            .unwrap_or_else(|e| baseline_malformed(path, format_args!("experiments: {e}")));
+        for (i, be) in base_rows.iter().enumerate() {
+            let name = be.get("name").and_then(|v| v.as_str()).unwrap_or_else(|e| {
+                baseline_malformed(path, format_args!("experiments[{i}].name: {e}"))
+            });
+            // The report is suite-built this run, so its shape is known.
             let Some(now) = report
                 .get("experiments")
                 .unwrap()
@@ -771,7 +850,9 @@ fn main() {
                 continue;
             };
             for key in ["digest", "sim_ns", "events"] {
-                let want = be.get(key).unwrap();
+                let want = be.get(key).unwrap_or_else(|e| {
+                    baseline_malformed(path, format_args!("experiments[{i}] ({name}).{key}: {e}"))
+                });
                 let got = now.get(key).unwrap();
                 if want.render() != got.render() {
                     eprintln!(

@@ -20,7 +20,7 @@ use crate::coverage::{
 use crate::errno::Errno;
 use crate::instance::KernelInstance;
 use crate::ops::{KOp, OpSeq};
-use crate::state::NAMES_PER_SLOT;
+use crate::state::{Fd, FdKind, NAMES_PER_SLOT};
 use crate::subsystems;
 use crate::syscalls::SysNo;
 
@@ -331,6 +331,50 @@ impl<'a> HCtx<'a> {
         }
     }
 
+    /// Installs a descriptor in the slot's fd table under the fd-table
+    /// lock. POSIX lowest-free-fd semantics: the lowest `Closed` slot is
+    /// reused before the table grows, so table length stays bounded by
+    /// the peak number of concurrently open descriptors (not the total
+    /// ever opened — the pre-reuse allocator leaked a slot per open).
+    pub fn install_fd(&mut self, kind: FdKind) -> u64 {
+        let cost = self.cost();
+        let fdt = self.k.locks.fdtable[self.slot];
+        self.lock(fdt);
+        self.cpu(cost.slab_fast + 150);
+        self.unlock(fdt);
+        let slot = &mut self.k.state.slots[self.slot];
+        slot.open_fds += 1;
+        slot.peak_open_fds = slot.peak_open_fds.max(slot.open_fds);
+        let entry = Fd {
+            kind,
+            offset_pages: 0,
+        };
+        match slot
+            .fds
+            .iter()
+            .position(|f| matches!(f.kind, FdKind::Closed))
+        {
+            Some(i) => {
+                slot.fds[i] = entry;
+                i as u64
+            }
+            None => {
+                slot.fds.push(entry);
+                (slot.fds.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Marks fd `fd` closed and drops the slot's open-descriptor count.
+    /// Callers handle the object behind the descriptor (socket release /
+    /// reclaim) themselves.
+    pub(crate) fn retire_fd(&mut self, fd: usize) {
+        let slot = &mut self.k.state.slots[self.slot];
+        debug_assert!(!matches!(slot.fds[fd].kind, FdKind::Closed));
+        slot.fds[fd].kind = FdKind::Closed;
+        slot.open_fds -= 1;
+    }
+
     /// Resolves an argument to one of this slot's open fds (Syzkaller-
     /// style: arguments are coerced into mostly-valid resources).
     /// Returns `None` when the slot has no usable descriptor.
@@ -541,6 +585,143 @@ pub fn dispatch_into(
     );
 }
 
+/// Compiles the kernel half of `exit_group(2)` for `slot` into `seq`:
+/// every open descriptor is closed under one fd-table sweep (socket
+/// table slots are released and reclaimed), the address space is torn
+/// down with a single batched page-table walk and TLB shootdown, the
+/// heap resets to its initial break, and unreaped children are reaped.
+/// Not a [`SysNo`] — exit is not corpus-reachable and no kernel can be
+/// specialized away from supporting it, so it bypasses the allowlist.
+///
+/// Fd-table entries are marked `Closed`, not removed (fd numbers are
+/// table indices), which is exactly why the lowest-free-fd reuse in
+/// [`HCtx::install_fd`] matters: without it every tenant lifecycle grows
+/// the table permanently.
+pub fn dispatch_exit(
+    k: &mut KernelInstance,
+    slot: usize,
+    rng: &mut SmallRng,
+    cover: &mut CoverageSet,
+    faults: &mut FaultState,
+    seq: &mut OpSeq,
+) {
+    seq.reset();
+    let mut h = HCtx {
+        k,
+        slot,
+        rng,
+        cover,
+        faults,
+        seq,
+    };
+    h.k.syscalls += 1;
+    h.cpu(h.cost().syscall_entry);
+    if h.k.virt.syscall_overhead > 0 {
+        h.seq
+            .push(KOp::VmExit(crate::ops::VmExitKind::GuestSyscall));
+    }
+    cov!(h, "sched.exit");
+    let cost = h.cost();
+
+    // Close every open descriptor: one locked fd-table sweep, then the
+    // per-object releases (sockets pay their bucket-locked teardown).
+    let nopen = h.k.state.slots[slot].open_fds;
+    if nopen > 0 {
+        cov_bucket!(h, "sched.exit.fds", HCtx::size_class(nopen));
+        let fdt = h.k.locks.fdtable[slot];
+        h.lock(fdt);
+        h.cpu(200 + 120 * nopen);
+        h.unlock(fdt);
+        h.cpu(cost.slab_fast * nopen.min(16));
+        for fd in 0..h.k.state.slots[slot].fds.len() {
+            let kind = h.k.state.slots[slot].fds[fd].kind;
+            if matches!(kind, FdKind::Closed) {
+                continue;
+            }
+            h.retire_fd(fd);
+            if let FdKind::Socket { idx } = kind {
+                crate::subsystems::net::drop_sock_ref(&mut h, idx);
+            }
+        }
+    }
+    debug_assert_eq!(h.k.state.slots[slot].open_fds, 0);
+
+    // Address-space teardown: one page-table walk and one shootdown for
+    // everything still mapped, then the vma table dies with the process.
+    let (vpages, vpop, nvmas, shm_idx) = {
+        let vmas = &h.k.state.slots[slot].vmas;
+        let mut pages = 0;
+        let mut pop = 0;
+        let mut n = 0u64;
+        let mut shm = Vec::new();
+        for v in vmas.iter().filter(|v| v.mapped) {
+            pages += v.pages;
+            pop += v.populated;
+            n += 1;
+            if let Some(si) = v.shm {
+                shm.push(si);
+            }
+        }
+        (pages, pop, n, shm)
+    };
+    if nvmas > 0 {
+        cov_bucket!(h, "sched.exit.vmas", HCtx::size_class(nvmas));
+        let mmap_sem = h.k.locks.mmap_sem[slot];
+        let ptl = h.k.locks.page_table[slot];
+        h.lock(mmap_sem);
+        h.lock(ptl);
+        h.cpu(cost.pte_per_page * vpages);
+        h.unlock(ptl);
+        h.push(KOp::Tlb { pages: vpages });
+        h.unlock(mmap_sem);
+        h.free_pages(vpop);
+    }
+    for si in shm_idx {
+        let seg = &mut h.k.state.ipc.shms[si];
+        seg.attaches = seg.attaches.saturating_sub(1);
+    }
+    h.k.state.slots[slot].vmas.clear();
+
+    // Heap: free everything brk grew past the initial break.
+    let brk = h.k.state.slots[slot].brk_pages;
+    if brk > 16 {
+        let excess = brk - 16;
+        let ptl = h.k.locks.page_table[slot];
+        h.lock(ptl);
+        h.cpu(cost.pte_per_page * excess);
+        h.unlock(ptl);
+        h.free_pages(excess);
+        h.k.state.slots[slot].brk_pages = 16;
+    }
+
+    // Reap unreaped children (zombies die with their parent): the
+    // per-child costs of wait4's reap path under one tasklist section.
+    let children = h.k.state.slots[slot].children_pending as u64;
+    if children > 0 {
+        cov!(h, "sched.exit.reap");
+        let tasklist = h.k.locks.tasklist;
+        let pidmap = h.k.locks.pidmap;
+        let rq = h.k.locks.runqueue[slot];
+        h.push(KOp::Lock(tasklist, LockMode::Exclusive));
+        h.cpu(cost.task_reap * children.min(32));
+        h.push(KOp::Unlock(tasklist));
+        h.lock(pidmap);
+        h.cpu(cost.pid_alloc / 2 * children.min(32));
+        h.unlock(pidmap);
+        h.lock(rq);
+        h.cpu(cost.rq_op);
+        h.unlock(rq);
+        let st = &mut h.k.state;
+        st.sched.nr_tasks -= children;
+        st.sched.rq_len[slot] = st.sched.rq_len[slot].saturating_sub(children as u32);
+        st.slots[slot].children_pending = 0;
+    }
+
+    // The task struct itself is put through an RCU grace period.
+    h.push(KOp::RcuSync);
+    debug_assert!(h.seq.locks_balanced(), "exit: unbalanced locks");
+}
+
 /// Convenience wrapper used by tests: dispatch with throwaway coverage
 /// and no fault injection.
 pub fn dispatch_simple(
@@ -553,4 +734,151 @@ pub fn dispatch_simple(
     let mut cover = CoverageSet::new();
     let mut faults = FaultState::default();
     dispatch(k, slot, no, args, rng, &mut cover, &mut faults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceConfig, TenancyProfile, VirtProfile};
+    use crate::params::CostModel;
+    use crate::spec::SpecMask;
+    use ksa_desim::{Engine, EngineParams};
+    use rand::SeedableRng;
+
+    fn test_instance() -> KernelInstance {
+        let mut eng: Engine<()> = Engine::new((), EngineParams::default(), 1);
+        let disk = eng.add_device(ksa_desim::DeviceModel::nvme_ssd());
+        let cores = vec![eng.add_core(Default::default())];
+        KernelInstance::build(
+            &mut eng,
+            0,
+            InstanceConfig {
+                cores,
+                mem_mib: 256,
+                virt: VirtProfile::native(),
+                tenancy: TenancyProfile::none(),
+                cost: CostModel::default(),
+                disk,
+                spec: SpecMask::full(),
+            },
+        )
+    }
+
+    fn call(inst: &mut KernelInstance, rng: &mut SmallRng, no: SysNo, args: &[u64]) -> u64 {
+        let seq = dispatch_simple(inst, 0, no, args, rng);
+        assert_eq!(seq.error, None, "{no:?} {args:?} failed: {:?}", seq.error);
+        seq.result
+    }
+
+    /// POSIX lowest-free-fd: close + reopen reuses the lowest Closed
+    /// slot instead of growing the table.
+    #[test]
+    fn close_reopen_reuses_lowest_fd() {
+        let mut inst = test_instance();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for (i, path) in [3u64, 4, 5].iter().enumerate() {
+            let fd = call(&mut inst, &mut rng, SysNo::Open, &[*path, 1]);
+            assert_eq!(fd, i as u64);
+        }
+        assert_eq!(inst.state.slots[0].fds.len(), 3);
+
+        call(&mut inst, &mut rng, SysNo::Close, &[1]);
+        let fd = call(&mut inst, &mut rng, SysNo::Open, &[6, 1]);
+        assert_eq!(fd, 1, "reopen must fill the lowest hole");
+        assert_eq!(inst.state.slots[0].fds.len(), 3, "table must not grow");
+
+        call(&mut inst, &mut rng, SysNo::Close, &[2]);
+        call(&mut inst, &mut rng, SysNo::Close, &[0]);
+        assert_eq!(call(&mut inst, &mut rng, SysNo::Open, &[7, 1]), 0);
+        assert_eq!(call(&mut inst, &mut rng, SysNo::Open, &[8, 1]), 2);
+        let slot = &inst.state.slots[0];
+        assert_eq!(slot.open_fds, 3);
+        assert_eq!(slot.peak_open_fds, 3);
+        assert_eq!(slot.fds.len() as u64, slot.peak_open_fds);
+    }
+
+    /// Socket slots return to a lowest-first free list when their fd
+    /// dies, so the sock table is bounded by peak concurrency.
+    #[test]
+    fn sock_slots_reclaim_lowest_first() {
+        let mut inst = test_instance();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for i in 0..3u64 {
+            assert_eq!(call(&mut inst, &mut rng, SysNo::Socket, &[0]), i);
+        }
+        assert_eq!(inst.state.net.socks.len(), 3);
+        assert_eq!(inst.state.net.peak_socks, 3);
+
+        call(&mut inst, &mut rng, SysNo::Close, &[1]);
+        call(&mut inst, &mut rng, SysNo::Close, &[0]);
+        assert_eq!(inst.state.net.live_socks, 1);
+        assert_eq!(
+            inst.state.net.free_socks,
+            vec![1, 0],
+            "descending free list"
+        );
+
+        // Reuse is lowest-first and never grows the table.
+        call(&mut inst, &mut rng, SysNo::Socket, &[0]);
+        call(&mut inst, &mut rng, SysNo::Socket, &[0]);
+        let net = &inst.state.net;
+        assert_eq!(net.socks.len(), 3, "table bounded by peak concurrency");
+        assert_eq!(net.live_socks, 3);
+        assert_eq!(net.peak_socks, 3);
+        assert!(net.free_socks.is_empty());
+    }
+
+    /// shutdown(2) releases the socket but defers slot reclaim to the
+    /// descriptor's death; close after shutdown reclaims exactly once.
+    #[test]
+    fn shutdown_then_close_reclaims_once() {
+        let mut inst = test_instance();
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(call(&mut inst, &mut rng, SysNo::Socket, &[0]), 0);
+        call(&mut inst, &mut rng, SysNo::ShutdownSock, &[0]);
+        let net = &inst.state.net;
+        assert!(!net.socks[0].open, "shutdown releases the object");
+        assert_eq!(net.live_socks, 1, "slot still referenced by the fd");
+        assert!(net.free_socks.is_empty(), "reclaim deferred to close");
+
+        call(&mut inst, &mut rng, SysNo::Close, &[0]);
+        let net = &inst.state.net;
+        assert_eq!(net.live_socks, 0);
+        assert_eq!(net.free_socks, vec![0]);
+        assert_eq!(call(&mut inst, &mut rng, SysNo::Socket, &[0]), 0);
+        assert_eq!(inst.state.net.socks.len(), 1);
+    }
+
+    /// Process exit sweeps the whole slot: descriptors, sockets, vmas,
+    /// heap and unreaped children — with balanced locks.
+    #[test]
+    fn dispatch_exit_sweeps_slot() {
+        let mut inst = test_instance();
+        let mut rng = SmallRng::seed_from_u64(4);
+        call(&mut inst, &mut rng, SysNo::Clone, &[0]);
+        call(&mut inst, &mut rng, SysNo::Open, &[3, 1]);
+        call(&mut inst, &mut rng, SysNo::Open, &[4, 1]);
+        call(&mut inst, &mut rng, SysNo::Mmap, &[24, 1]);
+        call(&mut inst, &mut rng, SysNo::Socket, &[0]);
+        call(&mut inst, &mut rng, SysNo::Brk, &[64]);
+        assert!(inst.state.slots[0].open_fds > 0);
+        assert_eq!(inst.state.slots[0].children_pending, 1);
+
+        let mut cover = CoverageSet::new();
+        let mut faults = FaultState::default();
+        let mut seq = OpSeq::new();
+        dispatch_exit(&mut inst, 0, &mut rng, &mut cover, &mut faults, &mut seq);
+        assert!(seq.locks_balanced(), "exit must balance every lock");
+
+        let slot = &inst.state.slots[0];
+        assert_eq!(slot.open_fds, 0);
+        assert!(slot.fds_all_closed());
+        assert!(slot.fds.len() as u64 <= slot.peak_open_fds);
+        assert!(slot.vmas.is_empty());
+        assert_eq!(slot.brk_pages, 16);
+        assert_eq!(slot.children_pending, 0);
+        let net = &inst.state.net;
+        assert_eq!(net.live_socks, 0);
+        assert!(net.socks.len() as u64 <= net.peak_socks);
+    }
 }

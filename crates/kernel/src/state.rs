@@ -80,6 +80,18 @@ pub struct SlotState {
     /// Name table: path selector → file index (this slot's private
     /// namespace; entries materialize on first create).
     pub names: Vec<Option<usize>>,
+    /// Descriptors currently open (non-`Closed` entries of `fds`).
+    pub open_fds: u64,
+    /// High-water mark of `open_fds`. With lowest-free-fd reuse,
+    /// `fds.len() <= peak_open_fds` holds after any amount of churn.
+    pub peak_open_fds: u64,
+}
+
+impl SlotState {
+    /// True when every fd-table entry is `Closed` (post-exit state).
+    pub fn fds_all_closed(&self) -> bool {
+        self.fds.iter().all(|f| matches!(f.kind, FdKind::Closed))
+    }
 }
 
 /// Number of distinct path names each slot's namespace can address.
@@ -203,8 +215,16 @@ pub struct SockState {
 /// Networking state (socket/port tables plus the NIC rings).
 #[derive(Debug, Clone)]
 pub struct NetState {
-    /// All sockets ever created in this instance.
+    /// Socket table; length bounded by the peak number of *concurrent*
+    /// sockets (slots are reclaimed on final close and reused).
     pub socks: Vec<SockState>,
+    /// Reclaimed `socks` indices awaiting reuse, kept sorted descending
+    /// so allocation pops the lowest free slot.
+    pub free_socks: Vec<usize>,
+    /// Sockets currently allocated (not on the free list).
+    pub live_socks: u64,
+    /// High-water mark of `live_socks`; `socks.len() <= peak_socks`.
+    pub peak_socks: u64,
     /// Port table: `(port, socket index)`, instance-global.
     pub ports: Vec<(u64, usize)>,
     /// The instance NIC (virtio-net in VMs, the shared host NIC
@@ -233,6 +253,9 @@ impl NetState {
         let queues = n_slots.clamp(1, 8) as u32;
         Self {
             socks: Vec::new(),
+            free_socks: Vec::new(),
+            live_socks: 0,
+            peak_socks: 0,
             ports: Vec::new(),
             nic: ksa_desim::NicState::new(ksa_desim::NicModel::virtio(queues)),
             stack_extra_ns: 0,
@@ -240,6 +263,41 @@ impl NetState {
             recv_bytes: 0,
             flushed_bytes: 0,
         }
+    }
+
+    /// Allocates a socket-table slot, reusing the lowest reclaimed index
+    /// before growing the table. The returned slot is open and zeroed.
+    pub fn alloc_sock_slot(&mut self) -> usize {
+        self.live_socks += 1;
+        self.peak_socks = self.peak_socks.max(self.live_socks);
+        let sk = SockState {
+            open: true,
+            ..Default::default()
+        };
+        match self.free_socks.pop() {
+            Some(idx) => {
+                self.socks[idx] = sk;
+                idx
+            }
+            None => {
+                self.socks.push(sk);
+                self.socks.len() - 1
+            }
+        }
+    }
+
+    /// Returns a (released, `open == false`) socket's table slot to the
+    /// free list. Called when the last descriptor referencing the socket
+    /// dies — reclaiming at `shutdown` would let a still-installed fd
+    /// alias whatever tenant reuses the slot next.
+    pub fn reclaim_sock_slot(&mut self, idx: usize) {
+        debug_assert!(!self.socks[idx].open, "reclaiming an open socket");
+        debug_assert!(!self.free_socks.contains(&idx), "double reclaim");
+        self.socks[idx] = SockState::default();
+        self.live_socks -= 1;
+        // Keep descending order so `pop` yields the lowest free index.
+        let pos = self.free_socks.partition_point(|&i| i > idx);
+        self.free_socks.insert(pos, idx);
     }
 
     /// Socket index bound to `port`, if any.
@@ -317,6 +375,8 @@ impl SubsysState {
                 pcp_pages: 128,
                 slab_objs: 256,
                 names: vec![None; NAMES_PER_SLOT],
+                open_fds: 0,
+                peak_open_fds: 0,
             });
         }
         s

@@ -10,7 +10,7 @@
 use crate::coverage::{cov, cov_bucket, fail};
 use crate::dispatch::HCtx;
 use crate::errno::Errno;
-use crate::state::{Fd, FdKind, FileMeta};
+use crate::state::{FdKind, FileMeta};
 
 /// Gets or creates the file behind a path selector in this slot's
 /// namespace; returns `(file index, created)`.
@@ -78,20 +78,6 @@ fn lookup_or_create(h: &mut HCtx, sel: u64, create: bool) -> Option<(usize, bool
     Some((idx, true))
 }
 
-fn install_fd(h: &mut HCtx, kind: FdKind) -> u64 {
-    let cost = h.cost();
-    let fdt = h.k.locks.fdtable[h.slot];
-    h.lock(fdt);
-    h.cpu(cost.slab_fast + 150);
-    h.unlock(fdt);
-    let fds = &mut h.k.state.slots[h.slot].fds;
-    fds.push(Fd {
-        kind,
-        offset_pages: 0,
-    });
-    (fds.len() - 1) as u64
-}
-
 /// open(path, flags): bit 0 of flags = O_CREAT.
 pub fn sys_open(h: &mut HCtx, path_sel: u64, flags: u64) {
     let create = flags & 1 != 0;
@@ -103,10 +89,12 @@ pub fn sys_open(h: &mut HCtx, path_sel: u64, flags: u64) {
     } else {
         cov!(h, "fs.open.existing");
     }
-    h.seq.result = install_fd(h, FdKind::File { idx });
+    h.seq.result = h.install_fd(FdKind::File { idx });
 }
 
-/// close(fd): fd-table update plus possible final-reference file release.
+/// close(fd): fd-table update plus final-reference object release — a
+/// socket's table slot is released (if not already shut down) and
+/// reclaimed for reuse here, when its last descriptor dies.
 pub fn sys_close(h: &mut HCtx, fd_sel: u64) {
     let cost = h.cost();
     let Some(fd) = h.pick_fd(fd_sel) else {
@@ -121,7 +109,11 @@ pub fn sys_close(h: &mut HCtx, fd_sel: u64) {
     h.cpu(200);
     h.unlock(fdt);
     h.cpu(cost.slab_fast);
-    h.k.state.slots[h.slot].fds[fd].kind = FdKind::Closed;
+    let kind = h.k.state.slots[h.slot].fds[fd].kind;
+    h.retire_fd(fd);
+    if let FdKind::Socket { idx } = kind {
+        crate::subsystems::net::drop_sock_ref(h, idx);
+    }
 }
 
 /// stat(path): path walk + attribute copy.

@@ -12,21 +12,7 @@ use crate::dispatch::HCtx;
 use crate::errno::Errno;
 use crate::instance::FUTEX_BUCKETS;
 use crate::ops::KOp;
-use crate::state::{Fd, FdKind, MsgQueue, ShmSeg, Vma};
-
-fn install_fd(h: &mut HCtx, kind: FdKind) -> u64 {
-    let cost = h.cost();
-    let fdt = h.k.locks.fdtable[h.slot];
-    h.lock(fdt);
-    h.cpu(cost.slab_fast + 150);
-    h.unlock(fdt);
-    let fds = &mut h.k.state.slots[h.slot].fds;
-    fds.push(Fd {
-        kind,
-        offset_pages: 0,
-    });
-    (fds.len() - 1) as u64
-}
+use crate::state::{FdKind, MsgQueue, ShmSeg, Vma};
 
 /// pipe2: allocate the pipe buffer and two descriptors (read end is the
 /// result; the write end is the next fd).
@@ -44,8 +30,8 @@ pub fn sys_pipe2(h: &mut HCtx) {
         return;
     }
     h.cpu(cost.pipe_op);
-    let r = install_fd(h, FdKind::Pipe { read_end: true });
-    let _w = install_fd(h, FdKind::Pipe { read_end: false });
+    let r = h.install_fd(FdKind::Pipe { read_end: true });
+    let _w = h.install_fd(FdKind::Pipe { read_end: false });
     h.k.state.ipc.pipes += 1;
     h.seq.result = r;
 }
@@ -308,5 +294,5 @@ pub fn sys_eventfd(h: &mut HCtx) {
         fail!(h, Errno::ENOMEM, "ipc.eventfd.enomem");
         return;
     }
-    h.seq.result = install_fd(h, FdKind::EventFd);
+    h.seq.result = h.install_fd(FdKind::EventFd);
 }

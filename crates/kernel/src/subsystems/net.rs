@@ -16,7 +16,7 @@ use crate::coverage::{cov, cov_bucket, fail};
 use crate::dispatch::HCtx;
 use crate::errno::Errno;
 use crate::ops::{KOp, VmExitKind};
-use crate::state::{Fd, FdKind, SockState, NET_PORT_SPACE};
+use crate::state::{FdKind, NET_PORT_SPACE};
 use ksa_desim::FaultKind;
 
 /// Largest payload one sendto/recvfrom moves (matches file I/O's cap).
@@ -60,27 +60,56 @@ fn pick_listener(h: &HCtx, raw: u64) -> Option<usize> {
         })
 }
 
-fn install_fd(h: &mut HCtx, kind: FdKind) -> u64 {
-    let cost = h.cost();
-    let fdt = h.k.locks.fdtable[h.slot];
-    h.lock(fdt);
-    h.cpu(cost.slab_fast + 150);
-    h.unlock(fdt);
-    let fds = &mut h.k.state.slots[h.slot].fds;
-    fds.push(Fd {
-        kind,
-        offset_pages: 0,
-    });
-    (fds.len() - 1) as u64
+fn new_sock(h: &mut HCtx) -> usize {
+    h.k.state.net.alloc_sock_slot()
 }
 
-fn new_sock(h: &mut HCtx) -> usize {
-    let socks = &mut h.k.state.net.socks;
-    socks.push(SockState {
-        open: true,
-        ..Default::default()
-    });
-    socks.len() - 1
+/// Tears sock `src` down while its hash-bucket lock is held: port
+/// release, buffered-payload flush (accounted, never silently lost),
+/// accept-backlog purge and peer unlink. Returns the flushed byte count.
+/// Shared by `shutdown(2)`, final `close(2)` and process exit.
+pub(crate) fn release_sock_locked(h: &mut HCtx, src: usize) -> u64 {
+    let net = &mut h.k.state.net;
+    net.ports.retain(|&(_, s)| s != src);
+    let flushed = net.socks[src].rx_bytes;
+    net.flushed_bytes += flushed;
+    let sk = &mut net.socks[src];
+    sk.rx_bytes = 0;
+    sk.listening = false;
+    sk.port = None;
+    sk.backlog.clear();
+    sk.open = false;
+    if let Some(p) = sk.peer.take() {
+        net.socks[p].peer = None;
+    }
+    // Purge the dying socket from every accept backlog: once its table
+    // slot is reclaimed, a stale backlog index would alias whichever
+    // connection reuses the slot next.
+    for other in net.socks.iter_mut() {
+        other.backlog.retain(|&c| c != src);
+    }
+    flushed
+}
+
+/// Final-reference drop of sock `idx`, called when the descriptor
+/// referencing it dies (close or process exit): release it if still
+/// open — `shutdown(2)` may already have — then return its table slot
+/// to the free list for reuse.
+pub(crate) fn drop_sock_ref(h: &mut HCtx, idx: usize) {
+    if h.k.state.net.socks[idx].open {
+        let cost = h.cost();
+        let nb = h.k.locks.sock_buckets.len();
+        let bucket = h.k.locks.sock_buckets[idx % nb];
+        h.lock(bucket);
+        h.cpu(cost.proto_demux);
+        let flushed = release_sock_locked(h, idx);
+        h.unlock(bucket);
+        if flushed > 0 {
+            cov!(h, "net.close.flush");
+        }
+        h.push(KOp::RcuSync);
+    }
+    h.k.state.net.reclaim_sock_slot(idx);
 }
 
 /// socket(2): allocate a sock + file glue, install an fd.
@@ -98,7 +127,7 @@ pub fn sys_socket(h: &mut HCtx, flags: u64) {
         cov!(h, "net.socket.dgram");
     }
     let idx = new_sock(h);
-    h.seq.result = install_fd(h, FdKind::Socket { idx });
+    h.seq.result = h.install_fd(FdKind::Socket { idx });
 }
 
 /// bind(2): claim a port in the instance-global port table.
@@ -253,7 +282,7 @@ pub fn sys_accept(h: &mut HCtx, sock_sel: u64) {
     let net = &mut h.k.state.net;
     net.socks[conn].peer = Some(client);
     net.socks[client].peer = Some(conn);
-    h.seq.result = install_fd(h, FdKind::Socket { idx: conn });
+    h.seq.result = h.install_fd(FdKind::Socket { idx: conn });
 }
 
 /// Data-path send shared by `sendto(2)` and `write(2)`-on-a-socket:
@@ -422,23 +451,13 @@ pub fn sys_shutdown_sock(h: &mut HCtx, sock_sel: u64) {
         return;
     }
     h.cpu(cost.proto_demux);
-    let net = &mut h.k.state.net;
-    net.ports.retain(|&(_, s)| s != src);
-    let flushed = net.socks[src].rx_bytes;
-    net.flushed_bytes += flushed;
-    let sk = &mut net.socks[src];
-    sk.rx_bytes = 0;
-    sk.listening = false;
-    sk.port = None;
-    sk.backlog.clear();
-    sk.open = false;
-    if let Some(p) = sk.peer.take() {
-        net.socks[p].peer = None;
-    }
+    let flushed = release_sock_locked(h, src);
     h.unlock(bucket);
     if flushed > 0 {
         cov!(h, "net.shutdown.flush");
     }
+    // The fd still references the sock: its table slot is reclaimed only
+    // when the descriptor dies (close / process exit).
     h.push(KOp::RcuSync);
 }
 
@@ -451,7 +470,7 @@ pub fn sys_epoll_create(h: &mut HCtx) {
         return;
     }
     h.cpu(cost.sock_create / 2);
-    h.seq.result = install_fd(h, FdKind::Epoll);
+    h.seq.result = h.install_fd(FdKind::Epoll);
 }
 
 /// epoll_wait(2): readiness scan over the slot's descriptors (we model

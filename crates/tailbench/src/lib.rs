@@ -20,12 +20,14 @@
 //!   noise corpus) versus 4 Docker containers on one shared kernel.
 
 pub mod apps;
+pub mod churn;
 pub mod client;
 pub mod server;
 pub mod single_node;
 pub mod world;
 
 pub use apps::{suite, AppProfile};
+pub use churn::{run_churn, run_churn_points, ChurnConfig, ChurnResult};
 pub use client::RetryPolicy;
 pub use single_node::{
     run_points, run_single_node, run_single_node_retry, SingleNodeConfig, TailResult,

@@ -1027,3 +1027,78 @@ fn engine_slab_reuse_is_bit_identical() {
         );
     }
 }
+
+/// The fd/socket slot-reuse allocator is invisible to determinism: a
+/// churn campaign's record-stream digest is bit-identical across pool
+/// widths 1/4/auto and under replay.
+#[test]
+fn churn_campaign_is_bit_identical_across_jobs() {
+    use ksa_core::envsim::EnvKind;
+    use ksa_core::tailbench::churn::{run_churn_points, ChurnConfig};
+
+    let configs: Vec<ChurnConfig> = [
+        (EnvKind::Container(8), 31u64),
+        (EnvKind::Vm(2), 32),
+        (EnvKind::Vm(4), 33),
+    ]
+    .into_iter()
+    .map(|(kind, seed)| ChurnConfig::quick(kind, 48, seed))
+    .collect();
+
+    let baseline = run_churn_points(&configs, 1);
+    for jobs in [1usize, 4, 0] {
+        let got = run_churn_points(&configs, jobs);
+        for (i, (a, b)) in baseline.iter().zip(&got).enumerate() {
+            assert_eq!(
+                a.digest, b.digest,
+                "point {i} (jobs {jobs}) digest diverged"
+            );
+            assert_eq!(a.sim_ns, b.sim_ns, "point {i} (jobs {jobs}) clock diverged");
+            assert_eq!(
+                a.events, b.events,
+                "point {i} (jobs {jobs}) events diverged"
+            );
+        }
+    }
+}
+
+/// Churn conservation: over random densities and deployment kinds,
+/// every admitted tenant exits (arrived == exited + live, live == 0 at
+/// the end) and the fd/socket tables end bounded by peak concurrency
+/// with nothing still open — the slot-reuse invariant the pre-fix
+/// push-only allocator violates on the first close.
+#[test]
+fn churn_conserves_tenants_and_descriptor_tables() {
+    use ksa_core::envsim::EnvKind;
+    use ksa_core::tailbench::churn::{run_churn, ChurnConfig};
+
+    let mut rng =
+        SmallRng::seed_from_u64(base_seed("churn_conserves_tenants_and_descriptor_tables"));
+    for case in 0..6u64 {
+        let density = rng.gen_range(8usize..96);
+        let kind = match rng.gen_range(0u32..3) {
+            0 => EnvKind::Container(rng.gen_range(2usize..9)),
+            1 => EnvKind::Vm(2),
+            _ => EnvKind::Vm(4),
+        };
+        let cfg = ChurnConfig::quick(kind, density, 0x5eed ^ case);
+        let res = run_churn(&cfg);
+        let ctx = format!("case {case} ({kind:?}, density {density})");
+        assert_eq!(
+            res.arrived, cfg.params.tenants as u64,
+            "{ctx}: admissions lost"
+        );
+        assert_eq!(
+            res.arrived, res.exited,
+            "{ctx}: tenants leaked past the run"
+        );
+        assert!(res.requests_completed > 0, "{ctx}: no requests served");
+        assert_eq!(res.fd_open_after, 0, "{ctx}: descriptors left open");
+        assert_eq!(res.sock_live_after, 0, "{ctx}: sockets left live");
+        assert!(
+            res.tables_bounded,
+            "{ctx}: table exceeded peak concurrency (fds {}/{}, socks {}/{})",
+            res.fd_table_len, res.fd_peak, res.sock_table_len, res.sock_peak
+        );
+    }
+}
